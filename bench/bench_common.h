@@ -1,0 +1,107 @@
+// Shared fixtures for the table/figure benchmarks: scaled-down corpus and
+// model builders with one central place for the size knobs (DESIGN.md §5),
+// plus a tiny table printer so every bench emits paper-style rows.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/splits.h"
+#include "models/fusion.h"
+#include "models/trainer.h"
+
+namespace df::bench {
+
+// ---- scaled-down experiment sizes (paper values in comments) ----
+inline constexpr int kCorpusSize = 360;      // paper: ~17k complexes
+inline constexpr int kCoreSize = 40;         // paper: 290
+inline constexpr int kGridDim = 8;           // paper: ~48 voxels/axis
+inline constexpr float kValFraction = 0.1f;  // paper: 10%
+
+struct Corpus {
+  std::vector<data::ComplexRecord> recs;
+  std::unique_ptr<data::ComplexDataset> train, val, core;
+};
+
+inline Corpus make_corpus(uint64_t seed = 2019, int n = kCorpusSize, int core = kCoreSize,
+                          bool rotation_augment_train = true) {
+  Corpus c;
+  data::PdbbindConfig cfg;
+  cfg.num_complexes = n;
+  cfg.core_size = core;
+  cfg.settle_runs = 1;
+  cfg.settle_steps = 12;
+  core::Rng rng(seed);
+  c.recs = data::SyntheticPdbbind(cfg).generate(rng);
+  const data::TrainValSplit split = data::pdbbind_train_val(c.recs, kValFraction, rng);
+  data::DatasetConfig train_dc;
+  train_dc.voxel.grid_dim = kGridDim;
+  train_dc.rotation_augment = rotation_augment_train;
+  data::DatasetConfig eval_dc;
+  eval_dc.voxel.grid_dim = kGridDim;
+  c.train = std::make_unique<data::ComplexDataset>(&c.recs, split.train, train_dc);
+  c.val = std::make_unique<data::ComplexDataset>(&c.recs, split.val, eval_dc);
+  c.core = std::make_unique<data::ComplexDataset>(
+      &c.recs, data::SyntheticPdbbind::core_indices(c.recs), eval_dc);
+  return c;
+}
+
+// ---- model builders (Table 2/3-shaped, scaled) ----
+inline models::SgcnnConfig bench_sgcnn_config() {
+  models::SgcnnConfig cfg;
+  cfg.covalent_k = 4;                 // Table 2: 6
+  cfg.noncovalent_k = 3;              // Table 2: 3
+  cfg.covalent_gather_width = 12;     // Table 2: 24
+  cfg.noncovalent_gather_width = 48;  // Table 2: 128
+  return cfg;
+}
+
+inline models::Cnn3dConfig bench_cnn3d_config() {
+  models::Cnn3dConfig cfg;
+  cfg.grid_dim = kGridDim;
+  cfg.conv_filters1 = 8;   // Table 3: 32
+  cfg.conv_filters2 = 16;  // Table 3: 64
+  cfg.dense_nodes = 32;    // Table 3: 128
+  cfg.residual2 = true;    // Table 3: T
+  return cfg;
+}
+
+inline models::FusionConfig bench_fusion_config(models::FusionKind kind) {
+  models::FusionConfig cfg;
+  cfg.kind = kind;
+  cfg.fusion_nodes = 24;
+  if (kind == models::FusionKind::Mid) {
+    // Table 4: 5 layers, model-specific layers on, residual fusion, SELU.
+    cfg.num_fusion_layers = 5;
+    cfg.model_specific_layers = true;
+    cfg.residual_fusion = true;
+    cfg.dropout1 = 0.251f;
+    cfg.dropout2 = 0.125f;
+    cfg.dropout3 = 0.0f;
+  } else {
+    // Table 5: 4 layers, simpler architecture, stronger dropout.
+    cfg.num_fusion_layers = 4;
+    cfg.model_specific_layers = false;
+    cfg.residual_fusion = false;
+    cfg.dropout1 = 0.386f;
+    cfg.dropout2 = 0.247f;
+    cfg.dropout3 = 0.055f;
+  }
+  return cfg;
+}
+
+// ---- table printing ----
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace df::bench

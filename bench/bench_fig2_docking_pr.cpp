@@ -1,0 +1,149 @@
+// Regenerates paper Figure 2 and the §3.4 docking-space comparison: core-set
+// complexes are re-docked with the ConveyorLC-equivalent pipeline, filtered
+// to poses with RMSD < 1 A of the crystal pose, and scored by Vina, MM/GBSA
+// and Coherent Fusion. Outputs: Pearson of each method against the
+// crystal-pose affinity (paper: .579 / .591 / .745) and a strong(pK>8) vs
+// weak(pK<6) precision/recall analysis with F1 (paper Fig. 2).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dock/conveyorlc.h"
+#include "io/csv.h"
+#include "stats/classification.h"
+#include "stats/metrics.h"
+
+using namespace df;
+using namespace df::bench;
+
+int main() {
+  print_header("Figure 2 / §3.4 — docking-space evaluation on the core set");
+
+  Corpus c = make_corpus(2019);
+  core::Rng rng(11);
+
+  // Train the Coherent Fusion scorer (scaled Table 2/3/5 recipe).
+  auto cnn = std::make_shared<models::Cnn3d>(bench_cnn3d_config(), rng);
+  auto sg = std::make_shared<models::Sgcnn>(bench_sgcnn_config(), rng);
+  models::TrainConfig tc;
+  tc.epochs = 10;
+  tc.lr = 2.66e-3f;
+  tc.batch_size = 16;
+  std::printf("training SG-CNN head...\n");
+  models::train_model(*sg, *c.train, *c.val, tc);
+  tc.epochs = 6;
+  tc.lr = 1e-4f;
+  tc.batch_size = 12;
+  std::printf("training 3D-CNN head...\n");
+  models::train_model(*cnn, *c.train, *c.val, tc);
+  models::FusionModel fusion(bench_fusion_config(models::FusionKind::Coherent), cnn, sg, rng);
+  std::printf("training Coherent Fusion...\n");
+  fusion.set_kind(models::FusionKind::Mid);
+  tc.epochs = 3;
+  tc.lr = 4e-4f;
+  models::train_model(fusion, *c.train, *c.val, tc);
+  fusion.set_kind(models::FusionKind::Coherent);
+  tc.epochs = 3;
+  tc.lr = 1.08e-4f;
+  models::train_model(fusion, *c.train, *c.val, tc);
+
+  // Re-dock each core complex; keep those with a pose within RMSD < 1 A of
+  // the crystal structure (the paper's filter: 197 -> RMSD-checked subset).
+  dock::PipelineConfig pcfg;
+  pcfg.docking.num_runs = 10;
+  pcfg.docking.steps_per_run = 120;
+  pcfg.docking.box_half = 2.5f;
+  pcfg.rescore_top_n = 1;
+  dock::DockingEngine engine(pcfg.docking);
+
+  data::DatasetConfig eval_dc;
+  eval_dc.voxel.grid_dim = kGridDim;
+  const chem::Voxelizer vox(eval_dc.voxel);
+  const chem::GraphFeaturizer feat(eval_dc.graph);
+
+  std::vector<float> truth, vina_pred, mmgbsa_pred, fusion_pred;
+  int docked_ok = 0, rmsd_pass = 0;
+  std::printf("docking %zu core complexes (RMSD<2A filter)...\n",
+              data::SyntheticPdbbind::core_indices(c.recs).size());
+  for (int idx : data::SyntheticPdbbind::core_indices(c.recs)) {
+    const data::ComplexRecord& rec = c.recs[static_cast<size_t>(idx)];
+    dock::DockingResult res = engine.dock(rec.ligand, rec.pocket, rec.site_center, rng);
+    if (res.conformers.empty()) continue;
+    ++docked_ok;
+    // Best-RMSD pose against the crystal geometry.
+    int best = -1;
+    float best_rmsd = 1e9f;
+    for (size_t i = 0; i < res.conformers.size(); ++i) {
+      const float r = chem::pose_rmsd(res.conformers[i], rec.ligand);
+      if (r < best_rmsd) {
+        best_rmsd = r;
+        best = static_cast<int>(i);
+      }
+    }
+    // No near-native pose found. The paper filters at 1 A; our shell
+    // pockets are near-symmetric so exact pose recovery is rarer — 2 A
+    // keeps the same "correct pose" semantics at our resolution.
+    if (best_rmsd >= 2.0f) continue;
+    ++rmsd_pass;
+    const chem::Molecule& pose = res.conformers[static_cast<size_t>(best)];
+    truth.push_back(rec.pk);
+    vina_pred.push_back(-res.poses[static_cast<size_t>(best)].score);  // negate: higher=better
+    mmgbsa_pred.push_back(-dock::mmgbsa_score(pose, rec.pocket, pcfg.mmgbsa));
+    data::Sample s;
+    s.voxel = vox.voxelize(pose, rec.pocket, rec.site_center);
+    s.graph = feat.featurize(pose, rec.pocket);
+    fusion_pred.push_back(fusion.predict(s));
+  }
+  std::printf("docked=%d, RMSD<2A=%d\n\n", docked_ok, rmsd_pass);
+  if (truth.size() < 8) {
+    std::printf("too few RMSD-passing complexes for analysis\n");
+    return 0;
+  }
+
+  print_header("Pearson R vs crystal affinity on docked poses (paper: .579/.591/.745)");
+  std::printf("%-18s %8s\n", "Method", "Pearson");
+  std::printf("%-18s %8.3f\n", "Vina", stats::pearson(vina_pred, truth));
+  std::printf("%-18s %8.3f\n", "MM/GBSA", stats::pearson(mmgbsa_pred, truth));
+  std::printf("%-18s %8.3f\n\n", "Coherent Fusion", stats::pearson(fusion_pred, truth));
+
+  // Figure 2: strong vs weak binder classification with the ambiguous
+  // middle excluded. The paper cuts at pK 8 / 6 on PDBbind's wide label
+  // range; our synthetic labels are more compressed, so the equivalent
+  // construction is the top vs bottom tercile of the docked subset.
+  std::vector<float> sorted_truth = truth;
+  std::sort(sorted_truth.begin(), sorted_truth.end());
+  const float weak_cut = sorted_truth[sorted_truth.size() / 3];
+  const float strong_cut = sorted_truth[sorted_truth.size() * 2 / 3];
+  std::vector<float> v2, m2, f2;
+  std::vector<bool> labels;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] > strong_cut || truth[i] < weak_cut) {
+      labels.push_back(truth[i] > strong_cut);
+      v2.push_back(vina_pred[i]);
+      m2.push_back(mmgbsa_pred[i]);
+      f2.push_back(fusion_pred[i]);
+    }
+  }
+  print_header("Figure 2 — strong vs weak docked-pose classification (terciles;"
+               " paper: pK>8 vs pK<6)");
+  std::printf("positives=%d negatives=%d (paper: 57 / 71)\n\n",
+              static_cast<int>(std::count(labels.begin(), labels.end(), true)),
+              static_cast<int>(std::count(labels.begin(), labels.end(), false)));
+  io::CsvWriter csv("fig2_pr_curves.csv", {"method", "threshold", "precision", "recall", "f1"});
+  struct M {
+    const char* name;
+    const std::vector<float>* s;
+  } methods[] = {{"Vina", &v2}, {"MM/GBSA", &m2}, {"Coherent Fusion", &f2}};
+  std::printf("%-18s %8s %8s\n", "Method", "best F1", "AP");
+  for (const M& m : methods) {
+    std::printf("%-18s %8.3f %8.3f\n", m.name, stats::best_f1(*m.s, labels),
+                stats::average_precision(*m.s, labels));
+    for (const stats::PRPoint& p : stats::pr_curve(*m.s, labels)) {
+      csv.row({m.name, std::to_string(p.threshold), std::to_string(p.precision),
+               std::to_string(p.recall), std::to_string(p.f1)});
+    }
+  }
+  std::printf("\nexpected shape: Fusion > MM/GBSA > Vina on both Pearson and F1\n"
+              "P/R curves written to fig2_pr_curves.csv\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates paper Figure 5: Coherent Fusion predicted binding affinity vs
+// experimental percent inhibition per target (Mpro assayed at 100 uM, spike
+// at 10 uM), excluding compounds with <=1% inhibition — the paper's filter.
+// Emits the scatter series to CSV and a text summary per target.
+#include <cstdio>
+
+#include "campaign_common.h"
+#include "io/csv.h"
+#include "stats/metrics.h"
+
+using namespace df;
+using namespace df::bench;
+
+int main() {
+  print_header("Figure 5 — predicted pK vs experimental % inhibition by target");
+
+  Corpus c = make_corpus(2019);
+  core::Rng rng(13);
+  std::printf("training Coherent Fusion scorer...\n");
+  FusionBundle fusion = train_coherent_fusion(c, rng);
+
+  std::printf("screening 28 compounds against the 4 SARS-CoV-2 sites...\n\n");
+  std::vector<data::Target> targets;
+  const screen::CampaignReport report = run_sarscov2_campaign(fusion, 28, 33, &targets);
+
+  io::CsvWriter csv("fig5_scatter.csv",
+                    {"target", "compound", "predicted_pk", "percent_inhibition",
+                     "assay_concentration_uM"});
+  std::printf("%-11s %6s %9s %11s %12s  (points with >1%% inhibition)\n", "target", "n",
+              "mean pK", "mean inh%", "conc (uM)");
+  print_rule(56);
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
+    int n = 0;
+    double pk_sum = 0, inh_sum = 0;
+    for (const auto& r : report.results) {
+      if (static_cast<size_t>(r.target_index) != ti) continue;
+      if (r.percent_inhibition <= 1.0f) continue;  // paper excludes non-binders
+      ++n;
+      pk_sum += r.fusion_pk;
+      inh_sum += r.percent_inhibition;
+      csv.row({targets[ti].name, r.compound_id, std::to_string(r.fusion_pk),
+               std::to_string(r.percent_inhibition),
+               std::to_string(targets[ti].assay_concentration_uM)});
+    }
+    std::printf("%-11s %6d %9.2f %10.1f%% %12.0f\n", targets[ti].name.c_str(), n,
+                n ? pk_sum / n : 0.0, n ? inh_sum / n : 0.0,
+                targets[ti].assay_concentration_uM);
+  }
+  print_rule(56);
+  std::printf("paper Fig. 5: 130 (protease1) / 81 (protease2) / 151 (spike1) / 113 (spike2)\n"
+              "points; Mpro at 100 uM shows higher inhibition for weaker binders than\n"
+              "spike at 10 uM. scatter series written to fig5_scatter.csv\n");
+  std::printf("\ncampaign stats: %d poses, %d jobs (%d failed+retried), %d compounds rejected\n",
+              report.poses_generated, report.jobs_run, report.jobs_failed,
+              report.compounds_rejected);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Regenerates the paper's hyper-parameter optimization artifacts:
+//   Table 1 — the search spaces offered to PB2 (printed verbatim from the
+//             machine-readable SearchSpace definitions);
+//   Tables 2/5 — final optimized configurations from an actual PB2 run over
+//             the SG-CNN and Fusion spaces (population and interval counts
+//             scaled down from the paper's 90-270 trials).
+// The SG-CNN optimization trains real models; the fusion-space demo
+// optimizes a synthetic response surface to keep the bench fast while still
+// exercising exploit/explore and the time-varying GP.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "hpo/pb2.h"
+
+using namespace df;
+using namespace df::bench;
+
+namespace {
+
+void print_space(const char* title, const hpo::SearchSpace& space) {
+  std::printf("%s\n", title);
+  for (const hpo::ParamSpec& s : space.specs()) {
+    switch (s.type) {
+      case hpo::ParamType::Continuous:
+        std::printf("  %-24s uniform [%g, %g]\n", s.name.c_str(), s.lo, s.hi);
+        break;
+      case hpo::ParamType::LogContinuous:
+        std::printf("  %-24s log-uniform [%g, %g]\n", s.name.c_str(), s.lo, s.hi);
+        break;
+      case hpo::ParamType::Categorical: {
+        std::printf("  %-24s {", s.name.c_str());
+        for (size_t i = 0; i < s.choices.size(); ++i) {
+          std::printf("%s%g", i ? "," : "", s.choices[i]);
+        }
+        std::printf("}\n");
+        break;
+      }
+      case hpo::ParamType::Boolean:
+        std::printf("  %-24s T/F\n", s.name.c_str());
+        break;
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 1 — hyper-parameter search spaces (PB2 inputs)");
+  print_space("SG-CNN space:", hpo::sgcnn_search_space());
+  print_space("3D-CNN space:", hpo::cnn3d_search_space());
+  print_space("Fusion space:", hpo::fusion_search_space());
+
+  // ---- real PB2 over the SG-CNN space (Table 2 analogue) ----
+  print_header("Table 2 analogue — PB2 over the SG-CNN space (real training)");
+  Corpus c = make_corpus(2019, /*n=*/160, /*core=*/16);
+  hpo::Pb2Config pcfg;
+  pcfg.population = 6;  // paper: 90
+  pcfg.seed = 29;
+  hpo::SearchSpace space;
+  // Restricted SG-CNN space for the live run (full space printed above).
+  space.add_log_continuous("lr", 5e-4, 1e-2);
+  space.add_categorical("batch_size", {8, 16});
+  space.add_categorical("cov_k", {2, 3, 4});
+  space.add_categorical("noncov_k", {2, 3, 4});
+  space.add_categorical("noncov_gather_width", {24, 48});
+  hpo::Pb2 pb2(space, pcfg);
+  std::vector<hpo::HpoConfig> pop = pb2.initial_population();
+
+  // Persistent trial models so PB2 exploitation can clone weights.
+  std::vector<std::unique_ptr<models::Sgcnn>> trials(pop.size());
+  auto build = [&](const hpo::HpoConfig& cfg, uint64_t seed) {
+    models::SgcnnConfig mc = bench_sgcnn_config();
+    mc.covalent_k = static_cast<int>(cfg.at("cov_k"));
+    mc.noncovalent_k = static_cast<int>(cfg.at("noncov_k"));
+    mc.noncovalent_gather_width = static_cast<int>(cfg.at("noncov_gather_width"));
+    core::Rng mrng(seed);
+    return std::make_unique<models::Sgcnn>(mc, mrng);
+  };
+  for (size_t i = 0; i < pop.size(); ++i) trials[i] = build(pop[i], 100 + i);
+
+  const int intervals = 3;       // paper: many t_ready=100-epoch intervals
+  const int epochs_per_interval = 2;
+  for (int interval = 0; interval < intervals; ++interval) {
+    std::vector<float> scores;
+    for (size_t i = 0; i < pop.size(); ++i) {
+      models::TrainConfig tc;
+      tc.epochs = epochs_per_interval;
+      tc.lr = static_cast<float>(pop[i].at("lr"));
+      tc.batch_size = static_cast<int>(pop[i].at("batch_size"));
+      const models::TrainResult res = models::train_model(*trials[i], *c.train, *c.val, tc);
+      scores.push_back(res.epochs.back().val_mse);
+    }
+    const auto directives = pb2.report(scores);
+    std::printf("interval %d: ", interval + 1);
+    for (float s : scores) std::printf("%.3f ", s);
+    std::printf("\n");
+    for (size_t i = 0; i < pop.size(); ++i) {
+      pop[i] = directives[i].config;
+      if (directives[i].clone_weights_from) {
+        const size_t donor = static_cast<size_t>(*directives[i].clone_weights_from);
+        // Architecture params may have changed: rebuild, then copy weights
+        // only when the structure still matches (Ray Tune restores a
+        // checkpoint the same way).
+        auto rebuilt = build(pop[i], 200 + i);
+        if (rebuilt->num_parameters() == trials[donor]->num_parameters()) {
+          models::copy_parameters(*rebuilt, *trials[donor]);
+        }
+        trials[i] = std::move(rebuilt);
+      }
+    }
+  }
+  std::printf("\nbest validation MSE: %.4f\nfinal SG-CNN hyper-parameters (Table 2 analogue):\n",
+              pb2.best_score());
+  for (const auto& [k, v] : pb2.best_config()) std::printf("  %-24s %g\n", k.c_str(), v);
+
+  // ---- PB2 over the full fusion space on a synthetic response (fast) ----
+  print_header("Table 5 analogue — PB2 over the Fusion space (synthetic response)");
+  hpo::Pb2Config fcfg;
+  fcfg.population = 12;  // paper: 270
+  fcfg.seed = 31;
+  hpo::Pb2 fpb2(hpo::fusion_search_space(), fcfg);
+  std::vector<hpo::HpoConfig> fpop = fpb2.initial_population();
+  // Synthetic response encoding the paper's converged preferences: lower
+  // loss for pre-trained heads, ~4 fusion layers, moderate dropout, lr near
+  // 1e-4 (Table 5).
+  auto response = [](const hpo::HpoConfig& cfg) {
+    const double lr_term = std::pow(std::log10(cfg.at("lr")) + 4.0, 2.0);  // optimum 1e-4
+    const double layer_term = std::pow(cfg.at("num_fusion_layers") - 4.0, 2.0);
+    const double pre_term = cfg.at("pre_trained") > 0.5 ? 0.0 : 0.8;
+    const double drop_term = std::pow(cfg.at("dropout1") - 0.39, 2.0) * 4.0;
+    return static_cast<float>(0.5 + 0.3 * lr_term + 0.2 * layer_term + pre_term + drop_term);
+  };
+  for (int interval = 0; interval < 10; ++interval) {
+    std::vector<float> scores;
+    for (const auto& cfgv : fpop) scores.push_back(response(cfgv));
+    const auto directives = fpb2.report(scores);
+    for (size_t i = 0; i < fpop.size(); ++i) fpop[i] = directives[i].config;
+  }
+  std::printf("converged fusion configuration (paper Table 5 shape: pre-trained=T,\n"
+              "4 fusion layers, dropout1~0.39, lr~1e-4):\n");
+  for (const auto& [k, v] : fpb2.best_config()) std::printf("  %-24s %g\n", k.c_str(), v);
+  std::printf("\nbest synthetic loss: %.4f\n", fpb2.best_score());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Regenerates the paper's §4.1/§4.2 cost comparison: per-pose scoring cost
+// of Vina docking, MM/GBSA rescoring and Fusion inference. The paper
+// reports Fusion as 2.7x faster than Vina docking and 403x faster than
+// MM/GBSA per pose; the *ordering and orders-of-magnitude* are the
+// reproducible claim (absolute times differ on a CPU-only build).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "dock/conveyorlc.h"
+
+namespace {
+
+using namespace df;
+using namespace df::bench;
+
+struct Fixture {
+  std::vector<chem::Atom> pocket;
+  chem::Molecule ligand;
+  std::unique_ptr<models::Sgcnn> sg;
+  std::unique_ptr<models::Cnn3d> cnn;
+  chem::Voxelizer vox;
+  chem::GraphFeaturizer feat;
+
+  Fixture() : vox([] {
+      chem::VoxelConfig vc;
+      vc.grid_dim = kGridDim;
+      return vc;
+    }()) {
+    core::Rng rng(3);
+    pocket = data::make_pocket({5.5f, 64, 0.7f, 0.5f, 0.1f}, rng);
+    ligand = chem::generate_molecule({}, rng);
+    chem::embed_conformer(ligand, rng);
+    ligand.translate(core::Vec3{} - ligand.centroid());
+    sg = std::make_unique<models::Sgcnn>(bench_sgcnn_config(), rng);
+    cnn = std::make_unique<models::Cnn3d>(bench_cnn3d_config(), rng);
+    sg->set_training(false);
+    cnn->set_training(false);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// One Vina MC docking run amortized per pose evaluated (the paper's
+/// "docking" cost is the full 8-run MC search per compound).
+void BM_VinaDockingPerCompound(benchmark::State& state) {
+  Fixture& f = fixture();
+  core::Rng rng(4);
+  dock::DockingConfig cfg;
+  cfg.num_runs = 8;
+  cfg.steps_per_run = 100;
+  dock::DockingEngine engine(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.dock(f.ligand, f.pocket, {}, rng));
+  }
+}
+BENCHMARK(BM_VinaDockingPerCompound)->Unit(benchmark::kMillisecond);
+
+void BM_VinaScoreSinglePose(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dock::vina_score(f.ligand, f.pocket));
+  }
+}
+BENCHMARK(BM_VinaScoreSinglePose)->Unit(benchmark::kMicrosecond);
+
+void BM_MmGbsaRescoreSinglePose(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dock::mmgbsa_score(f.ligand, f.pocket));
+  }
+}
+BENCHMARK(BM_MmGbsaRescoreSinglePose)->Unit(benchmark::kMillisecond);
+
+void BM_FusionScoreSinglePose(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    data::Sample s;
+    s.voxel = f.vox.voxelize(f.ligand, f.pocket, {});
+    s.graph = f.feat.featurize(f.ligand, f.pocket);
+    // Late-fusion style scoring: both heads, averaged (featurization
+    // included — it is the dominant cost, as §4.3 observes).
+    benchmark::DoNotOptimize(0.5f * (f.sg->predict(s) + f.cnn->predict(s)));
+  }
+}
+BENCHMARK(BM_FusionScoreSinglePose)->Unit(benchmark::kMillisecond);
+
+void BM_FeaturizeVoxelOnly(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.vox.voxelize(f.ligand, f.pocket, {}));
+  }
+}
+BENCHMARK(BM_FeaturizeVoxelOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_FeaturizeGraphOnly(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.feat.featurize(f.ligand, f.pocket));
+  }
+}
+BENCHMARK(BM_FeaturizeGraphOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

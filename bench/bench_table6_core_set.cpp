@@ -1,0 +1,134 @@
+// Regenerates paper Table 6: performance of Pafnucy, Mid-level Fusion,
+// Late Fusion, Coherent Fusion and KDeep on the held-out PDBbind core set
+// (RMSE / MAE / R^2 / Pearson / Spearman). The expected *shape*: fusion
+// models beat individual 3D-CNNs, and Coherent Fusion edges out Late and
+// Mid-level Fusion on RMSE/MAE.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "io/csv.h"
+#include "models/baselines.h"
+#include "stats/metrics.h"
+
+namespace {
+
+using namespace df;
+using namespace df::bench;
+
+struct Row {
+  std::string name;
+  float rmse, mae, r2, pearson, spearman;
+};
+
+Row eval_row(const std::string& name, models::Regressor& model,
+             const data::ComplexDataset& core) {
+  const std::vector<float> preds = models::evaluate(model, core);
+  const std::vector<float> labels = models::labels_of(core);
+  return {name, stats::rmse(preds, labels), stats::mae(preds, labels),
+          stats::r_squared(preds, labels), stats::pearson(preds, labels),
+          stats::spearman(preds, labels)};
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 6 — Fusion models on the PDBbind core set (synthetic substitute)");
+  std::printf("corpus=%d complexes, core=%d, voxel grid=%d^3 (DESIGN.md scaled sizes)\n\n",
+              kCorpusSize, kCoreSize, kGridDim);
+
+  Corpus c = make_corpus(2019);
+  core::Rng rng(7);
+
+  models::TrainConfig head_tc;
+  head_tc.batch_size = 12;
+  head_tc.grad_clip = 5.0f;
+
+  // --- individual heads (Table 2/3 configurations, scaled) ---
+  auto sg = std::make_shared<models::Sgcnn>(bench_sgcnn_config(), rng);
+  head_tc.epochs = 12;     // Table 2: 213 epochs
+  head_tc.lr = 2.66e-3f;   // Table 2
+  head_tc.batch_size = 16;
+  std::printf("training SG-CNN (%lld params)...\n",
+              static_cast<long long>(sg->num_parameters()));
+  models::train_model(*sg, *c.train, *c.val, head_tc);
+
+  auto cnn = std::make_shared<models::Cnn3d>(bench_cnn3d_config(), rng);
+  head_tc.epochs = 6;      // Table 3: 75 epochs
+  head_tc.lr = 1e-4f;      // Table 3 value (4.9e-5) scaled for the tiny model
+  head_tc.batch_size = 12;
+  std::printf("training 3D-CNN (%lld params)...\n",
+              static_cast<long long>(cnn->num_parameters()));
+  models::train_model(*cnn, *c.train, *c.val, head_tc);
+
+  // --- baselines ---
+  const chem::VoxelConfig vc;  // channels only; grid from bench config
+  auto pafnucy = models::make_pafnucy(vc.channels(), kGridDim, rng);
+  models::TrainConfig base_tc = head_tc;
+  base_tc.epochs = 6;
+  base_tc.lr = 1e-4f;
+  std::printf("training Pafnucy baseline...\n");
+  models::train_model(*pafnucy, *c.train, *c.val, base_tc);
+  auto kdeep = models::make_kdeep(vc.channels(), kGridDim, rng);
+  std::printf("training KDeep baseline...\n");
+  models::train_model(*kdeep, *c.train, *c.val, base_tc);
+
+  // --- fusion variants over the trained heads ---
+  models::LateFusion late(cnn, sg);
+
+  models::TrainConfig fuse_tc;
+  fuse_tc.batch_size = 1;  // Table 4: batch size 1
+  fuse_tc.epochs = 4;      // Table 4: 64 epochs
+  fuse_tc.lr = 4.03e-4f;   // Table 4
+  models::FusionModel mid(bench_fusion_config(models::FusionKind::Mid), cnn, sg, rng);
+  std::printf("training Mid-level Fusion...\n");
+  models::train_model(mid, *c.train, *c.val, fuse_tc);
+
+  fuse_tc.batch_size = 12;  // Table 5: 48
+  fuse_tc.epochs = 3;       // Table 5: 18
+  fuse_tc.lr = 1.08e-4f;    // Table 5
+  // Coherent Fusion fine-tunes its heads (joint backprop), so it gets its
+  // own copies of the pre-trained weights — Table 5's "Pre-trained T" —
+  // leaving the heads used by Late/Mid/individual rows untouched.
+  auto cnn_copy = std::make_shared<models::Cnn3d>(bench_cnn3d_config(), rng);
+  auto sg_copy = std::make_shared<models::Sgcnn>(bench_sgcnn_config(), rng);
+  models::copy_parameters(*cnn_copy, *cnn);
+  models::copy_parameters(*sg_copy, *sg);
+  models::FusionModel coherent(bench_fusion_config(models::FusionKind::Coherent), cnn_copy,
+                               sg_copy, rng);
+  std::printf("training Coherent Fusion (pre-trained heads, joint backprop)...\n\n");
+  // Warm up the fusion trunk with frozen heads, then backpropagate
+  // coherently (the paper's PB2 made the same choice via "Pre-trained T").
+  coherent.set_kind(models::FusionKind::Mid);
+  models::TrainConfig warm_tc = fuse_tc;
+  warm_tc.epochs = 3;
+  warm_tc.lr = 4e-4f;
+  models::train_model(coherent, *c.train, *c.val, warm_tc);
+  coherent.set_kind(models::FusionKind::Coherent);
+  models::train_model(coherent, *c.train, *c.val, fuse_tc);
+
+  std::vector<Row> rows;
+  rows.push_back(eval_row("Pafnucy", *pafnucy, *c.core));
+  rows.push_back(eval_row("Mid-level Fusion", mid, *c.core));
+  rows.push_back(eval_row("Late Fusion", late, *c.core));
+  rows.push_back(eval_row("Coherent Fusion", coherent, *c.core));
+  rows.push_back(eval_row("KDeep", *kdeep, *c.core));
+  rows.push_back(eval_row("SG-CNN (individual)", *sg, *c.core));
+  rows.push_back(eval_row("3D-CNN (individual)", *cnn, *c.core));
+
+  std::printf("%-22s %7s %7s %7s %9s %10s\n", "Model", "RMSE", "MAE", "R2", "PearsonR",
+              "SpearmanR");
+  print_rule();
+  io::CsvWriter csv("table6_core_set.csv", {"model", "rmse", "mae", "r2", "pearson", "spearman"});
+  for (const Row& r : rows) {
+    std::printf("%-22s %7.3f %7.3f %7.3f %9.3f %10.3f\n", r.name.c_str(), r.rmse, r.mae, r.r2,
+                r.pearson, r.spearman);
+    csv.row({r.name, std::to_string(r.rmse), std::to_string(r.mae), std::to_string(r.r2),
+             std::to_string(r.pearson), std::to_string(r.spearman)});
+  }
+  print_rule();
+  std::printf("paper reference (crystal structures): Pafnucy 1.42/1.13, Mid 1.38/1.10,\n"
+              "Late 1.33/1.07, Coherent 1.30/1.05, KDeep 1.27 (RMSE/MAE)\n"
+              "expected shape: fusion < individual heads; Coherent <= Late <= Mid on RMSE\n"
+              "results also written to table6_core_set.csv\n");
+  return 0;
+}

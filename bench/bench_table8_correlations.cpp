@@ -1,0 +1,65 @@
+// Regenerates paper Table 8: Pearson/Spearman correlation of each scoring
+// method (Vina, AMPL MM/GBSA, Coherent Fusion) with experimental percent
+// inhibition, per target, restricted to compounds with >1% inhibition.
+// Paper shape: all correlations are LOW (|r| < ~0.3) and the best method
+// varies by target.
+#include <cmath>
+#include <cstdio>
+
+#include "campaign_common.h"
+#include "io/csv.h"
+#include "stats/metrics.h"
+
+using namespace df;
+using namespace df::bench;
+
+int main() {
+  print_header("Table 8 — correlation with % inhibition on >1% inhibiting compounds");
+
+  Corpus c = make_corpus(2019);
+  core::Rng rng(17);
+  std::printf("training Coherent Fusion scorer...\n");
+  FusionBundle fusion = train_coherent_fusion(c, rng);
+  std::printf("screening 48 compounds against the 4 SARS-CoV-2 sites...\n\n");
+  std::vector<data::Target> targets;
+  const screen::CampaignReport report = run_sarscov2_campaign(fusion, 48, 47, &targets);
+
+  io::CsvWriter csv("table8_correlations.csv",
+                    {"method", "target", "pearson", "spearman", "n"});
+  std::printf("%-16s %-12s %9s %10s %4s\n", "Method", "Target/Site", "PearsonR", "SpearmanR",
+              "n");
+  print_rule(56);
+  const char* methods[] = {"Vina", "AMPL MM/GBSA", "Coherent Fusion"};
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
+    std::vector<float> inh, vina, ampl, fus;
+    for (const auto& r : report.results) {
+      if (static_cast<size_t>(r.target_index) != ti) continue;
+      if (r.percent_inhibition <= 1.0f) continue;  // the paper's >1% filter
+      inh.push_back(r.percent_inhibition);
+      // Paper: absolute value of Vina / MM-GBSA scores used, so that for
+      // every method larger = stronger predicted binding.
+      vina.push_back(std::fabs(r.vina_score));
+      ampl.push_back(std::fabs(r.ampl_mmgbsa_score));
+      fus.push_back(r.fusion_pk);
+    }
+    if (inh.size() < 3) {
+      std::printf("%-16s %-12s %9s %10s %4zu (too few binders)\n", "-",
+                  targets[ti].name.c_str(), "-", "-", inh.size());
+      continue;
+    }
+    const std::vector<float>* scores[] = {&vina, &ampl, &fus};
+    for (int m = 0; m < 3; ++m) {
+      const float p = stats::pearson(*scores[m], inh);
+      const float s = stats::spearman(*scores[m], inh);
+      std::printf("%-16s %-12s %9.2f %10.2f %4zu\n", methods[m], targets[ti].name.c_str(), p, s,
+                  inh.size());
+      csv.row({methods[m], targets[ti].name, std::to_string(p), std::to_string(s),
+               std::to_string(inh.size())});
+    }
+  }
+  print_rule(56);
+  std::printf("paper Table 8: all |r| < 0.31; best method varies by target\n"
+              "(AMPL MM/GBSA on protease1, Coherent Fusion on protease2+spike1,\n"
+              "Vina on spike2). written to table8_correlations.csv\n");
+  return 0;
+}

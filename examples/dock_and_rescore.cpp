@@ -1,0 +1,58 @@
+// Domain example: the physics side of the pipeline — prepare a ligand from
+// SMILES, dock it into an Mpro-like pocket with the ConveyorLC-equivalent
+// stages, rescore the best poses with MM/GBSA, and compare the three energy
+// models (Vina, MM/GBSA, score->pK conversion) on the same poses.
+//
+// Build & run:  ./build/examples/dock_and_rescore
+#include <cstdio>
+
+#include "data/target.h"
+#include "chem/smiles.h"
+#include "dock/conveyorlc.h"
+
+using namespace df;
+
+int main() {
+  core::Rng rng(3);
+
+  // CDT1Receptor: the protease1-like site.
+  const data::Target target = data::make_target(data::TargetKind::Protease1, rng);
+  const dock::ReceptorModel receptor = dock::ConveyorLC::prepare_receptor(target.pocket);
+  std::printf("receptor: %s, %zu pocket atoms\n", target.name.c_str(), target.pocket.size());
+
+  // CDT2Ligand: an aspirin-like input with a salt, straight from SMILES.
+  const chem::Molecule raw = chem::parse_smiles("CC(=O)Oc1ccccc1C(=O)O.Cl");
+  std::printf("ligand: %zu atoms as drawn (incl. counter-ion)\n", raw.num_atoms());
+
+  dock::PipelineConfig cfg;
+  cfg.docking.num_runs = 8;        // the paper's 8 MC simulations
+  cfg.docking.steps_per_run = 120;
+  cfg.docking.max_poses = 5;
+  cfg.rescore_top_n = 3;
+  dock::ConveyorLC pipeline(cfg);
+
+  const auto result = pipeline.run(raw, receptor, rng);
+  if (!result) {
+    std::printf("ligand rejected by preparation\n");
+    return 1;
+  }
+  std::printf("prepared: %zu atoms, MW=%.1f, logP=%.2f, TPSA=%.1f, rotors=%d, charge=%+d\n\n",
+              result->ligand.mol.num_atoms(), result->ligand.descriptors.molecular_weight,
+              result->ligand.descriptors.logp, result->ligand.descriptors.tpsa,
+              result->ligand.descriptors.rotatable_bonds, result->ligand.descriptors.formal_charge);
+
+  std::printf("%-6s %12s %14s %12s\n", "pose", "Vina score", "MM/GBSA", "Vina->pK");
+  for (size_t i = 0; i < result->poses.size(); ++i) {
+    const float vina = result->poses[i].score;
+    std::printf("%-6zu %12.3f %14s %12.2f\n", i, vina,
+                i < result->mmgbsa_scores.size()
+                    ? std::to_string(result->mmgbsa_scores[i]).substr(0, 8).c_str()
+                    : "(not rescored)",
+                dock::score_to_pk(vina));
+  }
+  std::printf("\nstage timings: ligand prep %.3fs, docking %.3fs, MM/GBSA %.3fs\n",
+              result->ligand_prep_seconds, result->docking_seconds, result->mmgbsa_seconds);
+  std::printf("(note the MM/GBSA-vs-docking cost ratio — the reason the paper rescores\n"
+              "only the top poses, and the opening Fusion exploits)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "chem/conformer.h"
+
+#include <cmath>
+#include <queue>
+
+namespace df::chem {
+
+namespace {
+float ideal_length(const Molecule& mol, const Bond& b) {
+  const float r = element_info(mol.atoms()[static_cast<size_t>(b.a)].element).covalent_radius +
+                  element_info(mol.atoms()[static_cast<size_t>(b.b)].element).covalent_radius;
+  // Double/triple bonds contract slightly.
+  return r * (b.order == 1 ? 1.0f : (b.order == 2 ? 0.87f : 0.78f));
+}
+}  // namespace
+
+void embed_conformer(Molecule& mol, core::Rng& rng, const ConformerConfig& cfg) {
+  if (mol.num_atoms() == 0) return;
+  std::vector<bool> placed(mol.num_atoms(), false);
+
+  // BFS placement per connected component.
+  for (size_t root = 0; root < mol.num_atoms(); ++root) {
+    if (placed[root]) continue;
+    mol.atoms()[root].pos = Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (root > 0) {
+      // Offset disconnected fragments so they don't overlap the main one.
+      mol.atoms()[root].pos += Vec3{6.0f, 0, 0};
+    }
+    placed[root] = true;
+    std::queue<int32_t> q;
+    q.push(static_cast<int32_t>(root));
+    while (!q.empty()) {
+      const int32_t v = q.front();
+      q.pop();
+      for (int32_t u : mol.neighbors(v)) {
+        if (placed[static_cast<size_t>(u)]) continue;
+        // Place along a random direction at the ideal bond length.
+        Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+        dir = dir.normalized();
+        float len = 1.5f;
+        for (const Bond& b : mol.bonds()) {
+          if ((b.a == v && b.b == u) || (b.a == u && b.b == v)) {
+            len = ideal_length(mol, b);
+            break;
+          }
+        }
+        mol.atoms()[static_cast<size_t>(u)].pos = mol.atoms()[static_cast<size_t>(v)].pos + dir * len;
+        placed[static_cast<size_t>(u)] = true;
+        q.push(u);
+      }
+    }
+  }
+  relax_conformer(mol, cfg);
+}
+
+float mm_energy(const Molecule& mol, const ConformerConfig& cfg) {
+  double e = 0.0;
+  for (const Bond& b : mol.bonds()) {
+    const float d = mol.atoms()[static_cast<size_t>(b.a)].pos.dist(
+        mol.atoms()[static_cast<size_t>(b.b)].pos);
+    const float dev = d - ideal_length(mol, b);
+    e += 0.5 * cfg.bond_k * dev * dev;
+  }
+  const size_t n = mol.num_atoms();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const float d = mol.atoms()[i].pos.dist(mol.atoms()[j].pos);
+      if (d < cfg.repulsion_cutoff) {
+        const float pen = cfg.repulsion_cutoff - d;
+        e += 0.5 * cfg.repulsion_k * pen * pen;
+      }
+    }
+  }
+  return static_cast<float>(e);
+}
+
+float relax_conformer(Molecule& mol, const ConformerConfig& cfg) {
+  const size_t n = mol.num_atoms();
+  if (n == 0) return 0.0f;
+  std::vector<Vec3> grad(n);
+  for (int it = 0; it < cfg.relax_iterations; ++it) {
+    for (Vec3& g : grad) g = Vec3{};
+    for (const Bond& b : mol.bonds()) {
+      Vec3& pa = mol.atoms()[static_cast<size_t>(b.a)].pos;
+      Vec3& pb = mol.atoms()[static_cast<size_t>(b.b)].pos;
+      const Vec3 d = pb - pa;
+      const float dist = std::max(1e-4f, d.norm());
+      const float f = cfg.bond_k * (dist - ideal_length(mol, b)) / dist;
+      grad[static_cast<size_t>(b.a)] -= d * f;
+      grad[static_cast<size_t>(b.b)] += d * f;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const Vec3 d = mol.atoms()[j].pos - mol.atoms()[i].pos;
+        const float dist = std::max(1e-4f, d.norm());
+        if (dist < cfg.repulsion_cutoff) {
+          const float f = -cfg.repulsion_k * (cfg.repulsion_cutoff - dist) / dist;
+          grad[i] -= d * f;
+          grad[j] += d * f;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      // Gradient descent: x -= step * dE/dx. `grad` above accumulates dE/dx
+      // directly (force = -grad).
+      mol.atoms()[i].pos -= grad[i] * cfg.step_size;
+    }
+  }
+  return mm_energy(mol, cfg);
+}
+
+}  // namespace df::chem

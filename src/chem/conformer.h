@@ -1,0 +1,31 @@
+// 3-D conformer embedding — the stand-in for MOE's "generate 3D structures
+// and energetically minimize" step. BFS placement at ideal bond lengths
+// followed by steepest-descent relaxation of a simple molecular-mechanics
+// energy (bond springs + nonbonded soft repulsion).
+#pragma once
+
+#include "chem/molecule.h"
+#include "core/rng.h"
+
+namespace df::chem {
+
+struct ConformerConfig {
+  int relax_iterations = 120;
+  float step_size = 0.05f;         // Angstrom per gradient unit
+  float bond_k = 4.0f;             // spring constant
+  float repulsion_k = 1.5f;        // nonbonded clash penalty
+  float repulsion_cutoff = 2.6f;   // Angstrom
+};
+
+/// Assign coordinates in-place. Deterministic given `rng` state.
+void embed_conformer(Molecule& mol, core::Rng& rng, const ConformerConfig& cfg = {});
+
+/// Relax an already-embedded conformer (the "energy minimization" step,
+/// also used by MM/GBSA rescoring as its local optimization).
+/// Returns the final MM energy.
+float relax_conformer(Molecule& mol, const ConformerConfig& cfg = {});
+
+/// MM energy of the current conformation (bond + clash terms).
+float mm_energy(const Molecule& mol, const ConformerConfig& cfg = {});
+
+}  // namespace df::chem

@@ -1,0 +1,36 @@
+#include "chem/elements.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace df::chem {
+
+namespace {
+// Radii: Cordero covalent / Bondi vdw (rounded); valences are the organic
+// defaults the SMILES parser and generator enforce.
+constexpr std::array<ElementInfo, kNumElements> kTable = {{
+    /* H  */ {"H", 0.31f, 1.20f, 2.20f, 1, 1.008f, false, false, false},
+    /* C  */ {"C", 0.76f, 1.70f, 2.55f, 4, 12.011f, true, false, false},
+    /* N  */ {"N", 0.71f, 1.55f, 3.04f, 3, 14.007f, false, true, true},
+    /* O  */ {"O", 0.66f, 1.52f, 3.44f, 2, 15.999f, false, true, true},
+    /* F  */ {"F", 0.57f, 1.47f, 3.98f, 1, 18.998f, true, false, true},
+    /* P  */ {"P", 1.07f, 1.80f, 2.19f, 5, 30.974f, false, false, false},
+    /* S  */ {"S", 1.05f, 1.80f, 2.58f, 2, 32.06f, false, true, false},
+    /* Cl */ {"Cl", 1.02f, 1.75f, 3.16f, 1, 35.45f, true, false, false},
+    /* Br */ {"Br", 1.20f, 1.85f, 2.96f, 1, 79.904f, true, false, false},
+    /* I  */ {"I", 1.39f, 1.98f, 2.66f, 1, 126.904f, true, false, false},
+    /* M  */ {"M", 1.50f, 2.00f, 1.60f, 6, 55.845f, false, false, false},
+}};
+}  // namespace
+
+const ElementInfo& element_info(Element e) { return kTable[static_cast<size_t>(e)]; }
+
+Element element_from_symbol(std::string_view s) {
+  for (int i = 0; i < kNumElements; ++i) {
+    if (kTable[static_cast<size_t>(i)].symbol == s) return static_cast<Element>(i);
+  }
+  throw std::invalid_argument("unknown element symbol: " + std::string(s));
+}
+
+}  // namespace df::chem

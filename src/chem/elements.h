@@ -1,0 +1,31 @@
+// Periodic-table slice used by the featurizers and the docking scorer.
+// Covers the organic subset that dominates drug-like chemistry plus a
+// catch-all metal marker (MOE-style ligand prep removes metal compounds).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace df::chem {
+
+enum class Element : uint8_t { H, C, N, O, F, P, S, Cl, Br, I, Metal, Count };
+
+struct ElementInfo {
+  std::string_view symbol;
+  float covalent_radius;  // Angstrom
+  float vdw_radius;       // Angstrom
+  float electronegativity;
+  int max_valence;
+  float mass;  // Dalton
+  bool hydrophobic;       // carbon/halogen-like apolar
+  bool hbond_donor_heavy; // can carry a donatable H (N, O, S)
+  bool hbond_acceptor;    // lone-pair acceptor (N, O)
+};
+
+const ElementInfo& element_info(Element e);
+Element element_from_symbol(std::string_view s);
+/// Index used for one-hot featurization; Metal maps to the last slot.
+inline int element_index(Element e) { return static_cast<int>(e); }
+inline constexpr int kNumElements = static_cast<int>(Element::Count);
+
+}  // namespace df::chem

@@ -1,0 +1,90 @@
+#include "chem/graph_featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace df::chem {
+
+namespace {
+void fill_node_features(core::Tensor& feats, int64_t row, const Atom& a, int degree,
+                        bool is_ligand) {
+  feats.at(row, element_index(a.element)) = 1.0f;
+  int64_t off = kNumElements;
+  feats.at(row, off + 0) = static_cast<float>(degree) / 4.0f;
+  feats.at(row, off + 1) = a.aromatic ? 1.0f : 0.0f;
+  feats.at(row, off + 2) = static_cast<float>(a.formal_charge);
+  const ElementInfo& info = element_info(a.element);
+  feats.at(row, off + 3) = info.hydrophobic ? 1.0f : 0.0f;
+  feats.at(row, off + 4) = (info.hbond_donor_heavy && a.implicit_h > 0) ? 1.0f : 0.0f;
+  feats.at(row, off + 5) = info.hbond_acceptor ? 1.0f : 0.0f;
+  feats.at(row, off + 6) = is_ligand ? 1.0f : 0.0f;
+}
+}  // namespace
+
+graph::SpatialGraph GraphFeaturizer::featurize(const Molecule& ligand,
+                                               const std::vector<Atom>& pocket) const {
+  graph::SpatialGraph g;
+  const int64_t nl = static_cast<int64_t>(ligand.num_atoms());
+
+  // Select the pocket atoms nearest to the ligand centroid (the paper's
+  // featurization crops the pocket around the binding site similarly).
+  const core::Vec3 lc = ligand.centroid();
+  std::vector<int32_t> pocket_order(pocket.size());
+  for (size_t i = 0; i < pocket.size(); ++i) pocket_order[i] = static_cast<int32_t>(i);
+  std::sort(pocket_order.begin(), pocket_order.end(), [&](int32_t a, int32_t b) {
+    return pocket[static_cast<size_t>(a)].pos.dist(lc) < pocket[static_cast<size_t>(b)].pos.dist(lc);
+  });
+  const int64_t np = std::min<int64_t>(static_cast<int64_t>(pocket.size()), cfg_.max_pocket_atoms);
+
+  g.node_features = core::Tensor({nl + np, kGraphNodeFeatures});
+  g.num_ligand_nodes = static_cast<int32_t>(nl);
+
+  for (int64_t i = 0; i < nl; ++i) {
+    fill_node_features(g.node_features, i, ligand.atoms()[static_cast<size_t>(i)],
+                       ligand.degree(static_cast<int32_t>(i)), true);
+  }
+  std::vector<const Atom*> sel(static_cast<size_t>(np));
+  for (int64_t i = 0; i < np; ++i) {
+    sel[static_cast<size_t>(i)] = &pocket[static_cast<size_t>(pocket_order[static_cast<size_t>(i)])];
+    fill_node_features(g.node_features, nl + i, *sel[static_cast<size_t>(i)], 0, false);
+  }
+
+  // Covalent edges: ligand bond graph.
+  for (const Bond& b : ligand.bonds()) g.covalent.add_undirected(b.a, b.b);
+  // Protein pseudo-bonds: pocket atoms within the covalent threshold.
+  for (int64_t i = 0; i < np; ++i) {
+    for (int64_t j = i + 1; j < np; ++j) {
+      if (sel[static_cast<size_t>(i)]->pos.dist(sel[static_cast<size_t>(j)]->pos) <=
+          cfg_.covalent_threshold) {
+        g.covalent.add_undirected(static_cast<int32_t>(nl + i), static_cast<int32_t>(nl + j));
+      }
+    }
+  }
+
+  // Non-covalent edges: any pair within the spatial threshold that is not
+  // covalently bonded. Ligand–protein pairs dominate by construction.
+  auto bonded = [&](int32_t a, int32_t b) {
+    if (a >= nl || b >= nl) return false;
+    for (int32_t u : ligand.neighbors(a)) {
+      if (u == b) return true;
+    }
+    return false;
+  };
+  auto pos_of = [&](int64_t i) -> core::Vec3 {
+    return i < nl ? ligand.atoms()[static_cast<size_t>(i)].pos
+                  : sel[static_cast<size_t>(i - nl)]->pos;
+  };
+  const int64_t total = nl + np;
+  for (int64_t i = 0; i < total; ++i) {
+    for (int64_t j = i + 1; j < total; ++j) {
+      const float d = pos_of(i).dist(pos_of(j));
+      if (d <= cfg_.noncovalent_threshold && d > cfg_.covalent_threshold &&
+          !bonded(static_cast<int32_t>(i), static_cast<int32_t>(j))) {
+        g.noncovalent.add_undirected(static_cast<int32_t>(i), static_cast<int32_t>(j));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace df::chem

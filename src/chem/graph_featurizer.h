@@ -1,0 +1,40 @@
+// Spatial-graph featurization of a complex — the SG-CNN's input (paper
+// Fig. 1, right branch). Node features combine a one-hot element with
+// pharmacophore flags; covalent edges come from the bond graph (plus
+// short-range protein pseudo-bonds) and non-covalent edges connect atoms
+// within the longer spatial threshold, primarily across the interface.
+// The two thresholds are the paper's Table-1/2 "Neighbor Threshold"
+// hyper-parameters.
+#pragma once
+
+#include <vector>
+
+#include "chem/molecule.h"
+#include "graph/graph.h"
+
+namespace df::chem {
+
+struct GraphFeaturizerConfig {
+  float covalent_threshold = 2.24f;    // Angstrom (Table 2 final value)
+  float noncovalent_threshold = 5.22f; // Angstrom (Table 2 final value)
+  /// Cap pocket atoms included in the graph, nearest to the ligand first.
+  int max_pocket_atoms = 64;
+};
+
+/// Node feature layout: one-hot element (kNumElements) followed by
+/// [degree/4, aromatic, charge, hydrophobic, donor, acceptor, is_ligand].
+inline constexpr int kGraphNodeFeatures = kNumElements + 7;
+
+class GraphFeaturizer {
+ public:
+  explicit GraphFeaturizer(GraphFeaturizerConfig cfg = {}) : cfg_(cfg) {}
+
+  graph::SpatialGraph featurize(const Molecule& ligand, const std::vector<Atom>& pocket) const;
+
+  const GraphFeaturizerConfig& config() const { return cfg_; }
+
+ private:
+  GraphFeaturizerConfig cfg_;
+};
+
+}  // namespace df::chem

@@ -1,0 +1,72 @@
+#include "chem/ligand_prep.h"
+
+#include <algorithm>
+
+namespace df::chem {
+
+LigandDescriptors compute_descriptors(const Molecule& mol) {
+  LigandDescriptors d;
+  d.molecular_weight = mol.molecular_weight();
+  d.logp = mol.logp_proxy();
+  d.tpsa = mol.tpsa_proxy();
+  d.rotatable_bonds = mol.num_rotatable_bonds();
+  d.rings = mol.num_rings();
+  d.hbond_donors = mol.num_hbond_donors();
+  d.hbond_acceptors = mol.num_hbond_acceptors();
+  for (const Atom& a : mol.atoms()) d.formal_charge += a.formal_charge;
+  return d;
+}
+
+void set_ph7_protonation(Molecule& mol) {
+  for (size_t i = 0; i < mol.num_atoms(); ++i) {
+    Atom& a = mol.atoms()[i];
+    if (a.element == Element::O && a.implicit_h > 0) {
+      // Carboxylic-acid-like: O-H whose neighbour C also bears a =O.
+      for (int32_t nb : mol.neighbors(static_cast<int32_t>(i))) {
+        if (mol.atoms()[static_cast<size_t>(nb)].element != Element::C) continue;
+        for (int32_t nb2 : mol.neighbors(nb)) {
+          if (nb2 == static_cast<int32_t>(i)) continue;
+          if (mol.atoms()[static_cast<size_t>(nb2)].element == Element::O &&
+              mol.atoms()[static_cast<size_t>(nb2)].implicit_h == 0) {
+            a.formal_charge = -1;
+            a.implicit_h = 0;
+          }
+        }
+      }
+    } else if (a.element == Element::N && a.implicit_h >= 2 && a.formal_charge == 0 &&
+               !a.aromatic) {
+      // Primary/secondary aliphatic amine: protonated at pH 7.
+      a.formal_charge = 1;
+      a.implicit_h = static_cast<int8_t>(a.implicit_h + 1);
+    }
+  }
+}
+
+std::optional<PreparedLigand> prepare_ligand(const Molecule& raw, core::Rng& rng,
+                                             const LigandPrepConfig& cfg) {
+  if (raw.num_atoms() == 0) return std::nullopt;
+  if (cfg.reject_metals && raw.has_metal()) return std::nullopt;
+
+  Molecule mol = raw;
+  if (cfg.strip_salts) {
+    auto comps = mol.connected_components();
+    if (comps.size() > 1) {
+      auto largest = std::max_element(comps.begin(), comps.end(),
+                                      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      mol = mol.subset(*largest);
+    }
+  }
+  if (mol.num_atoms() == 0) return std::nullopt;
+
+  set_ph7_protonation(mol);
+  if (mol.molecular_weight() > cfg.max_molecular_weight) return std::nullopt;
+
+  embed_conformer(mol, rng, cfg.conformer);
+
+  PreparedLigand out;
+  out.descriptors = compute_descriptors(mol);
+  out.mol = std::move(mol);
+  return out;
+}
+
+}  // namespace df::chem

@@ -1,0 +1,52 @@
+// Ligand preparation — the MOE + antechamber + OpenBabel stage of the
+// paper's pipeline (§4): strip salts, reject metal-containing ligands, set
+// pH-7 protonation states, embed/minimize a 3-D conformer and compute the
+// descriptor block exported alongside each structure.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "chem/conformer.h"
+#include "chem/molecule.h"
+#include "core/rng.h"
+
+namespace df::chem {
+
+struct LigandDescriptors {
+  float molecular_weight = 0;
+  float logp = 0;
+  float tpsa = 0;
+  int rotatable_bonds = 0;
+  int rings = 0;
+  int hbond_donors = 0;
+  int hbond_acceptors = 0;
+  int formal_charge = 0;
+};
+
+struct PreparedLigand {
+  Molecule mol;  // largest fragment, protonated, 3-D embedded
+  LigandDescriptors descriptors;
+};
+
+struct LigandPrepConfig {
+  bool strip_salts = true;
+  bool reject_metals = true;
+  float ph = 7.0f;
+  ConformerConfig conformer;
+  /// Drop ligands heavier than this (PDBbind refined-set style gate is
+  /// applied later by the dataset code; this is the hard pipeline cap).
+  float max_molecular_weight = 1500.0f;
+};
+
+/// Returns nullopt when the ligand is rejected (metal, too heavy, empty).
+std::optional<PreparedLigand> prepare_ligand(const Molecule& raw, core::Rng& rng,
+                                             const LigandPrepConfig& cfg = {});
+
+LigandDescriptors compute_descriptors(const Molecule& mol);
+
+/// pH-7 protonation rules applied in place: carboxylic-acid-like O
+/// deprotonates (-1), amine-like N with free valence protonates (+1).
+void set_ph7_protonation(Molecule& mol);
+
+}  // namespace df::chem

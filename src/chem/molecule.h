@@ -1,0 +1,102 @@
+// Molecular graph with 3-D coordinates — the ligand (and pocket) data model
+// everything downstream consumes: SMILES I/O, conformer embedding, docking,
+// voxelization and graph featurization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/elements.h"
+#include "core/rng.h"
+#include "core/vec3.h"
+
+namespace df::chem {
+
+using core::Vec3;
+
+struct Atom {
+  Element element = Element::C;
+  Vec3 pos;
+  int8_t formal_charge = 0;
+  bool aromatic = false;
+  /// Implicit hydrogens (heavy-atom-only representation, like PDBQT).
+  int8_t implicit_h = 0;
+};
+
+struct Bond {
+  int32_t a = 0, b = 0;
+  int8_t order = 1;  // 1, 2, 3; aromatic bonds carry order 1 + atom flags
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+
+  int32_t add_atom(Element e, Vec3 pos = {}, int8_t charge = 0, bool aromatic = false);
+  void add_bond(int32_t a, int32_t b, int8_t order = 1);
+
+  size_t num_atoms() const { return atoms_.size(); }
+  size_t num_bonds() const { return bonds_.size(); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::vector<Atom>& atoms() { return atoms_; }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+  const std::vector<int32_t>& neighbors(int32_t atom) const { return adjacency_[static_cast<size_t>(atom)]; }
+  int degree(int32_t atom) const { return static_cast<int>(neighbors(atom).size()); }
+  /// Total bond order at an atom (for valence checks).
+  int bond_order_sum(int32_t atom) const;
+
+  // --- descriptors (the MOE-descriptor stand-ins used by ligand prep) ---
+  float molecular_weight() const;
+  /// Crippen-flavoured hydrophobicity proxy: +1 per apolar heavy atom,
+  /// -0.5 per polar one.
+  float logp_proxy() const;
+  /// Polar-surface-area proxy: sum of N/O contributions.
+  float tpsa_proxy() const;
+  int num_rotatable_bonds() const;
+  /// Number of independent cycles (|E| - |V| + components).
+  int num_rings() const;
+  int num_hbond_donors() const;
+  int num_hbond_acceptors() const;
+
+  // --- geometry ---
+  Vec3 centroid() const;
+  void translate(const Vec3& d);
+  /// Rotate all atoms around `center` by `theta` about unit axis `axis`.
+  void rotate(const Vec3& center, const Vec3& axis, float theta);
+  /// Maximum distance of any atom from the centroid.
+  float radius_of_gyration() const;
+
+  /// Connected components as atom-index lists (used by salt stripping).
+  std::vector<std::vector<int32_t>> connected_components() const;
+  /// New molecule containing only `atom_indices` (bonds remapped).
+  Molecule subset(const std::vector<int32_t>& atom_indices) const;
+
+  bool has_metal() const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<std::vector<int32_t>> adjacency_;
+};
+
+/// Heavy-atom RMSD between two conformations of the same molecule (no
+/// alignment — poses live in the same target frame, as in docking output).
+float pose_rmsd(const Molecule& a, const Molecule& b);
+
+/// Valence-correct random drug-like molecule generator — the stand-in for
+/// sampling ZINC/ChEMBL/eMolecules/Enamine entries.
+struct MoleculeGenConfig {
+  int min_heavy_atoms = 10;
+  int max_heavy_atoms = 28;
+  float ring_probability = 0.35f;       // chance a new atom closes a ring
+  float hetero_probability = 0.30f;     // chance of non-carbon atom
+  float halogen_probability = 0.08f;
+  float charge_probability = 0.05f;
+  float salt_probability = 0.0f;        // add a disconnected counter-ion
+  float metal_probability = 0.0f;       // contaminate with a metal
+};
+
+Molecule generate_molecule(const MoleculeGenConfig& cfg, core::Rng& rng);
+
+}  // namespace df::chem

@@ -1,0 +1,326 @@
+#include "chem/smiles.h"
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace df::chem {
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  size_t i = 0;
+
+  explicit Parser(const std::string& str) : s(str) {}
+  bool done() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  char take() { return s[i++]; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("SMILES parse error at " + std::to_string(i) + ": " + msg +
+                                " in '" + s + "'");
+  }
+};
+
+}  // namespace
+
+Molecule parse_smiles(const std::string& smiles) {
+  Molecule mol;
+  Parser p(smiles);
+  std::vector<int32_t> stack;       // branch anchors
+  int32_t prev = -1;                // previous atom for chain bonds
+  int8_t pending_order = 1;
+  std::map<int, std::pair<int32_t, int8_t>> ring_open;  // digit -> (atom, order)
+
+  auto add_parsed_atom = [&](Element e, bool aromatic, int8_t charge) {
+    const int32_t idx = mol.add_atom(e, {}, charge, aromatic);
+    if (prev >= 0) mol.add_bond(prev, idx, pending_order);
+    pending_order = 1;
+    prev = idx;
+    return idx;
+  };
+
+  while (!p.done()) {
+    const char c = p.peek();
+    if (c == '(') {
+      p.take();
+      if (prev < 0) p.fail("branch before any atom");
+      stack.push_back(prev);
+    } else if (c == ')') {
+      p.take();
+      if (stack.empty()) p.fail("unmatched ')'");
+      prev = stack.back();
+      stack.pop_back();
+    } else if (c == '.') {
+      // Fragment separator (salts): next atom starts a new component.
+      p.take();
+      prev = -1;
+      pending_order = 1;
+    } else if (c == '-' || c == '=' || c == '#') {
+      p.take();
+      pending_order = c == '=' ? 2 : (c == '#' ? 3 : 1);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '%') {
+      int digit;
+      if (c == '%') {
+        p.take();
+        if (p.i + 1 >= p.s.size() || !std::isdigit(static_cast<unsigned char>(p.s[p.i])) ||
+            !std::isdigit(static_cast<unsigned char>(p.s[p.i + 1]))) {
+          p.fail("'%' ring closure needs two digits");
+        }
+        digit = (p.take() - '0') * 10 + (p.take() - '0');
+      } else {
+        p.take();
+        digit = c - '0';
+      }
+      if (prev < 0) p.fail("ring closure before any atom");
+      auto it = ring_open.find(digit);
+      if (it == ring_open.end()) {
+        ring_open[digit] = {prev, pending_order};
+        pending_order = 1;
+      } else {
+        mol.add_bond(it->second.first, prev,
+                     std::max(it->second.second, pending_order));
+        pending_order = 1;
+        ring_open.erase(it);
+      }
+    } else if (c == '[') {
+      p.take();
+      if (p.done() || !std::isalpha(static_cast<unsigned char>(p.peek()))) {
+        p.fail("expected element symbol after '['");
+      }
+      std::string sym(1, p.take());
+      // Two-letter symbols: only Cl / Br in our element set.
+      if ((sym == "C" && !p.done() && p.peek() == 'l') ||
+          (sym == "B" && !p.done() && p.peek() == 'r')) {
+        sym += p.take();
+      }
+      bool aromatic = false;
+      if (!sym.empty() && std::islower(static_cast<unsigned char>(sym[0]))) {
+        aromatic = true;
+        sym[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(sym[0])));
+      }
+      int8_t h = 0, charge = 0;
+      while (!p.done() && p.peek() != ']') {
+        const char q = p.take();
+        if (q == 'H') {
+          h = 1;
+          if (!p.done() && std::isdigit(static_cast<unsigned char>(p.peek()))) h = static_cast<int8_t>(p.take() - '0');
+        } else if (q == '+') {
+          charge = 1;
+          if (!p.done() && std::isdigit(static_cast<unsigned char>(p.peek()))) charge = static_cast<int8_t>(p.take() - '0');
+        } else if (q == '-') {
+          charge = -1;
+          if (!p.done() && std::isdigit(static_cast<unsigned char>(p.peek()))) charge = static_cast<int8_t>(-(p.take() - '0'));
+        } else {
+          p.fail(std::string("unexpected bracket token '") + q + "'");
+        }
+      }
+      if (p.done()) p.fail("unterminated bracket atom");
+      p.take();  // ']'
+      const int32_t idx = add_parsed_atom(element_from_symbol(sym), aromatic, charge);
+      mol.atoms()[static_cast<size_t>(idx)].implicit_h = h;
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::string sym(1, p.take());
+      // Two-letter halogens.
+      if ((sym == "C" && !p.done() && p.peek() == 'l') ||
+          (sym == "B" && !p.done() && p.peek() == 'r')) {
+        sym += p.take();
+      }
+      bool aromatic = false;
+      if (std::islower(static_cast<unsigned char>(sym[0]))) {
+        aromatic = true;
+        sym[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(sym[0])));
+      }
+      add_parsed_atom(element_from_symbol(sym), aromatic, 0);
+    } else {
+      p.fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+  if (!stack.empty()) p.fail("unclosed branch");
+  if (!ring_open.empty()) p.fail("unclosed ring bond");
+
+  // Derive implicit hydrogens for organic-subset atoms (bracket atoms keep
+  // their explicit H count).
+  for (size_t i = 0; i < mol.num_atoms(); ++i) {
+    Atom& a = mol.atoms()[i];
+    if (a.implicit_h == 0) {
+      const int spare = element_info(a.element).max_valence -
+                        mol.bond_order_sum(static_cast<int32_t>(i)) + a.formal_charge;
+      a.implicit_h = static_cast<int8_t>(std::max(0, spare));
+    }
+  }
+  return mol;
+}
+
+namespace {
+
+void write_atom(const Molecule& mol, int32_t idx, std::string& out) {
+  const Atom& a = mol.atoms()[static_cast<size_t>(idx)];
+  std::string sym(element_info(a.element).symbol);
+  if (a.aromatic) sym[0] = static_cast<char>(std::tolower(static_cast<unsigned char>(sym[0])));
+  const bool organic = a.element == Element::C || a.element == Element::N ||
+                       a.element == Element::O || a.element == Element::S ||
+                       a.element == Element::P || a.element == Element::F ||
+                       a.element == Element::Cl || a.element == Element::Br ||
+                       a.element == Element::I;
+  if (a.formal_charge == 0 && organic) {
+    out += sym;
+  } else {
+    out += '[';
+    out += sym;
+    if (a.implicit_h > 0) {
+      out += 'H';
+      if (a.implicit_h > 1) out += static_cast<char>('0' + a.implicit_h);
+    }
+    if (a.formal_charge > 0) {
+      out += '+';
+      if (a.formal_charge > 1) out += static_cast<char>('0' + a.formal_charge);
+    } else if (a.formal_charge < 0) {
+      out += '-';
+      if (a.formal_charge < -1) out += static_cast<char>('0' - a.formal_charge);
+    }
+    out += ']';
+  }
+}
+
+struct Writer {
+  const Molecule& mol;
+  std::vector<bool> visited;
+  std::map<int64_t, int8_t> tree_edges;              // edge key -> order
+  std::vector<std::vector<int>> ring_bonds_at;       // atom -> ring ids
+  std::vector<int8_t> ring_order;                    // ring id -> bond order
+  std::vector<int> ring_digit;                       // ring id -> digit or -1
+  std::vector<bool> digit_in_use = std::vector<bool>(100, false);
+  std::string out;
+
+  explicit Writer(const Molecule& m)
+      : mol(m), visited(m.num_atoms(), false), ring_bonds_at(m.num_atoms()) {}
+
+  static int64_t edge_key(int32_t a, int32_t b) {
+    return (static_cast<int64_t>(std::min(a, b)) << 32) | static_cast<int64_t>(std::max(a, b));
+  }
+
+  int8_t bond_order(int32_t a, int32_t b) const {
+    for (const Bond& bd : mol.bonds()) {
+      if ((bd.a == a && bd.b == b) || (bd.a == b && bd.b == a)) return bd.order;
+    }
+    return 1;
+  }
+
+  /// First pass: classify edges into spanning-tree and ring edges so digits
+  /// can be emitted at BOTH endpoints during the write pass.
+  void classify(int32_t root) {
+    std::vector<int32_t> stack{root};
+    std::vector<int32_t> parent(mol.num_atoms(), -1);
+    std::vector<bool> seen(mol.num_atoms(), false);
+    seen[static_cast<size_t>(root)] = true;
+    std::map<int64_t, bool> classified;
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      for (int32_t u : mol.neighbors(v)) {
+        const int64_t key = edge_key(v, u);
+        if (classified.count(key)) continue;
+        classified[key] = true;
+        if (!seen[static_cast<size_t>(u)]) {
+          seen[static_cast<size_t>(u)] = true;
+          parent[static_cast<size_t>(u)] = v;
+          tree_edges[key] = bond_order(v, u);
+          stack.push_back(u);
+        } else {
+          // Ring (non-tree) edge: register at both endpoints.
+          const int id = static_cast<int>(ring_order.size());
+          ring_order.push_back(bond_order(v, u));
+          ring_digit.push_back(-1);
+          ring_bonds_at[static_cast<size_t>(v)].push_back(id);
+          ring_bonds_at[static_cast<size_t>(u)].push_back(id);
+        }
+      }
+    }
+  }
+
+  void emit_order(int8_t order) {
+    if (order == 2) out += '=';
+    if (order == 3) out += '#';
+  }
+
+  void emit_digit(int digit) {
+    // Standard SMILES: single digit 1-9, '%nn' for two-digit closures.
+    if (digit < 10) {
+      out += static_cast<char>('0' + digit);
+    } else {
+      out += '%';
+      out += static_cast<char>('0' + digit / 10);
+      out += static_cast<char>('0' + digit % 10);
+    }
+  }
+
+  void emit_ring_digits(int32_t v) {
+    for (int id : ring_bonds_at[static_cast<size_t>(v)]) {
+      if (ring_digit[static_cast<size_t>(id)] < 0) {
+        int digit = -1;
+        for (int d = 1; d <= 99; ++d) {
+          if (!digit_in_use[static_cast<size_t>(d)]) {
+            digit = d;
+            break;
+          }
+        }
+        if (digit < 0) throw std::runtime_error("write_smiles: >99 open ring bonds");
+        ring_digit[static_cast<size_t>(id)] = digit;
+        digit_in_use[static_cast<size_t>(digit)] = true;
+        emit_order(ring_order[static_cast<size_t>(id)]);
+        emit_digit(digit);
+      } else {
+        const int digit = ring_digit[static_cast<size_t>(id)];
+        emit_digit(digit);
+        digit_in_use[static_cast<size_t>(digit)] = false;
+      }
+    }
+  }
+
+  void dfs(int32_t v) {
+    visited[static_cast<size_t>(v)] = true;
+    write_atom(mol, v, out);
+    emit_ring_digits(v);
+    std::vector<int32_t> children;
+    for (int32_t u : mol.neighbors(v)) {
+      if (!visited[static_cast<size_t>(u)] && tree_edges.count(edge_key(v, u))) {
+        children.push_back(u);
+      }
+    }
+    for (size_t k = 0; k < children.size(); ++k) {
+      const int32_t u = children[k];
+      if (visited[static_cast<size_t>(u)]) continue;
+      const bool branch = k + 1 < children.size();
+      if (branch) out += '(';
+      emit_order(tree_edges[edge_key(v, u)]);
+      dfs(u);
+      if (branch) out += ')';
+    }
+  }
+
+  void write_component(int32_t root) {
+    classify(root);
+    dfs(root);
+  }
+};
+
+}  // namespace
+
+std::string write_smiles(const Molecule& mol) {
+  if (mol.num_atoms() == 0) return "";
+  Writer w(mol);
+  w.write_component(0);
+  // Disconnected fragments (salts) are dot-separated.
+  for (size_t i = 0; i < mol.num_atoms(); ++i) {
+    if (!w.visited[i]) {
+      w.out += '.';
+      w.write_component(static_cast<int32_t>(i));
+    }
+  }
+  return w.out;
+}
+
+}  // namespace df::chem

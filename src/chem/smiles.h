@@ -1,0 +1,22 @@
+// Mini SMILES reader/writer (Weininger 1988) covering the organic subset
+// the compound libraries use: atoms B-less organic set (C N O P S F Cl Br I,
+// H in brackets), bonds - = #, branches (), ring closures 1-9, charges in
+// brackets, aromatic lowercase c n o s. This replaces the OpenBabel
+// conversion stage of the paper's ligand pipeline.
+#pragma once
+
+#include <string>
+
+#include "chem/molecule.h"
+
+namespace df::chem {
+
+/// Parse a SMILES string; throws std::invalid_argument on malformed input.
+/// Coordinates are left at the origin — run embed_conformer() afterwards.
+Molecule parse_smiles(const std::string& smiles);
+
+/// Serialize to SMILES via DFS from atom 0. Round-trips through
+/// parse_smiles to an isomorphic graph (not a canonical writer).
+std::string write_smiles(const Molecule& mol);
+
+}  // namespace df::chem

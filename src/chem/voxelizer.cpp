@@ -1,0 +1,89 @@
+#include "chem/voxelizer.h"
+
+#include <cmath>
+
+namespace df::chem {
+
+namespace {
+int channel_for_atom(const Atom& a, int block) {
+  int c;
+  switch (a.element) {
+    case Element::C: c = 0; break;
+    case Element::N: c = 1; break;
+    case Element::O: c = 2; break;
+    default: c = 3; break;
+  }
+  return block * kVoxelChannelsPerBlock + c;
+}
+}  // namespace
+
+void Voxelizer::splat(Tensor& grid, const Atom& atom, int block, const core::Vec3& center) const {
+  const int G = cfg_.grid_dim;
+  const float res = cfg_.resolution;
+  const float half = cfg_.box_extent() * 0.5f;
+  const ElementInfo& info = element_info(atom.element);
+  const float sigma = info.vdw_radius * cfg_.sigma_scale;
+  const float cutoff = sigma * cfg_.cutoff_sigmas;
+  const float inv2s2 = 1.0f / (2.0f * sigma * sigma);
+
+  // Atom position in grid coordinates.
+  const core::Vec3 rel = atom.pos - center;
+  const float gx = (rel.x + half) / res, gy = (rel.y + half) / res, gz = (rel.z + half) / res;
+  const int r = static_cast<int>(std::ceil(cutoff / res));
+  const int cx = static_cast<int>(std::floor(gx));
+  const int cy = static_cast<int>(std::floor(gy));
+  const int cz = static_cast<int>(std::floor(gz));
+
+  auto add_to = [&](int channel, float weight) {
+    float* base = grid.data() + static_cast<int64_t>(channel) * G * G * G;
+    for (int z = cz - r; z <= cz + r; ++z) {
+      if (z < 0 || z >= G) continue;
+      for (int y = cy - r; y <= cy + r; ++y) {
+        if (y < 0 || y >= G) continue;
+        for (int x = cx - r; x <= cx + r; ++x) {
+          if (x < 0 || x >= G) continue;
+          const float vx = (static_cast<float>(x) + 0.5f) * res - half;
+          const float vy = (static_cast<float>(y) + 0.5f) * res - half;
+          const float vz = (static_cast<float>(z) + 0.5f) * res - half;
+          const float dx = vx - rel.x, dy = vy - rel.y, dz = vz - rel.z;
+          const float d2 = dx * dx + dy * dy + dz * dz;
+          if (d2 > cutoff * cutoff) continue;
+          base[(static_cast<int64_t>(z) * G + y) * G + x] += weight * std::exp(-d2 * inv2s2);
+        }
+      }
+    }
+  };
+
+  add_to(channel_for_atom(atom, block), 1.0f);
+  const int pharm = block * kVoxelChannelsPerBlock;
+  if (info.hydrophobic) add_to(pharm + 4, 1.0f);
+  if (info.hbond_donor_heavy && atom.implicit_h > 0) add_to(pharm + 5, 1.0f);
+  if (info.hbond_acceptor) add_to(pharm + 6, 1.0f);
+  if (atom.formal_charge != 0) add_to(pharm + 7, static_cast<float>(std::abs(atom.formal_charge)));
+}
+
+Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pocket,
+                           const core::Vec3& center) const {
+  const int G = cfg_.grid_dim;
+  Tensor grid({1, cfg_.channels(), G, G, G});
+  // The (1, C, ...) tensor is addressed as (C, ...) internally: batch dim 1.
+  Tensor view = grid.reshaped({cfg_.channels(), G, G, G});
+  for (const Atom& a : ligand.atoms()) splat(view, a, /*block=*/0, center);
+  for (const Atom& a : pocket) splat(view, a, /*block=*/1, center);
+  return view.reshaped({1, cfg_.channels(), G, G, G});
+}
+
+void random_rotation_augment(Molecule& ligand, std::vector<Atom>& pocket, const core::Vec3& center,
+                             core::Rng& rng, float prob) {
+  const core::Vec3 axes[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  for (const core::Vec3& axis : axes) {
+    if (rng.uniform() >= prob) continue;
+    const float theta = static_cast<float>(rng.randint(1, 3)) * 1.5707963f;  // 90/180/270 deg
+    ligand.rotate(center, axis, theta);
+    for (Atom& a : pocket) {
+      a.pos = center + core::rotate_axis_angle(a.pos - center, axis, theta);
+    }
+  }
+}
+
+}  // namespace df::chem

@@ -1,0 +1,55 @@
+// Voxelized representation of a protein–ligand complex — the 3D-CNN's input
+// (paper Fig. 1, left branch). Atoms are splatted into a cubic grid centred
+// on the pocket with per-channel Gaussian densities; ligand and protein
+// atoms occupy disjoint channel blocks so the network can tell them apart,
+// matching the FAST featurization.
+#pragma once
+
+#include <vector>
+
+#include "chem/molecule.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace df::chem {
+
+using core::Tensor;
+
+/// Per-block channels (applied once for ligand atoms, once for protein):
+///   0 carbon, 1 nitrogen, 2 oxygen, 3 other-heavy,
+///   4 hydrophobic, 5 H-bond donor, 6 H-bond acceptor, 7 charged.
+inline constexpr int kVoxelChannelsPerBlock = 8;
+
+struct VoxelConfig {
+  int grid_dim = 16;        // voxels per axis
+  float resolution = 1.25f; // Angstrom per voxel => 20 A box by default
+  float sigma_scale = 0.5f; // Gaussian sigma = vdw_radius * sigma_scale
+  float cutoff_sigmas = 2.0f;
+
+  int channels() const { return 2 * kVoxelChannelsPerBlock; }
+  float box_extent() const { return static_cast<float>(grid_dim) * resolution; }
+};
+
+class Voxelizer {
+ public:
+  explicit Voxelizer(VoxelConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Produce a (1, C, G, G, G) tensor centred on `center` (normally the
+  /// pocket centroid).
+  Tensor voxelize(const Molecule& ligand, const std::vector<Atom>& pocket,
+                  const core::Vec3& center) const;
+
+  const VoxelConfig& config() const { return cfg_; }
+
+ private:
+  void splat(Tensor& grid, const Atom& atom, int channel_block, const core::Vec3& center) const;
+  VoxelConfig cfg_;
+};
+
+/// Training-time augmentation (paper §3.3.1): independently rotate the
+/// complex 90° about X, Y, Z each with probability `prob` before
+/// voxelization. Returns rotated copies; graph features are unaffected.
+void random_rotation_augment(Molecule& ligand, std::vector<Atom>& pocket, const core::Vec3& center,
+                             core::Rng& rng, float prob = 0.10f);
+
+}  // namespace df::chem

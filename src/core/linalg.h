@@ -1,0 +1,61 @@
+// Small dense linear algebra used by the GP bandit (PB2) and the AMPL
+// MM/GBSA surrogate: Cholesky factorization and SPD solves. Sizes are tens
+// of rows, so a straightforward O(n^3) factorization is appropriate.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace df::core {
+
+/// In-place lower Cholesky of an n x n SPD matrix (row-major).
+/// Throws std::runtime_error if the matrix is not positive definite.
+inline void cholesky(std::vector<double>& a, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("cholesky: matrix not positive definite");
+        a[i * n + i] = std::sqrt(s);
+      } else {
+        a[i * n + j] = s / a[j * n + j];
+      }
+    }
+    for (size_t j = i + 1; j < n; ++j) a[i * n + j] = 0.0;
+  }
+}
+
+/// Solve L y = b (forward substitution), L lower-triangular from cholesky().
+inline std::vector<double> forward_solve(const std::vector<double>& l, size_t n,
+                                         const std::vector<double>& b) {
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l[i * n + k] * y[k];
+    y[i] = s / l[i * n + i];
+  }
+  return y;
+}
+
+/// Solve L^T x = y (back substitution).
+inline std::vector<double> backward_solve(const std::vector<double>& l, size_t n,
+                                          const std::vector<double>& y) {
+  std::vector<double> x(n);
+  for (size_t ii = 0; ii < n; ++ii) {
+    const size_t i = n - 1 - ii;
+    double s = y[i];
+    for (size_t k = i + 1; k < n; ++k) s -= l[k * n + i] * x[k];
+    x[i] = s / l[i * n + i];
+  }
+  return x;
+}
+
+/// Solve (A) x = b for SPD A via Cholesky; A is consumed.
+inline std::vector<double> spd_solve(std::vector<double> a, size_t n, const std::vector<double>& b) {
+  cholesky(a, n);
+  return backward_solve(a, n, forward_solve(a, n, b));
+}
+
+}  // namespace df::core

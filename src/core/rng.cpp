@@ -1,0 +1,4 @@
+#include "core/rng.h"
+
+// Header-only today; the TU anchors the component in the build so future
+// non-template additions (e.g. counter-based streams) have a home.

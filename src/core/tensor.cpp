@@ -1,0 +1,238 @@
+#include "core/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace df::core {
+
+namespace {
+int64_t shape_numel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(std::initializer_list<int64_t> shape, float fill)
+    : Tensor(std::vector<int64_t>(shape), fill) {}
+
+Tensor Tensor::randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from(std::vector<float> values) {
+  Tensor t;
+  t.shape_ = {static_cast<int64_t>(values.size())};
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<int64_t> shape) const {
+  if (shape_numel(shape) != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch " + shape_str());
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " + a.shape_str() + " vs " +
+                                b.shape_str());
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  check_same_shape(*this, o, "+=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  check_same_shape(*this, o, "-=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& o) {
+  check_same_shape(*this, o, "*=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float v) {
+  for (float& x : data_) x += v;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float v) {
+  for (float& x : data_) x *= v;
+  return *this;
+}
+
+Tensor Tensor::operator+(const Tensor& o) const {
+  Tensor t = *this;
+  t += o;
+  return t;
+}
+
+Tensor Tensor::operator-(const Tensor& o) const {
+  Tensor t = *this;
+  t -= o;
+  return t;
+}
+
+Tensor Tensor::operator*(const Tensor& o) const {
+  Tensor t = *this;
+  t *= o;
+  return t;
+}
+
+Tensor Tensor::operator*(float v) const {
+  Tensor t = *this;
+  t *= v;
+  return t;
+}
+
+Tensor Tensor::operator+(float v) const {
+  Tensor t = *this;
+  t += v;
+  return t;
+}
+
+void Tensor::axpy(float alpha, const Tensor& o) {
+  check_same_shape(*this, o, "axpy");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * o.data_[i];
+}
+
+void Tensor::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+Tensor Tensor::map(const std::function<float(float)>& fn) const {
+  Tensor t = *this;
+  for (float& x : t.data_) x = fn(x);
+  return t;
+}
+
+float Tensor::sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0f); }
+
+float Tensor::mean() const { return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size()); }
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::runtime_error("max of empty tensor");
+  float m = data_[0];
+  for (float v : data_) m = std::max(m, v);
+  return m;
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::runtime_error("min of empty tensor");
+  float m = data_[0];
+  for (float v : data_) m = std::min(m, v);
+  return m;
+}
+
+float Tensor::norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor Tensor::matmul(const Tensor& rhs) const {
+  if (ndim() != 2 || rhs.ndim() != 2 || shape_[1] != rhs.shape_[0]) {
+    throw std::invalid_argument("matmul: bad shapes " + shape_str() + " x " + rhs.shape_str());
+  }
+  const int64_t m = shape_[0], k = shape_[1], n = rhs.shape_[1];
+  Tensor out({m, n});
+  // ikj order keeps rhs rows hot in cache.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a = data_.data() + i * k;
+    float* o = out.data_.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      if (av == 0.0f) continue;
+      const float* b = rhs.data_.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_tn(const Tensor& rhs) const {
+  if (ndim() != 2 || rhs.ndim() != 2 || shape_[0] != rhs.shape_[0]) {
+    throw std::invalid_argument("matmul_tn: bad shapes " + shape_str() + " x " + rhs.shape_str());
+  }
+  const int64_t k = shape_[0], m = shape_[1], n = rhs.shape_[1];
+  Tensor out({m, n});
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a = data_.data() + p * m;
+    const float* b = rhs.data_.data() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a[i];
+      if (av == 0.0f) continue;
+      float* o = out.data_.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_nt(const Tensor& rhs) const {
+  if (ndim() != 2 || rhs.ndim() != 2 || shape_[1] != rhs.shape_[1]) {
+    throw std::invalid_argument("matmul_nt: bad shapes " + shape_str() + " x " + rhs.shape_str());
+  }
+  const int64_t m = shape_[0], k = shape_[1], n = rhs.shape_[0];
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a = data_.data() + i * k;
+    float* o = out.data_.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b = rhs.data_.data() + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a[p] * b[p];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transposed2d() const {
+  if (ndim() != 2) throw std::invalid_argument("transposed2d: not 2-D");
+  Tensor out({shape_[1], shape_[0]});
+  for (int64_t i = 0; i < shape_[0]; ++i)
+    for (int64_t j = 0; j < shape_[1]; ++j) out.at(j, i) = at(i, j);
+  return out;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ',';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace df::core

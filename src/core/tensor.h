@@ -1,0 +1,103 @@
+// Dense row-major float tensor — the numeric substrate under every model in
+// deepfusion (replaces the PyTorch tensor the paper builds on).
+//
+// The class is intentionally small: contiguous float32 storage, shape
+// metadata, elementwise arithmetic, 2-D matmul and reductions. Layers that
+// need structured access (conv3d, voxel grids) index the raw buffer
+// directly; nothing in the library relies on views or broadcasting beyond
+// scalar ops, which keeps aliasing rules trivial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace df::core {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape, float fill = 0.0f);
+  Tensor(std::initializer_list<int64_t> shape, float fill = 0.0f);
+
+  static Tensor zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(std::vector<int64_t> shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(std::vector<int64_t> shape, float v) { return Tensor(std::move(shape), v); }
+  /// Standard-normal init scaled by `stddev` (Kaiming/Glorot handled by callers).
+  static Tensor randn(std::vector<int64_t> shape, Rng& rng, float stddev = 1.0f);
+  /// Uniform init in [lo, hi).
+  static Tensor uniform(std::vector<int64_t> shape, Rng& rng, float lo, float hi);
+  /// 1-D tensor from explicit values.
+  static Tensor from(std::vector<float> values);
+
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const { return shape_.at(static_cast<size_t>(i)); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  /// 2-D indexing (row, col); used pervasively by dense/graph layers.
+  float& at(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * shape_[1] + c)]; }
+  float at(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * shape_[1] + c)]; }
+
+  /// Reinterpret the buffer with a new shape of identical numel.
+  Tensor reshaped(std::vector<int64_t> shape) const;
+
+  // Elementwise arithmetic. Tensor-tensor ops require identical shapes.
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(const Tensor& o);
+  Tensor& operator+=(float v);
+  Tensor& operator*=(float v);
+  Tensor operator+(const Tensor& o) const;
+  Tensor operator-(const Tensor& o) const;
+  Tensor operator*(const Tensor& o) const;
+  Tensor operator*(float v) const;
+  Tensor operator+(float v) const;
+
+  /// In-place `this += alpha * o` (axpy); the hot path in every optimizer.
+  void axpy(float alpha, const Tensor& o);
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Elementwise map (out-of-place).
+  Tensor map(const std::function<float(float)>& fn) const;
+
+  float sum() const;
+  float mean() const;
+  float max() const;
+  float min() const;
+  /// L2 norm of the flattened tensor.
+  float norm() const;
+
+  /// (m,k) x (k,n) -> (m,n). Cache-blocked inner loop.
+  Tensor matmul(const Tensor& rhs) const;
+  /// matmul with this transposed: (k,m)^T x (k,n) -> (m,n).
+  Tensor matmul_tn(const Tensor& rhs) const;
+  /// matmul with rhs transposed: (m,k) x (n,k)^T -> (m,n).
+  Tensor matmul_nt(const Tensor& rhs) const;
+  Tensor transposed2d() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Throwing shape check used by arithmetic and layer plumbing.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op);
+
+}  // namespace df::core

@@ -1,0 +1,69 @@
+#include "core/threadpool.h"
+
+#include <atomic>
+
+namespace df::core {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
+  // Chunk by worker count to amortize queue traffic for fine-grained bodies.
+  const size_t chunks = pool.size() * 4;
+  const size_t step = (n + chunks - 1) / (chunks == 0 ? 1 : chunks);
+  if (step == 0) return;
+  for (size_t lo = 0; lo < n; lo += step) {
+    const size_t hi = std::min(n, lo + step);
+    pool.submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace df::core

@@ -1,0 +1,44 @@
+// Fixed-size worker pool. Stands in for the paper's parallel data loaders
+// (24 per rank) and for Horovod ranks inside one simulated node: work is
+// pushed as std::function jobs and joined with wait_idle(), mirroring the
+// fork/allgather structure of a Fusion scoring job (paper Fig. 3).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace df::core {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;       // wakes workers
+  std::condition_variable idle_cv_;  // wakes wait_idle
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool and join.
+void parallel_for(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace df::core

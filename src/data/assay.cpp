@@ -1,0 +1,24 @@
+#include "data/assay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace df::data {
+
+float occupancy_percent(float pk, float concentration_uM, float hill) {
+  // pK is -log10 of K in molar; convert to micromolar: Kd_uM = 10^(6 - pk).
+  const float kd_uM = std::pow(10.0f, 6.0f - pk);
+  const float ratio = std::pow(concentration_uM / kd_uM, hill);
+  return 100.0f * ratio / (1.0f + ratio);
+}
+
+float percent_inhibition(float pk, float concentration_uM, core::Rng& rng,
+                         const AssayConfig& cfg) {
+  if (rng.uniform() < cfg.dead_fraction) {
+    return std::clamp(rng.uniform(0.0f, cfg.dead_leak), 0.0f, 100.0f);
+  }
+  const float base = occupancy_percent(pk, concentration_uM, cfg.hill);
+  return std::clamp(base + rng.normal(0.0f, cfg.noise_sigma), 0.0f, 100.0f);
+}
+
+}  // namespace df::data

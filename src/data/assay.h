@@ -1,0 +1,29 @@
+// Experimental-assay simulator standing in for the paper's FRET / SDS-PAGE
+// (Mpro, run at 100 uM) and pseudo-virus / BLI (spike, run at 10 uM)
+// screens. Percent inhibition follows a single-site occupancy curve of the
+// oracle affinity with heavy experimental noise plus an "assay-dead"
+// fraction, which lands the prediction-vs-experiment correlations in the
+// paper's low-signal regime (Table 8).
+#pragma once
+
+#include "core/rng.h"
+#include "data/target.h"
+
+namespace df::data {
+
+struct AssayConfig {
+  float hill = 1.0f;             // Hill coefficient of the occupancy curve
+  float noise_sigma = 11.0f;     // percent-inhibition noise
+  float dead_fraction = 0.45f;   // insoluble/aggregating compounds read ~0
+  float dead_leak = 1.0f;        // residual signal of dead compounds (<=1%)
+};
+
+/// Percent inhibition in [0, 100] for a compound of true affinity `pk`
+/// assayed at `concentration_uM`.
+float percent_inhibition(float pk, float concentration_uM, core::Rng& rng,
+                         const AssayConfig& cfg = {});
+
+/// Noise-free occupancy (for tests): 100 * C / (C + Kd_uM), Kd_uM = 10^(6-pk).
+float occupancy_percent(float pk, float concentration_uM, float hill = 1.0f);
+
+}  // namespace df::data

@@ -1,0 +1,45 @@
+// Compound-library generators standing in for the four public sources the
+// paper screened (§4): ZINC world-approved drugs, ChEMBL, eMolecules and
+// Enamine's synthetically-feasible drug-like set. Each source has its own
+// size/chemistry distribution and input form (SMILES vs "SDF", i.e. a
+// pre-built Molecule here), so the ligand-prep path is exercised both ways.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.h"
+#include "core/rng.h"
+
+namespace df::data {
+
+enum class LibrarySource { ZINC, ChEMBL, eMolecules, Enamine };
+
+const char* library_name(LibrarySource s);
+
+struct LibraryCompound {
+  std::string id;
+  LibrarySource source = LibrarySource::Enamine;
+  /// SMILES-form entries (eMolecules / Enamine in the paper) carry the
+  /// string; SDF-form entries (ZINC / ChEMBL) carry the molecule directly.
+  std::string smiles;
+  chem::Molecule molecule;
+  bool is_smiles_entry = false;
+};
+
+struct LibraryConfig {
+  LibrarySource source = LibrarySource::Enamine;
+  int count = 1000;
+  chem::MoleculeGenConfig gen;
+};
+
+/// Default per-source generation profile (drug-likeness, salts, metals).
+LibraryConfig default_library(LibrarySource source, int count);
+
+/// Generate `cfg.count` compounds; deterministic given rng.
+std::vector<LibraryCompound> generate_library(const LibraryConfig& cfg, core::Rng& rng);
+
+/// Materialize the molecule from either entry form (parses SMILES entries).
+chem::Molecule materialize(const LibraryCompound& c);
+
+}  // namespace df::data

@@ -1,0 +1,37 @@
+#include "data/dataset.h"
+
+#include <stdexcept>
+
+namespace df::data {
+
+ComplexDataset::ComplexDataset(const std::vector<ComplexRecord>* records, std::vector<int> indices,
+                               DatasetConfig cfg)
+    : records_(records), indices_(std::move(indices)), cfg_(cfg), voxelizer_(cfg.voxel),
+      featurizer_(cfg.graph) {
+  if (!records_) throw std::invalid_argument("ComplexDataset: null records");
+  for (int idx : indices_) {
+    if (idx < 0 || static_cast<size_t>(idx) >= records_->size()) {
+      throw std::out_of_range("ComplexDataset: index out of range");
+    }
+  }
+}
+
+Sample ComplexDataset::get(size_t i, core::Rng& rng) const {
+  const ComplexRecord& rec = (*records_)[static_cast<size_t>(indices_.at(i))];
+  Sample s;
+  s.record_index = indices_[i];
+  s.label = rec.pk;
+  s.graph = featurizer_.featurize(rec.ligand, rec.pocket);
+
+  if (cfg_.rotation_augment) {
+    chem::Molecule lig = rec.ligand;
+    std::vector<chem::Atom> pocket = rec.pocket;
+    chem::random_rotation_augment(lig, pocket, rec.site_center, rng, cfg_.rotation_prob);
+    s.voxel = voxelizer_.voxelize(lig, pocket, rec.site_center);
+  } else {
+    s.voxel = voxelizer_.voxelize(rec.ligand, rec.pocket, rec.site_center);
+  }
+  return s;
+}
+
+}  // namespace df::data

@@ -1,0 +1,52 @@
+// Featurized dataset view over ComplexRecords: each sample carries both the
+// voxel grid (3D-CNN branch) and the spatial graph (SG-CNN branch) plus the
+// pK label — the dual representation at the heart of fusion modelling.
+#pragma once
+
+#include <vector>
+
+#include "chem/graph_featurizer.h"
+#include "chem/voxelizer.h"
+#include "data/pdbbind.h"
+
+namespace df::data {
+
+struct Sample {
+  core::Tensor voxel;            // (1, C, G, G, G)
+  graph::SpatialGraph graph;
+  float label = 0.0f;            // pK
+  int record_index = -1;
+};
+
+struct DatasetConfig {
+  chem::VoxelConfig voxel;
+  chem::GraphFeaturizerConfig graph;
+  /// Apply the paper's random 90-degree rotation augmentation to the voxel
+  /// branch (training only; the graph is rotation-invariant already).
+  bool rotation_augment = false;
+  float rotation_prob = 0.10f;
+};
+
+class ComplexDataset {
+ public:
+  ComplexDataset(const std::vector<ComplexRecord>* records, std::vector<int> indices,
+                 DatasetConfig cfg = {});
+
+  size_t size() const { return indices_.size(); }
+  const std::vector<int>& indices() const { return indices_; }
+
+  /// Featurize sample `i` (0-based within this dataset view). `rng` drives
+  /// augmentation; unused when augmentation is off.
+  Sample get(size_t i, core::Rng& rng) const;
+
+  const DatasetConfig& config() const { return cfg_; }
+
+ private:
+  const std::vector<ComplexRecord>* records_;
+  std::vector<int> indices_;
+  DatasetConfig cfg_;
+  chem::Voxelizer voxelizer_;
+  chem::GraphFeaturizer featurizer_;
+};
+
+}  // namespace df::data

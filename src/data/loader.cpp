@@ -1,0 +1,98 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace df::data {
+
+DataLoader::DataLoader(const ComplexDataset& dataset, LoaderConfig cfg)
+    : dataset_(dataset), cfg_(cfg), shuffle_rng_(cfg.seed) {
+  if (cfg_.batch_size <= 0 || cfg_.num_workers <= 0 || cfg_.prefetch_batches <= 0) {
+    throw std::invalid_argument("DataLoader: non-positive config value");
+  }
+  for (int w = 0; w < cfg_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(static_cast<size_t>(w)); });
+  }
+}
+
+DataLoader::~DataLoader() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_producer_.notify_all();
+  cv_consumer_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+size_t DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + static_cast<size_t>(cfg_.batch_size) - 1) /
+         static_cast<size_t>(cfg_.batch_size);
+}
+
+void DataLoader::start_epoch() {
+  std::lock_guard lk(mu_);
+  epoch_order_.resize(dataset_.size());
+  std::iota(epoch_order_.begin(), epoch_order_.end(), 0);
+  if (cfg_.shuffle) shuffle_rng_.shuffle(epoch_order_);
+  next_batch_to_claim_ = 0;
+  next_batch_to_emit_ = 0;
+  total_batches_ = batches_per_epoch();
+  ready_.clear();
+  ++epoch_counter_;
+  cv_producer_.notify_all();
+}
+
+void DataLoader::worker_loop(size_t worker_id) {
+  core::Rng rng(cfg_.seed * 7919 + worker_id * 104729 + 1);
+  for (;;) {
+    size_t batch_idx;
+    std::vector<int> members;
+    {
+      std::unique_lock lk(mu_);
+      cv_producer_.wait(lk, [this] {
+        return stop_ || (next_batch_to_claim_ < total_batches_ &&
+                         ready_.size() < static_cast<size_t>(cfg_.prefetch_batches) +
+                                             workers_.size());
+      });
+      if (stop_) return;
+      batch_idx = next_batch_to_claim_++;
+      const size_t lo = batch_idx * static_cast<size_t>(cfg_.batch_size);
+      const size_t hi = std::min(dataset_.size(), lo + static_cast<size_t>(cfg_.batch_size));
+      members.assign(epoch_order_.begin() + static_cast<long>(lo),
+                     epoch_order_.begin() + static_cast<long>(hi));
+    }
+    Batch batch;
+    batch.reserve(members.size());
+    for (int m : members) batch.push_back(dataset_.get(static_cast<size_t>(m), rng));
+    {
+      std::lock_guard lk(mu_);
+      ready_.emplace_back(batch_idx, std::move(batch));
+      cv_consumer_.notify_all();
+    }
+  }
+}
+
+std::optional<Batch> DataLoader::next() {
+  std::unique_lock lk(mu_);
+  if (next_batch_to_emit_ >= total_batches_) return std::nullopt;
+  const size_t want = next_batch_to_emit_;
+  cv_consumer_.wait(lk, [this, want] {
+    if (stop_) return true;
+    return std::any_of(ready_.begin(), ready_.end(),
+                       [want](const auto& p) { return p.first == want; });
+  });
+  if (stop_) return std::nullopt;
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (it->first == want) {
+      Batch b = std::move(it->second);
+      ready_.erase(it);
+      ++next_batch_to_emit_;
+      cv_producer_.notify_all();
+      return b;
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace df::data

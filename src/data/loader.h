@@ -1,0 +1,64 @@
+// Prefetching data loader — the C++ analogue of the paper's "24 data
+// workers per rank pre-loading future batches" (§3.2) and "12 parallel data
+// loaders" per GPU during screening (§4.2). Worker threads featurize
+// batches ahead of the consumer; a bounded queue applies backpressure so a
+// slow trainer doesn't blow the memory budget.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace df::data {
+
+struct LoaderConfig {
+  int batch_size = 8;
+  int num_workers = 2;
+  int prefetch_batches = 4;  // queue capacity
+  bool shuffle = true;
+  uint64_t seed = 17;
+};
+
+using Batch = std::vector<Sample>;
+
+class DataLoader {
+ public:
+  DataLoader(const ComplexDataset& dataset, LoaderConfig cfg = {});
+  ~DataLoader();
+
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  /// Begin producing one epoch (reshuffles when configured). Any previous
+  /// epoch must have been drained or cancelled.
+  void start_epoch();
+  /// Next batch, or nullopt when the epoch is exhausted.
+  std::optional<Batch> next();
+  size_t batches_per_epoch() const;
+
+ private:
+  void worker_loop(size_t worker_id);
+
+  const ComplexDataset& dataset_;
+  LoaderConfig cfg_;
+  core::Rng shuffle_rng_;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_producer_, cv_consumer_;
+  std::vector<int> epoch_order_;          // sample indices for this epoch
+  size_t next_batch_to_claim_ = 0;        // producer cursor (batch index)
+  size_t next_batch_to_emit_ = 0;         // consumer cursor (in-order emit)
+  size_t total_batches_ = 0;
+  std::deque<std::pair<size_t, Batch>> ready_;  // (batch index, data)
+  bool stop_ = false;
+  uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace df::data

@@ -1,0 +1,160 @@
+#include "data/pdbbind.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "chem/ligand_prep.h"
+#include "dock/docking.h"
+
+namespace df::data {
+
+const char* label_kind_name(LabelKind k) {
+  switch (k) {
+    case LabelKind::Ki: return "Ki";
+    case LabelKind::Kd: return "Kd";
+    case LabelKind::IC50: return "IC50";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string synth_id(int i) {
+  // PDB-style 4-char code: digit + three letters.
+  std::string s = "0xxx";
+  s[0] = static_cast<char>('1' + (i % 9));
+  int v = i;
+  for (int p = 1; p < 4; ++p) {
+    s[static_cast<size_t>(p)] = static_cast<char>('a' + (v % 26));
+    v /= 26;
+  }
+  return s;
+}
+
+/// Descriptor vector for core-set diversity selection.
+std::array<float, 5> descriptor(const ComplexRecord& r) {
+  return {r.ligand.molecular_weight() / 100.0f, r.ligand.logp_proxy(),
+          static_cast<float>(r.ligand.num_rings()), static_cast<float>(r.ligand.num_hbond_donors()),
+          static_cast<float>(r.pocket.size()) / 20.0f};
+}
+
+float desc_dist(const std::array<float, 5>& a, const std::array<float, 5>& b) {
+  float d = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  return d;
+}
+
+}  // namespace
+
+std::vector<ComplexRecord> SyntheticPdbbind::generate(core::Rng& rng) const {
+  std::vector<ComplexRecord> out;
+  out.reserve(static_cast<size_t>(cfg_.num_complexes));
+
+  dock::DockingConfig settle_cfg;
+  settle_cfg.num_runs = cfg_.settle_runs;
+  settle_cfg.steps_per_run = cfg_.settle_steps;
+  settle_cfg.box_half = 2.0f;
+  settle_cfg.max_poses = 1;
+  dock::DockingEngine settle(settle_cfg);
+
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < cfg_.num_complexes && attempts < cfg_.num_complexes * 4) {
+    ++attempts;
+    ComplexRecord rec;
+    rec.id = synth_id(static_cast<int>(out.size()));
+
+    // Generic pocket: vary size/chemistry across the corpus.
+    PocketConfig pc;
+    pc.radius = rng.uniform(5.0f, 8.0f);
+    pc.num_atoms = static_cast<int>(rng.randint(48, 100));
+    pc.coverage = rng.uniform(0.45f, 0.8f);
+    pc.hydrophobic_frac = rng.uniform(0.3f, 0.6f);
+    pc.charged_frac = rng.uniform(0.04f, 0.14f);
+    rec.pocket = make_pocket(pc, rng);
+    rec.site_center = core::Vec3{};
+
+    // Ligand: occasionally force a heavy one to exercise the refined gate.
+    chem::MoleculeGenConfig lg = cfg_.ligand_gen;
+    if (rng.uniform() < cfg_.heavy_fraction) {
+      lg.min_heavy_atoms = 70;
+      lg.max_heavy_atoms = 95;
+    }
+    chem::Molecule raw = chem::generate_molecule(lg, rng);
+    auto prep = chem::prepare_ligand(raw, rng);
+    if (!prep) continue;
+    rec.ligand = std::move(prep->mol);
+
+    // Crystal pose: settle the conformer into the pocket with a short,
+    // cold MC so contact statistics look like a bound structure.
+    dock::DockingResult settled = settle.dock(rec.ligand, rec.pocket, rec.site_center, rng);
+    if (!settled.conformers.empty()) rec.ligand = std::move(settled.conformers.front());
+
+    // Ground truth + measurement metadata.
+    OracleWeights generic;  // corpus-wide oracle; targets specialize later
+    rec.pk = oracle_pk(rec.ligand, rec.pocket, generic, &rng);
+    const float u = rng.uniform();
+    rec.label_kind = u < 0.35f ? LabelKind::Ki : (u < 0.65f ? LabelKind::Kd : LabelKind::IC50);
+    rec.resolution = rng.uniform(1.2f, 3.3f);
+
+    rec.in_refined = rec.ligand.molecular_weight() <= 1000.0f &&
+                     rec.label_kind != LabelKind::IC50 && rec.resolution < 2.5f;
+    out.push_back(std::move(rec));
+  }
+
+  // Core set: greedy max-min diversity selection from the refined set.
+  std::vector<int> refined;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i].in_refined) refined.push_back(static_cast<int>(i));
+  }
+  if (!refined.empty()) {
+    std::vector<std::array<float, 5>> descs;
+    descs.reserve(refined.size());
+    for (int idx : refined) descs.push_back(descriptor(out[static_cast<size_t>(idx)]));
+    std::vector<int> core{0};  // seed with the first refined complex
+    std::vector<float> min_dist(refined.size(), 1e30f);
+    while (static_cast<int>(core.size()) < std::min<int>(cfg_.core_size, static_cast<int>(refined.size()))) {
+      const int last = core.back();
+      int best = -1;
+      float best_d = -1.0f;
+      for (size_t i = 0; i < refined.size(); ++i) {
+        min_dist[i] = std::min(min_dist[i], desc_dist(descs[i], descs[static_cast<size_t>(last)]));
+        if (std::find(core.begin(), core.end(), static_cast<int>(i)) != core.end()) continue;
+        if (min_dist[i] > best_d) {
+          best_d = min_dist[i];
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      core.push_back(best);
+    }
+    for (int ci : core) out[static_cast<size_t>(refined[static_cast<size_t>(ci)])].in_core = true;
+  }
+  return out;
+}
+
+std::vector<int> SyntheticPdbbind::general_indices(const std::vector<ComplexRecord>& recs) {
+  std::vector<int> v;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (!recs[i].in_refined && !recs[i].in_core) v.push_back(static_cast<int>(i));
+  }
+  return v;
+}
+
+std::vector<int> SyntheticPdbbind::refined_indices(const std::vector<ComplexRecord>& recs) {
+  std::vector<int> v;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].in_refined && !recs[i].in_core) v.push_back(static_cast<int>(i));
+  }
+  return v;
+}
+
+std::vector<int> SyntheticPdbbind::core_indices(const std::vector<ComplexRecord>& recs) {
+  std::vector<int> v;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].in_core) v.push_back(static_cast<int>(i));
+  }
+  return v;
+}
+
+}  // namespace df::data

@@ -1,0 +1,63 @@
+// Synthetic PDBbind-2019 — the training/evaluation corpus substitute
+// (DESIGN.md substitution #1). Generates protein–ligand complexes with a
+// crystal pose and a hidden-oracle affinity, then derives the general /
+// refined / core memberships with the same rules the real PDBbind uses:
+//   refined: ligand MW <= 1000 Da, Ki/Kd label (no IC50-only), resolution
+//            < 2.5 A;
+//   core:    diversity-clustered subset of refined (here: greedy
+//            max-min selection in descriptor space).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/target.h"
+
+namespace df::data {
+
+enum class LabelKind { Ki, Kd, IC50 };
+
+const char* label_kind_name(LabelKind k);
+
+struct ComplexRecord {
+  std::string id;                     // synthetic PDB-style code
+  chem::Molecule ligand;              // crystal pose, in the pocket frame
+  std::vector<chem::Atom> pocket;
+  core::Vec3 site_center;
+  float pk = 0.0f;                    // ground-truth -log K (Eq. 1)
+  LabelKind label_kind = LabelKind::Kd;
+  float resolution = 2.0f;            // Angstrom
+  bool in_refined = false;
+  bool in_core = false;
+};
+
+struct PdbbindConfig {
+  int num_complexes = 1200;
+  int core_size = 60;               // paper: 290 of ~17k; same ~1.7% ratio
+  int settle_runs = 2;              // short MC to settle the crystal pose
+  int settle_steps = 40;
+  chem::MoleculeGenConfig ligand_gen{.min_heavy_atoms = 10, .max_heavy_atoms = 26};
+  /// Fraction of heavy (>1000 Da) ligands forced in to exercise the
+  /// refined-set MW gate.
+  float heavy_fraction = 0.03f;
+};
+
+class SyntheticPdbbind {
+ public:
+  explicit SyntheticPdbbind(PdbbindConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Generate the full corpus; deterministic given `rng`.
+  std::vector<ComplexRecord> generate(core::Rng& rng) const;
+
+  /// Index lists per grouping.
+  static std::vector<int> general_indices(const std::vector<ComplexRecord>& recs);
+  static std::vector<int> refined_indices(const std::vector<ComplexRecord>& recs);
+  static std::vector<int> core_indices(const std::vector<ComplexRecord>& recs);
+
+  const PdbbindConfig& config() const { return cfg_; }
+
+ private:
+  PdbbindConfig cfg_;
+};
+
+}  // namespace df::data

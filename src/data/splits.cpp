@@ -1,0 +1,41 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+namespace df::data {
+
+TrainValSplit quintile_split(const std::vector<ComplexRecord>& recs, const std::vector<int>& indices,
+                             float val_fraction, core::Rng& rng) {
+  std::vector<int> sorted = indices;
+  std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    return recs[static_cast<size_t>(a)].pk < recs[static_cast<size_t>(b)].pk;
+  });
+  TrainValSplit out;
+  const size_t n = sorted.size();
+  for (int q = 0; q < 5; ++q) {
+    const size_t lo = n * static_cast<size_t>(q) / 5;
+    const size_t hi = n * static_cast<size_t>(q + 1) / 5;
+    std::vector<int> quintile(sorted.begin() + static_cast<long>(lo),
+                              sorted.begin() + static_cast<long>(hi));
+    rng.shuffle(quintile);
+    const size_t n_val = static_cast<size_t>(static_cast<float>(quintile.size()) * val_fraction);
+    for (size_t i = 0; i < quintile.size(); ++i) {
+      (i < n_val ? out.val : out.train).push_back(quintile[i]);
+    }
+  }
+  return out;
+}
+
+TrainValSplit pdbbind_train_val(const std::vector<ComplexRecord>& recs, float val_fraction,
+                                core::Rng& rng) {
+  const TrainValSplit g = quintile_split(recs, SyntheticPdbbind::general_indices(recs),
+                                         val_fraction, rng);
+  const TrainValSplit r = quintile_split(recs, SyntheticPdbbind::refined_indices(recs),
+                                         val_fraction, rng);
+  TrainValSplit out = g;
+  out.train.insert(out.train.end(), r.train.begin(), r.train.end());
+  out.val.insert(out.val.end(), r.val.begin(), r.val.end());
+  return out;
+}
+
+}  // namespace df::data

@@ -1,0 +1,29 @@
+// Quintile sub-sampling (paper §3.1, after Ellingson et al. 2020): the
+// validation set is drawn as 10% of *each affinity quintile* so train and
+// validation cover the same pK range — plain random sampling risks them
+// landing on different affinity sub-spaces.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/pdbbind.h"
+
+namespace df::data {
+
+struct TrainValSplit {
+  std::vector<int> train;
+  std::vector<int> val;
+};
+
+/// Split `indices` (into `recs`) by pK quintile; `val_fraction` of each
+/// quintile goes to validation.
+TrainValSplit quintile_split(const std::vector<ComplexRecord>& recs, const std::vector<int>& indices,
+                             float val_fraction, core::Rng& rng);
+
+/// Paper protocol: independent quintile splits of the general and refined
+/// groups, unioned; core set is held out entirely.
+TrainValSplit pdbbind_train_val(const std::vector<ComplexRecord>& recs, float val_fraction,
+                                core::Rng& rng);
+
+}  // namespace df::data

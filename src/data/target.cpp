@@ -1,0 +1,118 @@
+#include "data/target.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dock/scoring.h"
+
+namespace df::data {
+
+const char* target_name(TargetKind k) {
+  switch (k) {
+    case TargetKind::Protease1: return "protease1";
+    case TargetKind::Protease2: return "protease2";
+    case TargetKind::Spike1: return "spike1";
+    case TargetKind::Spike2: return "spike2";
+  }
+  return "?";
+}
+
+std::vector<chem::Atom> make_pocket(const PocketConfig& cfg, core::Rng& rng,
+                                    const core::Vec3& center) {
+  std::vector<chem::Atom> pocket;
+  pocket.reserve(static_cast<size_t>(cfg.num_atoms));
+  for (int i = 0; i < cfg.num_atoms; ++i) {
+    // Sample a direction on the covered part-sphere: cos(theta) in
+    // [1 - 2*coverage, 1] keeps a polar cap open (the solvent mouth).
+    const float cos_t = rng.uniform(1.0f - 2.0f * cfg.coverage, 1.0f);
+    const float sin_t = std::sqrt(std::max(0.0f, 1.0f - cos_t * cos_t));
+    const float phi = rng.uniform(0.0f, 6.2831853f);
+    const float r = cfg.radius * rng.uniform(0.92f, 1.12f);
+    chem::Atom a;
+    a.pos = center + core::Vec3{r * sin_t * std::cos(phi), r * sin_t * std::sin(phi), -r * cos_t};
+    const float u = rng.uniform();
+    if (u < cfg.charged_frac) {
+      a.element = rng.bernoulli(0.5) ? chem::Element::N : chem::Element::O;
+      a.formal_charge = a.element == chem::Element::N ? 1 : -1;
+    } else if (u < cfg.charged_frac + cfg.hydrophobic_frac) {
+      a.element = chem::Element::C;
+    } else {
+      // Polar residue atoms: N/O/S donors and acceptors.
+      const float v = rng.uniform();
+      a.element = v < 0.4f ? chem::Element::O : (v < 0.8f ? chem::Element::N : chem::Element::S);
+      a.implicit_h = rng.bernoulli(0.5) ? 1 : 0;
+    }
+    pocket.push_back(a);
+  }
+  return pocket;
+}
+
+Target make_target(TargetKind kind, core::Rng& rng) {
+  Target t;
+  t.kind = kind;
+  t.name = target_name(kind);
+  PocketConfig pc;
+  switch (kind) {
+    case TargetKind::Protease1:
+      // Large, deep, hydrophobic-leaning active site (6LU7 conformation).
+      pc = {7.5f, 96, 0.78f, 0.55f, 0.06f};
+      t.assay_concentration_uM = 100.0f;
+      t.oracle = {0.40f, -0.8f, 0.65f, 0.35f, -0.04f, 0.9f, 0.55f, 1.1f};
+      break;
+    case TargetKind::Protease2:
+      // Alternate Mpro conformation: slightly tighter, same chemistry.
+      pc = {7.0f, 88, 0.72f, 0.50f, 0.08f};
+      t.assay_concentration_uM = 100.0f;
+      t.oracle = {0.35f, -0.9f, 0.55f, 0.45f, -0.05f, 1.1f, 0.60f, 1.0f};
+      break;
+    case TargetKind::Spike1:
+      // Small, shallow RBD site: polar contacts dominate.
+      pc = {5.5f, 52, 0.48f, 0.30f, 0.14f};
+      t.assay_concentration_uM = 10.0f;
+      t.oracle = {0.30f, -0.7f, 0.25f, 0.80f, -0.08f, 1.2f, 0.50f, 2.0f};
+      break;
+    case TargetKind::Spike2:
+      pc = {5.0f, 46, 0.44f, 0.35f, 0.12f};
+      t.assay_concentration_uM = 10.0f;
+      t.oracle = {0.45f, -0.7f, 0.30f, 0.60f, -0.10f, 0.8f, 0.65f, 2.3f};
+      break;
+  }
+  t.pocket = make_pocket(pc, rng);
+  t.site_center = core::Vec3{};
+  return t;
+}
+
+std::vector<Target> make_sars_cov2_targets(core::Rng& rng) {
+  return {make_target(TargetKind::Protease1, rng), make_target(TargetKind::Protease2, rng),
+          make_target(TargetKind::Spike1, rng), make_target(TargetKind::Spike2, rng)};
+}
+
+float topo_term(const chem::Molecule& ligand) {
+  // Non-linear ligand-graph contribution: visible to the SG-CNN through the
+  // bond graph, invisible to purely geometric scorers.
+  const float rings = static_cast<float>(ligand.num_rings());
+  const float donors = static_cast<float>(ligand.num_hbond_donors());
+  const float acceptors = static_cast<float>(ligand.num_hbond_acceptors());
+  const float rotors = static_cast<float>(ligand.num_rotatable_bonds());
+  const float logp = ligand.logp_proxy();
+  return 0.55f * rings + 0.30f * donors + 0.25f * acceptors - 0.18f * rotors +
+         0.8f * std::tanh(logp) - 0.12f * rings * rings * 0.2f;
+}
+
+float oracle_pk(const chem::Molecule& ligand_pose, const std::vector<chem::Atom>& pocket,
+                const OracleWeights& w, core::Rng* noise_rng) {
+  const dock::TermBreakdown t = dock::score_terms(ligand_pose, pocket);
+  // Normalize raw term sums per ligand heavy atom (ligand efficiency): a
+  // deeply docked pose has contact counts proportional to ligand size, and
+  // without this normalization optimized poses saturate the pK clamp.
+  const float inv_n = 2.0f / static_cast<float>(std::max<size_t>(1, ligand_pose.num_atoms()));
+  const float spatial = inv_n * (w.gauss * (t.gauss1 * 0.08f + t.gauss2 * 0.015f) +
+                                 w.repulsion * t.repulsion * 0.10f +
+                                 w.hydrophobic * t.hydrophobic * 0.20f +
+                                 w.hbond * t.hbond * 0.45f + w.electrostatic * t.electrostatic);
+  float pk = w.intercept + spatial + w.topo * topo_term(ligand_pose) * 0.35f;
+  if (noise_rng) pk += noise_rng->normal(0.0f, w.noise_sigma);
+  return std::clamp(pk, 2.0f, 11.5f);
+}
+
+}  // namespace df::data

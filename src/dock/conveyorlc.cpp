@@ -1,0 +1,52 @@
+#include "dock/conveyorlc.h"
+
+namespace df::dock {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+ReceptorModel ConveyorLC::prepare_receptor(std::vector<Atom> pocket) {
+  ReceptorModel r;
+  core::Vec3 c{};
+  for (const Atom& a : pocket) c += a.pos;
+  if (!pocket.empty()) c = c * (1.0f / static_cast<float>(pocket.size()));
+  r.site_center = c;
+  r.pocket = std::move(pocket);
+  return r;
+}
+
+std::optional<PipelineResult> ConveyorLC::run(const chem::Molecule& raw_ligand,
+                                              const ReceptorModel& receptor,
+                                              core::Rng& rng) const {
+  PipelineResult out;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::optional<chem::PreparedLigand> prep = chem::prepare_ligand(raw_ligand, rng, cfg_.ligand_prep);
+  out.ligand_prep_seconds = seconds_since(t0);
+  if (!prep) return std::nullopt;
+  out.ligand = std::move(*prep);
+
+  t0 = std::chrono::steady_clock::now();
+  DockingEngine engine(cfg_.docking);
+  DockingResult dock = engine.dock(out.ligand.mol, receptor.pocket, receptor.site_center, rng);
+  out.docking_seconds = seconds_since(t0);
+  out.poses = std::move(dock.poses);
+  out.conformers = std::move(dock.conformers);
+
+  if (cfg_.run_mmgbsa) {
+    t0 = std::chrono::steady_clock::now();
+    const int n = std::min<int>(cfg_.rescore_top_n, static_cast<int>(out.poses.size()));
+    out.mmgbsa_scores.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.mmgbsa_scores.push_back(mmgbsa_score(out.conformers[static_cast<size_t>(i)],
+                                               receptor.pocket, cfg_.mmgbsa));
+    }
+    out.mmgbsa_seconds = seconds_since(t0);
+  }
+  return out;
+}
+
+}  // namespace df::dock

@@ -1,0 +1,58 @@
+#include "dock/docking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace df::dock {
+
+DockingResult DockingEngine::dock(const Molecule& ligand, const std::vector<Atom>& pocket,
+                                  const core::Vec3& site_center, core::Rng& rng) const {
+  DockingResult out;
+  std::vector<Pose> best_per_run;
+  for (int run = 0; run < cfg_.num_runs; ++run) {
+    Pose current = random_pose(rng, cfg_.box_half);
+    Molecule m = current.apply(ligand, site_center);
+    current.score = vina_score(m, pocket, cfg_.weights);
+    ++out.total_evaluations;
+    Pose best = current;
+    for (int step = 0; step < cfg_.steps_per_run; ++step) {
+      Pose cand = perturb(current, rng);
+      // Keep the pose inside the search box.
+      cand.translation.x = std::clamp(cand.translation.x, -cfg_.box_half, cfg_.box_half);
+      cand.translation.y = std::clamp(cand.translation.y, -cfg_.box_half, cfg_.box_half);
+      cand.translation.z = std::clamp(cand.translation.z, -cfg_.box_half, cfg_.box_half);
+      Molecule cm = cand.apply(ligand, site_center);
+      cand.score = vina_score(cm, pocket, cfg_.weights);
+      ++out.total_evaluations;
+      const float delta = cand.score - current.score;
+      if (delta < 0.0f || rng.uniform() < std::exp(-delta / cfg_.temperature)) {
+        current = cand;
+        if (current.score < best.score) best = current;
+      }
+    }
+    best_per_run.push_back(best);
+  }
+
+  std::sort(best_per_run.begin(), best_per_run.end(),
+            [](const Pose& a, const Pose& b) { return a.score < b.score; });
+
+  // Deduplicate by heavy-atom RMSD against already-accepted poses.
+  for (const Pose& p : best_per_run) {
+    if (static_cast<int>(out.poses.size()) >= cfg_.max_poses) break;
+    Molecule pm = p.apply(ligand, site_center);
+    bool dup = false;
+    for (const Molecule& accepted : out.conformers) {
+      if (chem::pose_rmsd(pm, accepted) < cfg_.dedup_rmsd) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      out.poses.push_back(p);
+      out.conformers.push_back(std::move(pm));
+    }
+  }
+  return out;
+}
+
+}  // namespace df::dock

@@ -1,0 +1,43 @@
+// Monte-Carlo rigid-body docking — our CDT3Docking. Runs `num_runs`
+// independent Metropolis chains (the paper uses 8 Vina MC simulations per
+// compound), keeps the best pose of each, deduplicates by RMSD and returns
+// up to `max_poses` (paper: 10 best poses are carried to rescoring).
+#pragma once
+
+#include <vector>
+
+#include "dock/pose.h"
+#include "dock/scoring.h"
+
+namespace df::dock {
+
+struct DockingConfig {
+  int num_runs = 8;
+  int steps_per_run = 150;
+  float temperature = 1.2f;     // Metropolis kT in score units
+  float box_half = 4.0f;        // search box half-extent around the site
+  int max_poses = 10;
+  float dedup_rmsd = 1.0f;      // poses closer than this are duplicates
+  VinaWeights weights;
+};
+
+struct DockingResult {
+  std::vector<Pose> poses;          // sorted best (lowest score) first
+  std::vector<Molecule> conformers; // pose applied to the ligand
+  int total_evaluations = 0;        // scoring-function calls (cost proxy)
+};
+
+class DockingEngine {
+ public:
+  explicit DockingEngine(DockingConfig cfg = {}) : cfg_(cfg) {}
+
+  DockingResult dock(const Molecule& ligand, const std::vector<Atom>& pocket,
+                     const core::Vec3& site_center, core::Rng& rng) const;
+
+  const DockingConfig& config() const { return cfg_; }
+
+ private:
+  DockingConfig cfg_;
+};
+
+}  // namespace df::dock

@@ -1,0 +1,157 @@
+#include "dock/mmgbsa.h"
+
+#include <cmath>
+#include <algorithm>
+
+#include "core/linalg.h"
+
+namespace df::dock {
+
+namespace {
+
+/// Lennard-Jones 6-12 between ligand and pocket (kcal/mol, eps=0.15).
+float lj_energy(const Molecule& ligand, const std::vector<Atom>& pocket) {
+  float e = 0.0f;
+  for (const chem::Atom& la : ligand.atoms()) {
+    const float rl = chem::element_info(la.element).vdw_radius;
+    for (const chem::Atom& pa : pocket) {
+      const float r = std::max(0.8f, la.pos.dist(pa.pos));
+      if (r > 9.0f) continue;
+      const float rmin = rl + chem::element_info(pa.element).vdw_radius;
+      const float q = rmin / r;
+      const float q6 = q * q * q * q * q * q;
+      e += 0.15f * (q6 * q6 - 2.0f * q6);
+    }
+  }
+  return e;
+}
+
+/// Generalized-Born polar solvation change on binding (Still-style pairwise
+/// approximation over charged atoms, plus partial charges from
+/// electronegativity differences along bonds would be overkill — formal
+/// charges and polar-atom partials are used).
+float gb_polar(const Molecule& ligand, const std::vector<Atom>& pocket, const MmGbsaConfig& cfg) {
+  auto partial = [](const chem::Atom& a) -> float {
+    if (a.formal_charge != 0) return static_cast<float>(a.formal_charge);
+    switch (a.element) {
+      case chem::Element::O: return -0.4f;
+      case chem::Element::N: return -0.3f;
+      case chem::Element::S: return -0.15f;
+      default: return 0.05f;
+    }
+  };
+  const float pre = -166.0f * (1.0f / cfg.dielectric_solute - 1.0f / cfg.dielectric_solvent) *
+                    cfg.polar_scale;
+  float e = 0.0f;
+  for (const chem::Atom& la : ligand.atoms()) {
+    const float qi = partial(la);
+    const float ai = chem::element_info(la.element).vdw_radius * cfg.gb_scale;
+    for (const chem::Atom& pa : pocket) {
+      const float qj = partial(pa);
+      const float aj = chem::element_info(pa.element).vdw_radius * cfg.gb_scale;
+      const float r2 = std::max(0.25f, (la.pos - pa.pos).norm2());
+      // Still's f_GB = sqrt(r^2 + ai*aj*exp(-r^2/(4 ai aj)))
+      const float fgb = std::sqrt(r2 + ai * aj * std::exp(-r2 / (4.0f * ai * aj)));
+      e += pre * 2.0f * qi * qj / fgb;
+    }
+  }
+  return e;
+}
+
+/// Nonpolar (surface-area) term: buried-contact proxy.
+float sa_nonpolar(const Molecule& ligand, const std::vector<Atom>& pocket,
+                  const MmGbsaConfig& cfg) {
+  float buried = 0.0f;
+  for (const chem::Atom& la : ligand.atoms()) {
+    for (const chem::Atom& pa : pocket) {
+      const float touch = chem::element_info(la.element).vdw_radius +
+                          chem::element_info(pa.element).vdw_radius + 1.4f;
+      const float r = la.pos.dist(pa.pos);
+      if (r < touch) buried += (touch - r) * 12.0f;  // A^2-ish per contact
+    }
+  }
+  return -cfg.surface_tension * buried;
+}
+
+}  // namespace
+
+float mmgbsa_score(const Molecule& ligand_pose, const std::vector<Atom>& pocket,
+                   const MmGbsaConfig& cfg) {
+  // Local rigid-body minimization: descend the LJ+electrostatic gradient in
+  // translation space only (rotational relaxation is second order at this
+  // resolution). This is the expensive "single-point minimization" stage.
+  Molecule m = ligand_pose;
+  const float h = 0.05f;
+  for (int it = 0; it < cfg.minimize_iterations; ++it) {
+    float base = lj_energy(m, pocket);
+    core::Vec3 grad{};
+    for (int axis = 0; axis < 3; ++axis) {
+      Molecule probe = m;
+      core::Vec3 d{axis == 0 ? h : 0.0f, axis == 1 ? h : 0.0f, axis == 2 ? h : 0.0f};
+      probe.translate(d);
+      const float e = lj_energy(probe, pocket);
+      const float g = (e - base) / h;
+      if (axis == 0) grad.x = g;
+      if (axis == 1) grad.y = g;
+      if (axis == 2) grad.z = g;
+    }
+    const float gn = grad.norm();
+    if (gn < 1e-3f) break;
+    m.translate(grad * (-0.02f / std::max(1.0f, gn)));
+  }
+
+  const TermBreakdown terms = score_terms(m, pocket);
+  const float mm = lj_energy(m, pocket) + terms.electrostatic;
+  const float gb = gb_polar(m, pocket, cfg);
+  const float sa = sa_nonpolar(m, pocket, cfg);
+  // Entropy penalty for flexible ligands (TdS approximation).
+  const float entropy = 0.3f * static_cast<float>(m.num_rotatable_bonds());
+  return mm + gb + sa + entropy;
+}
+
+std::vector<double> AmplMmGbsaSurrogate::features(const Molecule& pose,
+                                                  const std::vector<Atom>& pocket) {
+  const TermBreakdown t = score_terms(pose, pocket);
+  // Capped LJ: the dominant MM term of the target, clamped so near-clash
+  // poses do not blow up the regression.
+  const double lj = std::clamp(lj_energy(pose, pocket), -200.0f, 200.0f);
+  return {
+      lj, t.gauss1, t.gauss2, t.repulsion, t.hydrophobic, t.hbond, t.electrostatic,
+      static_cast<double>(pose.num_rotatable_bonds()),
+      static_cast<double>(pose.molecular_weight()) / 100.0,
+      static_cast<double>(pose.logp_proxy()),
+      static_cast<double>(pose.tpsa_proxy()) / 10.0,
+      1.0,  // bias
+  };
+}
+
+void AmplMmGbsaSurrogate::fit(const std::vector<Molecule>& poses,
+                              const std::vector<std::vector<Atom>>& pockets,
+                              const std::vector<float>& scores, float ridge) {
+  const size_t n = poses.size();
+  if (n == 0 || pockets.size() != n || scores.size() != n) {
+    throw std::invalid_argument("AmplMmGbsaSurrogate::fit: inconsistent inputs");
+  }
+  const size_t d = features(poses[0], pockets[0]).size();
+  // Normal equations with ridge: (X^T X + aI) w = X^T y.
+  std::vector<double> xtx(d * d, 0.0), xty(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> f = features(poses[i], pockets[i]);
+    for (size_t a = 0; a < d; ++a) {
+      xty[a] += f[a] * scores[i];
+      for (size_t b = 0; b < d; ++b) xtx[a * d + b] += f[a] * f[b];
+    }
+  }
+  for (size_t a = 0; a < d; ++a) xtx[a * d + a] += ridge;
+  weights_ = core::spd_solve(std::move(xtx), d, xty);
+}
+
+float AmplMmGbsaSurrogate::predict(const Molecule& pose, const std::vector<Atom>& pocket) const {
+  if (weights_.empty()) throw std::runtime_error("AmplMmGbsaSurrogate: predict before fit");
+  const std::vector<double> f = features(pose, pocket);
+  double y = 0.0;
+  for (size_t i = 0; i < f.size(); ++i) y += f[i] * weights_[i];
+  return static_cast<float>(y);
+}
+
+}  // namespace df::dock

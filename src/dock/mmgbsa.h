@@ -1,0 +1,52 @@
+// MM/GBSA rescoring surrogate (our CDT4mmgbsa) and the AMPL ML surrogate of
+// it. The physics version pays the real cost the paper reports (orders of
+// magnitude slower than docking: local pose minimization + O(N^2)
+// generalized-Born sums per pose); the AMPL surrogate is a per-target ridge
+// regression over cheap descriptors fitted to MM/GBSA outputs, matching
+// McLoughlin's AMPL-predicted MM/GBSA used in the paper's §5.2 analysis.
+#pragma once
+
+#include <vector>
+
+#include "chem/molecule.h"
+#include "dock/scoring.h"
+
+namespace df::dock {
+
+struct MmGbsaConfig {
+  int minimize_iterations = 60;  // rigid-body local minimization steps
+  float dielectric_solute = 1.0f;
+  float dielectric_solvent = 78.5f;
+  float surface_tension = 0.0072f;  // kcal/mol/A^2 (SA term)
+  float gb_scale = 0.8f;
+  /// Damping on the pairwise GB cross-term: our point charges are crude
+  /// (formal + heuristic partials), so the raw Still sum overshoots real
+  /// binding dG by ~10x without it.
+  float polar_scale = 0.1f;
+};
+
+/// Single-point MM/GBSA estimate for one pose (kcal/mol, negative = good).
+/// Deliberately expensive relative to vina_score; do not call inside hot
+/// screening loops — that asymmetry is the paper's Table-7 story.
+float mmgbsa_score(const Molecule& ligand_pose, const std::vector<Atom>& pocket,
+                   const MmGbsaConfig& cfg = {});
+
+/// AMPL-style learned surrogate: ridge regression from ligand/interface
+/// descriptors to MM/GBSA score, trained per target.
+class AmplMmGbsaSurrogate {
+ public:
+  /// Fit on example poses and their true MM/GBSA scores.
+  void fit(const std::vector<Molecule>& poses, const std::vector<std::vector<Atom>>& pockets,
+           const std::vector<float>& mmgbsa_scores, float ridge = 1.0f);
+
+  float predict(const Molecule& pose, const std::vector<Atom>& pocket) const;
+  bool trained() const { return !weights_.empty(); }
+
+  /// Descriptor vector used by the regression (exposed for tests).
+  static std::vector<double> features(const Molecule& pose, const std::vector<Atom>& pocket);
+
+ private:
+  std::vector<double> weights_;  // includes bias as the last element
+};
+
+}  // namespace df::dock

@@ -1,0 +1,33 @@
+#include "dock/pose.h"
+
+namespace df::dock {
+
+Molecule Pose::apply(const Molecule& ligand, const Vec3& box_center) const {
+  Molecule m = ligand;
+  const Vec3 c = m.centroid();
+  m.rotate(c, axis, angle);
+  m.translate(box_center + translation - c);
+  return m;
+}
+
+Pose perturb(const Pose& p, core::Rng& rng, float sigma_t, float sigma_r) {
+  Pose q = p;
+  q.translation += Vec3{rng.normal(0, sigma_t), rng.normal(0, sigma_t), rng.normal(0, sigma_t)};
+  // Compose with a small random rotation: approximate by re-randomizing the
+  // axis slightly and adding angle noise (adequate for a rigid MC search).
+  Vec3 da{rng.normal(0, 0.3f), rng.normal(0, 0.3f), rng.normal(0, 0.3f)};
+  q.axis = (q.axis + da).normalized();
+  q.angle += rng.normal(0, sigma_r);
+  return q;
+}
+
+Pose random_pose(core::Rng& rng, float box_half) {
+  Pose p;
+  p.translation = Vec3{rng.uniform(-box_half, box_half), rng.uniform(-box_half, box_half),
+                       rng.uniform(-box_half, box_half)};
+  p.axis = Vec3{rng.normal(), rng.normal(), rng.normal()}.normalized();
+  p.angle = rng.uniform(0.0f, 6.2831853f);
+  return p;
+}
+
+}  // namespace df::dock

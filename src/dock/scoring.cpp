@@ -1,0 +1,67 @@
+#include "dock/scoring.h"
+
+#include <cmath>
+
+namespace df::dock {
+
+namespace {
+constexpr float kCutoff = 8.0f;
+
+float hydrophobic_ramp(float d) {
+  // 1 below 0.5 A surface distance, linear to 0 at 1.5 A.
+  if (d <= 0.5f) return 1.0f;
+  if (d >= 1.5f) return 0.0f;
+  return 1.5f - d;
+}
+
+float hbond_ramp(float d) {
+  // 1 below -0.7 A, linear to 0 at 0.
+  if (d <= -0.7f) return 1.0f;
+  if (d >= 0.0f) return 0.0f;
+  return -d / 0.7f;
+}
+}  // namespace
+
+TermBreakdown score_terms(const Molecule& ligand, const std::vector<Atom>& pocket) {
+  TermBreakdown t;
+  for (const Atom& la : ligand.atoms()) {
+    const chem::ElementInfo& li = chem::element_info(la.element);
+    for (const Atom& pa : pocket) {
+      const float r = la.pos.dist(pa.pos);
+      if (r > kCutoff) continue;
+      const chem::ElementInfo& pi = chem::element_info(pa.element);
+      const float d = r - (li.vdw_radius + pi.vdw_radius);  // surface distance
+      t.gauss1 += std::exp(-(d / 0.5f) * (d / 0.5f));
+      const float g2 = (d - 3.0f) / 2.0f;
+      t.gauss2 += std::exp(-g2 * g2);
+      if (d < 0.0f) t.repulsion += d * d;
+      if (li.hydrophobic && pi.hydrophobic) t.hydrophobic += hydrophobic_ramp(d);
+      const bool l_donor = li.hbond_donor_heavy && la.implicit_h > 0;
+      const bool p_donor = pi.hbond_donor_heavy;
+      if ((l_donor && pi.hbond_acceptor) || (p_donor && li.hbond_acceptor)) {
+        t.hbond += hbond_ramp(d);
+      }
+      if (la.formal_charge != 0 && pa.formal_charge != 0) {
+        // Distance-dependent dielectric (epsilon = 4r), kcal/mol units.
+        t.electrostatic += 332.0f * static_cast<float>(la.formal_charge) *
+                           static_cast<float>(pa.formal_charge) / (4.0f * r * r);
+      }
+    }
+  }
+  return t;
+}
+
+float vina_score(const Molecule& ligand, const std::vector<Atom>& pocket, const VinaWeights& w) {
+  const TermBreakdown t = score_terms(ligand, pocket);
+  const float inter = w.gauss1 * t.gauss1 + w.gauss2 * t.gauss2 + w.repulsion * t.repulsion +
+                      w.hydrophobic * t.hydrophobic + w.hbond * t.hbond;
+  const float rotors = static_cast<float>(ligand.num_rotatable_bonds());
+  return inter / (1.0f + w.rotor * rotors);
+}
+
+float score_to_pk(float score_kcal) {
+  // pK = -dG / (2.303 RT); RT = 0.593 kcal/mol at 298 K.
+  return -score_kcal / (2.303f * 0.593f);
+}
+
+}  // namespace df::dock

@@ -1,0 +1,45 @@
+// Empirical docking score with the AutoDock Vina functional form (Trott &
+// Olson 2010): two attractive Gaussians, a steric repulsion, a hydrophobic
+// term and a directional-free H-bond term over surface distances, divided by
+// a rotor penalty. This is the CDT3Docking scorer of our ConveyorLC
+// equivalent and one of the three energy models compared throughout the
+// paper's evaluation.
+#pragma once
+
+#include <vector>
+
+#include "chem/molecule.h"
+
+namespace df::dock {
+
+using chem::Atom;
+using chem::Molecule;
+
+struct VinaWeights {
+  float gauss1 = -0.0356f;
+  float gauss2 = -0.00516f;
+  float repulsion = 0.840f;
+  float hydrophobic = -0.0351f;
+  float hbond = -0.587f;
+  float rotor = 0.0585f;  // conformational entropy penalty per rotor
+};
+
+struct TermBreakdown {
+  float gauss1 = 0, gauss2 = 0, repulsion = 0, hydrophobic = 0, hbond = 0;
+  /// Intermolecular electrostatic energy (not part of the Vina score; used
+  /// by the MM/GBSA surrogate and the data oracle).
+  float electrostatic = 0;
+};
+
+/// Raw pairwise term sums between ligand and pocket atoms (cutoff 8 A).
+TermBreakdown score_terms(const Molecule& ligand, const std::vector<Atom>& pocket);
+
+/// Vina-style total score in kcal/mol (more negative = better binding).
+float vina_score(const Molecule& ligand, const std::vector<Atom>& pocket,
+                 const VinaWeights& w = {});
+
+/// Convert a Vina-like score to a predicted pK (the standard -dG/(2.303 RT)
+/// conversion at 298 K).
+float score_to_pk(float score_kcal);
+
+}  // namespace df::dock

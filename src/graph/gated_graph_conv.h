@@ -1,0 +1,41 @@
+// Gated graph convolution: K steps of message passing with a GRU node
+// update, over one edge type. The SG-CNN runs one instance over covalent
+// edges and another over non-covalent edges, with per-stage K and hidden
+// widths chosen by the hyper-parameter search (paper Table 1/2).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+#include "graph/gru_cell.h"
+#include "nn/module.h"
+
+namespace df::graph {
+
+class GatedGraphConv {
+ public:
+  GatedGraphConv(int64_t dim, int64_t num_steps, core::Rng& rng);
+
+  /// Propagate node states (N, dim) over `edges` for K steps.
+  Tensor forward(const Tensor& h0, const EdgeList& edges, bool training);
+  /// Backward for the most recent forward; returns dL/dh0.
+  Tensor backward(const Tensor& grad_h_final);
+
+  void collect_parameters(std::vector<nn::Parameter*>& out);
+  int64_t dim() const { return dim_; }
+  int64_t num_steps() const { return steps_; }
+
+ private:
+  /// m_v = sum_{(u,v) in E} h_u W_msg  (aggregate-then-transform).
+  Tensor message(const Tensor& h, const EdgeList& edges) const;
+
+  int64_t dim_, steps_;
+  nn::Parameter w_msg_;  // (dim, dim)
+  GRUCell gru_;
+  // Caches for backward (training only).
+  std::vector<Tensor> h_states_;  // h_0 .. h_{K-1} (inputs to each step)
+  const EdgeList* edges_ = nullptr;
+};
+
+}  // namespace df::graph

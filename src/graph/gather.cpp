@@ -1,0 +1,80 @@
+#include "graph/gather.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+
+namespace df::graph {
+
+Gather::Gather(int64_t in_h, int64_t in_x, int64_t width, core::Rng& rng)
+    : in_h_(in_h), in_x_(in_x), width_(width), gate_(in_h + in_x, width, rng),
+      value_(in_h + in_x, width, rng) {}
+
+Tensor Gather::concat(const Tensor& h, const Tensor& x) const {
+  if (h.dim(0) != x.dim(0)) throw std::invalid_argument("Gather: node count mismatch");
+  Tensor cat({h.dim(0), in_h_ + in_x_});
+  for (int64_t i = 0; i < h.dim(0); ++i) {
+    for (int64_t j = 0; j < in_h_; ++j) cat.at(i, j) = h.at(i, j);
+    for (int64_t j = 0; j < in_x_; ++j) cat.at(i, in_h_ + j) = x.at(i, j);
+  }
+  return cat;
+}
+
+Tensor Gather::forward_nodes(const Tensor& h, const Tensor& x, bool training) {
+  gate_.set_training(training);
+  value_.set_training(training);
+  Tensor cat = concat(h, x);
+  Tensor g = gate_.forward(cat).map(nn::sigmoid);
+  Tensor v = value_.forward(cat);
+  if (training) {
+    cat_ = cat;
+    gate_out_ = g;
+    value_out_ = v;
+    n_nodes_ = h.dim(0);
+  }
+  return g * v;
+}
+
+std::pair<Tensor, Tensor> Gather::backward_nodes(const Tensor& grad_out) {
+  if (cat_.empty()) throw std::runtime_error("Gather::backward before forward");
+  // out = sigmoid(a_g) * v
+  Tensor dv = grad_out * gate_out_;
+  Tensor dag(grad_out.shape());
+  for (int64_t i = 0; i < grad_out.numel(); ++i) {
+    dag[i] = grad_out[i] * value_out_[i] * nn::dsigmoid_from_y(gate_out_[i]);
+  }
+  Tensor dcat = value_.backward(dv);
+  dcat += gate_.backward(dag);
+  // split the concat gradient
+  Tensor dh({n_nodes_, in_h_}), dx({n_nodes_, in_x_});
+  for (int64_t i = 0; i < n_nodes_; ++i) {
+    for (int64_t j = 0; j < in_h_; ++j) dh.at(i, j) = dcat.at(i, j);
+    for (int64_t j = 0; j < in_x_; ++j) dx.at(i, j) = dcat.at(i, in_h_ + j);
+  }
+  cat_ = Tensor();
+  return {std::move(dh), std::move(dx)};
+}
+
+Tensor Gather::forward_sum(const Tensor& h, const Tensor& x, int64_t n_sum, bool training) {
+  Tensor per_node = forward_nodes(h, x, training);
+  n_sum_ = std::min<int64_t>(n_sum, per_node.dim(0));
+  Tensor out({1, width_});
+  for (int64_t i = 0; i < n_sum_; ++i)
+    for (int64_t j = 0; j < width_; ++j) out.at(0, j) += per_node.at(i, j);
+  return out;
+}
+
+std::pair<Tensor, Tensor> Gather::backward_sum(const Tensor& grad_graph) {
+  // Broadcast the graph-level gradient to the summed nodes; zero elsewhere.
+  Tensor gnodes({n_nodes_, width_});
+  for (int64_t i = 0; i < n_sum_; ++i)
+    for (int64_t j = 0; j < width_; ++j) gnodes.at(i, j) = grad_graph.at(0, j);
+  return backward_nodes(gnodes);
+}
+
+void Gather::collect_parameters(std::vector<nn::Parameter*>& out) {
+  gate_.collect_parameters(out);
+  value_.collect_parameters(out);
+}
+
+}  // namespace df::graph

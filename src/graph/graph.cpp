@@ -1,0 +1,3 @@
+#include "graph/graph.h"
+
+// Data-only component; TU anchors it in the build.

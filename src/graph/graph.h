@@ -1,0 +1,44 @@
+// Spatial graph representation of a protein–ligand complex, the input to the
+// SG-CNN. Two directed edge sets mirror FAST/PotentialNet's edge types:
+// covalent (bond graph, short threshold) and non-covalent (spatial
+// neighbours across the interface, longer threshold).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace df::graph {
+
+using core::Tensor;
+
+/// Directed edge list stored as parallel (src, dst) arrays for tight loops.
+struct EdgeList {
+  std::vector<int32_t> src;
+  std::vector<int32_t> dst;
+
+  void add(int32_t s, int32_t d) {
+    src.push_back(s);
+    dst.push_back(d);
+  }
+  /// Add both directions (all chemistry edges in this library are symmetric).
+  void add_undirected(int32_t a, int32_t b) {
+    add(a, b);
+    add(b, a);
+  }
+  size_t size() const { return src.size(); }
+};
+
+struct SpatialGraph {
+  Tensor node_features;    // (num_nodes, feature_dim)
+  EdgeList covalent;       // bond-graph edges
+  EdgeList noncovalent;    // interface / spatial edges
+  int32_t num_ligand_nodes = 0;  // ligand atoms come first; gather sums them
+
+  int64_t num_nodes() const { return node_features.empty() ? 0 : node_features.dim(0); }
+  int64_t feature_dim() const { return node_features.empty() ? 0 : node_features.dim(1); }
+};
+
+}  // namespace df::graph

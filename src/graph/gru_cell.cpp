@@ -1,0 +1,104 @@
+#include "graph/gru_cell.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.h"
+
+namespace df::graph {
+
+namespace {
+Tensor linear2(const Tensor& x, const Tensor& w, const Tensor& h, const Tensor& u,
+               const Tensor& b) {
+  Tensor out = x.matmul(w);
+  out += h.matmul(u);
+  const int64_t rows = out.dim(0), cols = out.dim(1);
+  for (int64_t i = 0; i < rows; ++i)
+    for (int64_t j = 0; j < cols; ++j) out.at(i, j) += b[j];
+  return out;
+}
+}  // namespace
+
+GRUCell::GRUCell(int64_t dim, core::Rng& rng) : dim_(dim) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(dim));
+  auto mk = [&](const char* n) {
+    return Parameter(Tensor::uniform({dim_, dim_}, rng, -bound, bound), n);
+  };
+  auto mkb = [&](const char* n) {
+    return Parameter(Tensor::uniform({dim_}, rng, -bound, bound), n);
+  };
+  wz_ = mk("gru.wz"); uz_ = mk("gru.uz"); bz_ = mkb("gru.bz");
+  wr_ = mk("gru.wr"); ur_ = mk("gru.ur"); br_ = mkb("gru.br");
+  wc_ = mk("gru.wc"); uc_ = mk("gru.uc"); bc_ = mkb("gru.bc");
+}
+
+Tensor GRUCell::forward(const Tensor& x, const Tensor& h, bool training) {
+  core::check_same_shape(x, h, "GRUCell");
+  Tensor z = linear2(x, wz_.value, h, uz_.value, bz_.value).map(nn::sigmoid);
+  Tensor r = linear2(x, wr_.value, h, ur_.value, br_.value).map(nn::sigmoid);
+  Tensor rh = r * h;
+  Tensor c = linear2(x, wc_.value, rh, uc_.value, bc_.value).map(
+      [](float v) { return std::tanh(v); });
+  Tensor h_new(h.shape());
+  for (int64_t i = 0; i < h.numel(); ++i) h_new[i] = (1.0f - z[i]) * h[i] + z[i] * c[i];
+  if (training) frames_.push_back(Frame{x, h, std::move(z), std::move(r), std::move(c)});
+  return h_new;
+}
+
+std::pair<Tensor, Tensor> GRUCell::backward(const Tensor& grad_h_new) {
+  if (frames_.empty()) throw std::runtime_error("GRUCell::backward with no cached frame");
+  Frame f = std::move(frames_.back());
+  frames_.pop_back();
+
+  const int64_t n = grad_h_new.numel();
+  Tensor dz(f.z.shape()), dc(f.c.shape()), dh(f.h.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    dc[i] = grad_h_new[i] * f.z[i];
+    dz[i] = grad_h_new[i] * (f.c[i] - f.h[i]);
+    dh[i] = grad_h_new[i] * (1.0f - f.z[i]);
+  }
+
+  // Candidate: c = tanh(x Wc + (r*h) Uc + bc)
+  Tensor dac(dc.shape());
+  for (int64_t i = 0; i < n; ++i) dac[i] = dc[i] * nn::dtanh_from_y(f.c[i]);
+  Tensor rh = f.r * f.h;
+  wc_.grad += f.x.matmul_tn(dac);
+  uc_.grad += rh.matmul_tn(dac);
+  for (int64_t i = 0; i < dac.dim(0); ++i)
+    for (int64_t j = 0; j < dim_; ++j) bc_.grad[j] += dac.at(i, j);
+  Tensor dx = dac.matmul_nt(wc_.value);
+  Tensor drh = dac.matmul_nt(uc_.value);
+  Tensor dr(f.r.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    dr[i] = drh[i] * f.h[i];
+    dh[i] += drh[i] * f.r[i];
+  }
+
+  // Update gate: z = sigmoid(x Wz + h Uz + bz)
+  Tensor daz(dz.shape());
+  for (int64_t i = 0; i < n; ++i) daz[i] = dz[i] * nn::dsigmoid_from_y(f.z[i]);
+  wz_.grad += f.x.matmul_tn(daz);
+  uz_.grad += f.h.matmul_tn(daz);
+  for (int64_t i = 0; i < daz.dim(0); ++i)
+    for (int64_t j = 0; j < dim_; ++j) bz_.grad[j] += daz.at(i, j);
+  dx += daz.matmul_nt(wz_.value);
+  dh += daz.matmul_nt(uz_.value);
+
+  // Reset gate: r = sigmoid(x Wr + h Ur + br)
+  Tensor dar(dr.shape());
+  for (int64_t i = 0; i < n; ++i) dar[i] = dr[i] * nn::dsigmoid_from_y(f.r[i]);
+  wr_.grad += f.x.matmul_tn(dar);
+  ur_.grad += f.h.matmul_tn(dar);
+  for (int64_t i = 0; i < dar.dim(0); ++i)
+    for (int64_t j = 0; j < dim_; ++j) br_.grad[j] += dar.at(i, j);
+  dx += dar.matmul_nt(wr_.value);
+  dh += dar.matmul_nt(ur_.value);
+
+  return {std::move(dx), std::move(dh)};
+}
+
+void GRUCell::collect_parameters(std::vector<Parameter*>& out) {
+  for (Parameter* p : {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wc_, &uc_, &bc_}) out.push_back(p);
+}
+
+}  // namespace df::graph

@@ -1,0 +1,47 @@
+// GRU update used inside the gated graph convolution (Li et al. 2015,
+// "Gated Graph Sequence Neural Networks", the recurrence PotentialNet and
+// hence the paper's SG-CNN are built on).
+//
+// One cell instance is invoked K times per propagation; each invocation
+// pushes a cache frame so backward() can be called K times in reverse order
+// (stack discipline), accumulating weight gradients across steps.
+#pragma once
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace df::graph {
+
+using core::Tensor;
+using nn::Parameter;
+
+class GRUCell {
+ public:
+  /// `dim` is both input (message) and hidden size — square recurrence, as
+  /// in GGNN where messages live in the hidden space.
+  GRUCell(int64_t dim, core::Rng& rng);
+
+  /// h' = GRU(x, h); caches a frame when training.
+  Tensor forward(const Tensor& x, const Tensor& h, bool training);
+  /// Pops the most recent frame. Returns {dL/dx, dL/dh}.
+  std::pair<Tensor, Tensor> backward(const Tensor& grad_h_new);
+
+  void collect_parameters(std::vector<Parameter*>& out);
+  int64_t dim() const { return dim_; }
+  bool has_frames() const { return !frames_.empty(); }
+  void clear_frames() { frames_.clear(); }
+
+ private:
+  struct Frame {
+    Tensor x, h, z, r, c;  // inputs and gate activations
+  };
+
+  int64_t dim_;
+  // Update gate z, reset gate r, candidate c. W* act on x, U* on h.
+  Parameter wz_, uz_, bz_;
+  Parameter wr_, ur_, br_;
+  Parameter wc_, uc_, bc_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace df::graph

@@ -1,0 +1,73 @@
+#include "hpo/gp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/linalg.h"
+
+namespace df::hpo {
+
+double TimeVaryingGP::kernel(const std::vector<double>& a, double ta, const std::vector<double>& b,
+                             double tb) const {
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  const double se = cfg_.signal_var * std::exp(-d2 / (2.0 * cfg_.lengthscale * cfg_.lengthscale));
+  const double kt = std::pow(1.0 - cfg_.time_epsilon, std::abs(ta - tb) / 2.0);
+  return se * kt;
+}
+
+void TimeVaryingGP::fit(std::vector<std::vector<double>> x, std::vector<double> t,
+                        std::vector<double> y) {
+  const size_t n = x.size();
+  if (t.size() != n || y.size() != n || n == 0) {
+    throw std::invalid_argument("TimeVaryingGP::fit: inconsistent inputs");
+  }
+  x_ = std::move(x);
+  t_ = std::move(t);
+
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+
+  std::vector<double> k(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const double v = kernel(x_[i], t_[i], x_[j], t_[j]);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+    k[i * n + i] += cfg_.noise;
+  }
+  core::cholesky(k, n);
+  chol_ = std::move(k);
+
+  std::vector<double> centered(n);
+  for (size_t i = 0; i < n; ++i) centered[i] = y[i] - y_mean_;
+  alpha_ = core::backward_solve(chol_, n, core::forward_solve(chol_, n, centered));
+}
+
+TimeVaryingGP::Prediction TimeVaryingGP::predict(const std::vector<double>& x, double t) const {
+  if (!fitted()) return {y_mean_, cfg_.signal_var};
+  const size_t n = x_.size();
+  std::vector<double> kstar(n);
+  for (size_t i = 0; i < n; ++i) kstar[i] = kernel(x, t, x_[i], t_[i]);
+
+  double mean = y_mean_;
+  for (size_t i = 0; i < n; ++i) mean += kstar[i] * alpha_[i];
+
+  const std::vector<double> v = core::forward_solve(chol_, n, kstar);
+  double reduce = 0.0;
+  for (double vi : v) reduce += vi * vi;
+  const double var = std::max(1e-12, cfg_.signal_var + cfg_.noise - reduce);
+  return {mean, var};
+}
+
+double TimeVaryingGP::ucb(const std::vector<double>& x, double t, double kappa) const {
+  const Prediction p = predict(x, t);
+  return p.mean + kappa * std::sqrt(p.variance);
+}
+
+}  // namespace df::hpo

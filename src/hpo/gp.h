@@ -1,0 +1,50 @@
+// Gaussian-process regression with the time-varying kernel of PB2
+// (Parker-Holder et al. 2020): a squared-exponential kernel over normalized
+// hyper-parameters multiplied by a forgetting kernel over training time, so
+// observations from early intervals decay as the reward landscape drifts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace df::hpo {
+
+struct GpConfig {
+  double lengthscale = 0.3;   // SE lengthscale in normalized [0,1] space
+  double time_epsilon = 0.1;  // forgetting rate: k_t = (1-eps)^(|t-t'|/2)
+  double noise = 1e-3;
+  double signal_var = 1.0;
+};
+
+class TimeVaryingGP {
+ public:
+  explicit TimeVaryingGP(GpConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Fit on rows (x_i, t_i) -> y_i. X rows must share dimensionality.
+  void fit(std::vector<std::vector<double>> x, std::vector<double> t, std::vector<double> y);
+
+  struct Prediction {
+    double mean;
+    double variance;
+  };
+  Prediction predict(const std::vector<double>& x, double t) const;
+
+  /// GP-UCB acquisition value: mean + kappa * stddev.
+  double ucb(const std::vector<double>& x, double t, double kappa) const;
+
+  bool fitted() const { return !x_.empty(); }
+  size_t num_observations() const { return x_.size(); }
+
+ private:
+  double kernel(const std::vector<double>& a, double ta, const std::vector<double>& b,
+                double tb) const;
+
+  GpConfig cfg_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> t_;
+  std::vector<double> alpha_;  // K^-1 y
+  std::vector<double> chol_;   // lower Cholesky of K + noise I
+  double y_mean_ = 0.0;
+};
+
+}  // namespace df::hpo

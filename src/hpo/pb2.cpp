@@ -1,0 +1,100 @@
+#include "hpo/pb2.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace df::hpo {
+
+Pb2::Pb2(SearchSpace space, Pb2Config cfg)
+    : space_(std::move(space)), cfg_(cfg), rng_(cfg.seed) {}
+
+std::vector<HpoConfig> Pb2::initial_population() {
+  population_.clear();
+  for (int i = 0; i < cfg_.population; ++i) population_.push_back(space_.sample(rng_));
+  last_scores_.assign(static_cast<size_t>(cfg_.population), 0.0f);
+  interval_ = 0;
+  return population_;
+}
+
+HpoConfig Pb2::explore(const HpoConfig& base) {
+  // Fit the GP on (config, interval) -> negative score improvement so that
+  // maximizing UCB favors configs whose scores dropped the most.
+  if (obs_x_.size() >= 3) {
+    gp_.fit(obs_x_, obs_t_, obs_y_);
+  }
+  HpoConfig best = base;
+  double best_acq = -1e300;
+  for (int c = 0; c < cfg_.explore_candidates; ++c) {
+    HpoConfig cand = base;
+    for (const ParamSpec& spec : space_.specs()) {
+      switch (spec.type) {
+        case ParamType::Continuous:
+        case ParamType::LogContinuous: {
+          // Local Gaussian perturbation in normalized space.
+          const double u = spec.normalize(cand[spec.name]) + rng_.normal(0.0f, 0.25f);
+          cand[spec.name] = spec.denormalize(u);
+          break;
+        }
+        case ParamType::Categorical:
+        case ParamType::Boolean:
+          if (rng_.uniform() < 0.25f) cand[spec.name] = spec.sample(rng_);
+          break;
+      }
+    }
+    const double acq = gp_.fitted()
+                           ? gp_.ucb(space_.normalize(cand), interval_ + 1, cfg_.ucb_kappa)
+                           : rng_.uniform();
+    if (acq > best_acq) {
+      best_acq = acq;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+std::vector<TrialDirective> Pb2::report(const std::vector<float>& scores) {
+  if (scores.size() != population_.size()) {
+    throw std::invalid_argument("Pb2::report: score count != population");
+  }
+  // Record GP observations: improvement = previous score - current score
+  // (positive = better, since lower scores are better).
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double improvement =
+        interval_ == 0 ? 0.0 : static_cast<double>(last_scores_[i] - scores[i]);
+    obs_x_.push_back(space_.normalize(population_[i]));
+    obs_t_.push_back(interval_);
+    obs_y_.push_back(improvement);
+    if (scores[i] < best_score_) {
+      best_score_ = scores[i];
+      best_config_ = population_[i];
+    }
+  }
+  last_scores_ = scores;
+  ++interval_;
+
+  // Rank trials: lower score = better.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  const size_t n_top = std::max<size_t>(1, static_cast<size_t>(static_cast<double>(scores.size()) *
+                                                               cfg_.quantile));
+
+  std::vector<TrialDirective> directives(scores.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t trial = order[rank];
+    if (rank < n_top) {
+      directives[trial].config = population_[trial];
+    } else {
+      // Exploit: clone a uniformly chosen top performer, then explore.
+      const size_t donor = order[rng_.pick(n_top)];
+      directives[trial].clone_weights_from = static_cast<int>(donor);
+      HpoConfig cloned = population_[donor];
+      directives[trial].config = explore(cloned);
+      population_[trial] = directives[trial].config;
+    }
+  }
+  return directives;
+}
+
+}  // namespace df::hpo

@@ -1,0 +1,160 @@
+#include "hpo/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace df::hpo {
+
+double ParamSpec::sample(core::Rng& rng) const {
+  switch (type) {
+    case ParamType::Continuous: return rng.uniform_d(lo, hi);
+    case ParamType::LogContinuous:
+      return std::exp(rng.uniform_d(std::log(lo), std::log(hi)));
+    case ParamType::Categorical: return choices[rng.pick(choices.size())];
+    case ParamType::Boolean: return rng.bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  return lo;
+}
+
+double ParamSpec::clamp(double v) const {
+  switch (type) {
+    case ParamType::Continuous:
+    case ParamType::LogContinuous: return std::clamp(v, lo, hi);
+    case ParamType::Categorical: {
+      // Snap to the nearest choice.
+      double best = choices.front();
+      for (double c : choices) {
+        if (std::abs(c - v) < std::abs(best - v)) best = c;
+      }
+      return best;
+    }
+    case ParamType::Boolean: return v >= 0.5 ? 1.0 : 0.0;
+  }
+  return v;
+}
+
+double ParamSpec::normalize(double v) const {
+  switch (type) {
+    case ParamType::Continuous: return (v - lo) / (hi - lo);
+    case ParamType::LogContinuous:
+      return (std::log(v) - std::log(lo)) / (std::log(hi) - std::log(lo));
+    case ParamType::Categorical: {
+      for (size_t i = 0; i < choices.size(); ++i) {
+        if (choices[i] == v) return static_cast<double>(i) / static_cast<double>(choices.size() - 1 + 1e-9);
+      }
+      return 0.0;
+    }
+    case ParamType::Boolean: return v;
+  }
+  return 0.0;
+}
+
+double ParamSpec::denormalize(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  switch (type) {
+    case ParamType::Continuous: return lo + u * (hi - lo);
+    case ParamType::LogContinuous:
+      return std::exp(std::log(lo) + u * (std::log(hi) - std::log(lo)));
+    case ParamType::Categorical: {
+      const size_t idx = std::min(choices.size() - 1,
+                                  static_cast<size_t>(u * static_cast<double>(choices.size())));
+      return choices[idx];
+    }
+    case ParamType::Boolean: return u >= 0.5 ? 1.0 : 0.0;
+  }
+  return u;
+}
+
+SearchSpace& SearchSpace::add_continuous(std::string name, double lo, double hi) {
+  specs_.push_back({std::move(name), ParamType::Continuous, lo, hi, {}});
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_log_continuous(std::string name, double lo, double hi) {
+  specs_.push_back({std::move(name), ParamType::LogContinuous, lo, hi, {}});
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_categorical(std::string name, std::vector<double> choices) {
+  if (choices.empty()) throw std::invalid_argument("categorical with no choices");
+  specs_.push_back({std::move(name), ParamType::Categorical, 0, 0, std::move(choices)});
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_boolean(std::string name) {
+  specs_.push_back({std::move(name), ParamType::Boolean, 0, 1, {}});
+  return *this;
+}
+
+HpoConfig SearchSpace::sample(core::Rng& rng) const {
+  HpoConfig c;
+  for (const ParamSpec& s : specs_) c[s.name] = s.sample(rng);
+  return c;
+}
+
+const ParamSpec& SearchSpace::spec(const std::string& name) const {
+  for (const ParamSpec& s : specs_) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("no such hyper-parameter: " + name);
+}
+
+std::vector<double> SearchSpace::normalize(const HpoConfig& c) const {
+  std::vector<double> v;
+  v.reserve(specs_.size());
+  for (const ParamSpec& s : specs_) v.push_back(s.normalize(c.at(s.name)));
+  return v;
+}
+
+SearchSpace sgcnn_search_space() {
+  // Table 1, SG-CNN column (epochs scaled: paper 0-350).
+  SearchSpace s;
+  s.add_categorical("batch_size", {4, 8, 12, 16});
+  s.add_log_continuous("lr", 2e-4, 2e-2);
+  s.add_categorical("epochs", {4, 8, 12, 16, 24});
+  s.add_categorical("noncov_k", {2, 3, 4, 5, 6, 7, 8});
+  s.add_categorical("cov_k", {2, 3, 4, 5, 6, 7, 8});
+  s.add_continuous("noncov_threshold", 1.2, 5.9);
+  s.add_continuous("cov_threshold", 1.2, 5.9);
+  s.add_categorical("noncov_gather_width", {8, 24, 40, 64, 88, 104, 128});
+  s.add_categorical("cov_gather_width", {8, 24, 40, 64, 88, 104, 128});
+  return s;
+}
+
+SearchSpace cnn3d_search_space() {
+  // Table 1, 3D-CNN column (epochs scaled: paper 0-150).
+  SearchSpace s;
+  s.add_categorical("batch_size", {8, 12, 24});
+  s.add_log_continuous("lr", 1e-6, 1e-4);
+  s.add_categorical("epochs", {2, 4, 6, 8, 10});
+  s.add_boolean("batch_norm");
+  s.add_categorical("dense_nodes", {40, 64, 88, 104, 128});
+  s.add_boolean("residual1");
+  s.add_boolean("residual2");
+  s.add_categorical("conv_filters1", {32, 64, 96});
+  s.add_categorical("conv_filters2", {64, 96, 128});
+  return s;
+}
+
+SearchSpace fusion_search_space() {
+  // Table 1, Fusion column (epochs scaled: paper 0-500).
+  SearchSpace s;
+  s.add_categorical("optimizer", {0 /*Adam*/, 1 /*AdamW*/, 2 /*RMSprop*/, 3 /*Adadelta*/});
+  s.add_categorical("activation", {0 /*ReLU*/, 1 /*LReLU*/, 2 /*SELU*/});
+  s.add_categorical("batch_size", {1, 2, 4, 5, 8, 12, 16, 24, 28, 34, 38, 48, 56});
+  s.add_log_continuous("lr", 1e-6, 1e-3);
+  s.add_categorical("epochs", {2, 4, 6, 8, 12});
+  s.add_boolean("model_specific_layers");
+  s.add_boolean("pre_trained");
+  s.add_boolean("batch_norm");
+  s.add_continuous("dropout1", 0.0, 0.50);
+  s.add_continuous("dropout2", 0.0, 0.25);
+  s.add_continuous("dropout3", 0.0, 0.125);
+  s.add_categorical("num_fusion_layers", {3, 4, 5});
+  s.add_categorical("fusion_nodes", {8, 24, 40, 64, 88, 104, 128});
+  s.add_boolean("residual_fusion");
+  return s;
+}
+
+}  // namespace df::hpo

@@ -1,0 +1,58 @@
+// Hyper-parameter search spaces — the machine-readable form of the paper's
+// Table 1. A configuration is a flat name->double map (categoricals store
+// the chosen option's value, booleans 0/1), which keeps the GP-bandit
+// machinery simple and the configs serializable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace df::hpo {
+
+using HpoConfig = std::map<std::string, double>;
+
+enum class ParamType { Continuous, LogContinuous, Categorical, Boolean };
+
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::Continuous;
+  double lo = 0.0, hi = 1.0;          // Continuous / LogContinuous bounds
+  std::vector<double> choices;        // Categorical options
+
+  double sample(core::Rng& rng) const;
+  double clamp(double v) const;
+  /// Map to [0,1] for GP kernels (log-space for LogContinuous; categorical
+  /// index fraction).
+  double normalize(double v) const;
+  double denormalize(double u) const;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace& add_continuous(std::string name, double lo, double hi);
+  SearchSpace& add_log_continuous(std::string name, double lo, double hi);
+  SearchSpace& add_categorical(std::string name, std::vector<double> choices);
+  SearchSpace& add_boolean(std::string name);
+
+  HpoConfig sample(core::Rng& rng) const;
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+  const ParamSpec& spec(const std::string& name) const;
+  size_t size() const { return specs_.size(); }
+
+  /// Vectorize the continuous/log dims of a config (for the GP); categorical
+  /// and boolean dims are included as normalized indices.
+  std::vector<double> normalize(const HpoConfig& c) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+/// Paper Table 1 spaces (scaled-down epoch ranges noted in DESIGN.md §5).
+SearchSpace sgcnn_search_space();
+SearchSpace cnn3d_search_space();
+SearchSpace fusion_search_space();
+
+}  // namespace df::hpo

@@ -1,0 +1,45 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace df::io {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : f_(path), columns_(header.size()) {
+  if (!f_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) throw std::invalid_argument("CsvWriter: column count mismatch");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) f_ << ',';
+    f_ << csv_escape(cells[i]);
+  }
+  f_ << '\n';
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[40];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  row(cells);
+}
+
+}  // namespace df::io

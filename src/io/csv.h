@@ -1,0 +1,27 @@
+// CSV table writer for benchmark/experiment output (results referenced by
+// EXPERIMENTS.md are emitted both to stdout and as CSVs).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace df::io {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void row(const std::vector<std::string>& cells);
+  /// Convenience row of doubles, formatted %.6g.
+  void row_values(const std::vector<double>& values);
+
+ private:
+  std::ofstream f_;
+  size_t columns_;
+};
+
+/// Escape a cell per RFC 4180 (quotes doubled, wrap when needed).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace df::io

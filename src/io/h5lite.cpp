@@ -1,0 +1,121 @@
+#include "io/h5lite.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace df::io {
+
+namespace {
+constexpr char kMagic[4] = {'H', '5', 'L', 'T'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error("h5lite: truncated file");
+  return v;
+}
+}  // namespace
+
+int64_t Dataset::numel() const {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+void H5LiteFile::put(const std::string& name, Dataset ds) {
+  const int64_t expect = ds.numel();
+  const int64_t actual = ds.is_float() ? static_cast<int64_t>(ds.floats().size())
+                                       : static_cast<int64_t>(ds.ints().size());
+  if (expect != actual) throw std::invalid_argument("h5lite: shape/data mismatch for " + name);
+  datasets_[name] = std::move(ds);
+}
+
+void H5LiteFile::put_floats(const std::string& name, std::vector<int64_t> shape,
+                            std::vector<float> values) {
+  put(name, Dataset{std::move(shape), std::move(values)});
+}
+
+void H5LiteFile::put_ints(const std::string& name, std::vector<int64_t> shape,
+                          std::vector<int64_t> values) {
+  put(name, Dataset{std::move(shape), std::move(values)});
+}
+
+const Dataset& H5LiteFile::get(const std::string& name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) throw std::out_of_range("h5lite: no dataset " + name);
+  return it->second;
+}
+
+void H5LiteFile::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("h5lite: cannot open for write: " + path);
+  f.write(kMagic, 4);
+  write_pod(f, kVersion);
+  write_pod(f, static_cast<uint32_t>(datasets_.size()));
+  for (const auto& [name, ds] : datasets_) {
+    write_pod(f, static_cast<uint32_t>(name.size()));
+    f.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(f, static_cast<uint8_t>(ds.is_float() ? 0 : 1));
+    write_pod(f, static_cast<uint32_t>(ds.shape.size()));
+    for (int64_t d : ds.shape) write_pod(f, d);
+    if (ds.is_float()) {
+      f.write(reinterpret_cast<const char*>(ds.floats().data()),
+              static_cast<std::streamsize>(ds.floats().size() * sizeof(float)));
+    } else {
+      f.write(reinterpret_cast<const char*>(ds.ints().data()),
+              static_cast<std::streamsize>(ds.ints().size() * sizeof(int64_t)));
+    }
+  }
+  if (!f) throw std::runtime_error("h5lite: write failed: " + path);
+}
+
+H5LiteFile H5LiteFile::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("h5lite: cannot open for read: " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("h5lite: bad magic in " + path);
+  }
+  const uint32_t version = read_pod<uint32_t>(f);
+  if (version != kVersion) throw std::runtime_error("h5lite: unsupported version");
+  const uint32_t count = read_pod<uint32_t>(f);
+  H5LiteFile out;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t name_len = read_pod<uint32_t>(f);
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    const uint8_t dtype = read_pod<uint8_t>(f);
+    const uint32_t rank = read_pod<uint32_t>(f);
+    Dataset ds;
+    int64_t numel = 1;
+    for (uint32_t r = 0; r < rank; ++r) {
+      ds.shape.push_back(read_pod<int64_t>(f));
+      numel *= ds.shape.back();
+    }
+    if (numel < 0) throw std::runtime_error("h5lite: negative dataset size");
+    if (dtype == 0) {
+      std::vector<float> v(static_cast<size_t>(numel));
+      f.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+      ds.data = std::move(v);
+    } else {
+      std::vector<int64_t> v(static_cast<size_t>(numel));
+      f.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+      ds.data = std::move(v);
+    }
+    if (!f) throw std::runtime_error("h5lite: truncated dataset " + name);
+    out.datasets_[name] = std::move(ds);
+  }
+  return out;
+}
+
+}  // namespace df::io

@@ -1,0 +1,45 @@
+// Minimal self-describing binary container standing in for the HDF5 output
+// of the paper's screening jobs (§4.2). A file holds named datasets of
+// float32 or int64 arrays with explicit shapes; the layout mirrors what
+// ConveyorLC's CDT3Docking emits (identifiers + scores per pose) so
+// downstream tooling can consume Fusion predictions and docking output
+// interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace df::io {
+
+struct Dataset {
+  std::vector<int64_t> shape;
+  std::variant<std::vector<float>, std::vector<int64_t>> data;
+
+  bool is_float() const { return std::holds_alternative<std::vector<float>>(data); }
+  const std::vector<float>& floats() const { return std::get<std::vector<float>>(data); }
+  const std::vector<int64_t>& ints() const { return std::get<std::vector<int64_t>>(data); }
+  int64_t numel() const;
+};
+
+class H5LiteFile {
+ public:
+  void put(const std::string& name, Dataset ds);
+  void put_floats(const std::string& name, std::vector<int64_t> shape, std::vector<float> values);
+  void put_ints(const std::string& name, std::vector<int64_t> shape, std::vector<int64_t> values);
+
+  bool has(const std::string& name) const { return datasets_.count(name) > 0; }
+  const Dataset& get(const std::string& name) const;
+  const std::map<std::string, Dataset>& datasets() const { return datasets_; }
+
+  /// Serialize to disk; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+  static H5LiteFile load(const std::string& path);
+
+ private:
+  std::map<std::string, Dataset> datasets_;
+};
+
+}  // namespace df::io

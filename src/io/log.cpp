@@ -1,0 +1,36 @@
+#include "io/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace df::io {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_mu;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const double secs = std::chrono::duration<double>(now).count();
+  std::lock_guard lk(g_mu);
+  std::fprintf(stderr, "[%13.3f] %-5s %s\n", secs, level_name(level), message.c_str());
+}
+
+}  // namespace df::io

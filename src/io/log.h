@@ -1,0 +1,22 @@
+// Leveled stderr logger. The screening harness logs per-job phase events the
+// way the paper's pipeline kept per-job logs "smaller and easier to parse"
+// for fault diagnosis.
+#pragma once
+
+#include <string>
+
+namespace df::io {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::Debug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::Info, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::Warn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::Error, m); }
+
+}  // namespace df::io

@@ -1,0 +1,35 @@
+#include "models/baselines.h"
+
+namespace df::models {
+
+std::unique_ptr<Cnn3d> make_pafnucy(int in_channels, int grid_dim, core::Rng& rng) {
+  Cnn3dConfig cfg;
+  cfg.in_channels = in_channels;
+  cfg.grid_dim = grid_dim;
+  cfg.conv_filters1 = 32;
+  cfg.conv_filters2 = 64;
+  cfg.dense_nodes = 96;
+  cfg.batch_norm = false;
+  cfg.residual1 = false;
+  cfg.residual2 = false;  // Pafnucy has no skip connections
+  cfg.dropout1 = 0.5f;    // Pafnucy's characteristic heavy dropout
+  cfg.dropout2 = 0.25f;
+  return std::make_unique<Cnn3d>(cfg, rng);
+}
+
+std::unique_ptr<Cnn3d> make_kdeep(int in_channels, int grid_dim, core::Rng& rng) {
+  Cnn3dConfig cfg;
+  cfg.in_channels = in_channels;
+  cfg.grid_dim = grid_dim;
+  cfg.conv_filters1 = 48;  // KDeep's wider early filters (SqueezeNet-ish)
+  cfg.conv_filters2 = 96;
+  cfg.dense_nodes = 128;
+  cfg.batch_norm = true;
+  cfg.residual1 = true;
+  cfg.residual2 = false;
+  cfg.dropout1 = 0.1f;
+  cfg.dropout2 = 0.0f;
+  return std::make_unique<Cnn3d>(cfg, rng);
+}
+
+}  // namespace df::models

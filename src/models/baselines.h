@@ -1,0 +1,21 @@
+// Published-baseline stand-ins used in Table 6: Pafnucy
+// (Stepniewska-Dziubinska et al. 2017 — a plain deep 3D-CNN without
+// residuals, uniform 5x5x5-style receptive field, heavier dropout) and
+// KDeep (Jimenez et al. 2018 — a compact 3D-CNN). Both are realized as
+// configurations of our Cnn3d so the comparison isolates architecture, not
+// substrate.
+#pragma once
+
+#include <memory>
+
+#include "models/cnn3d.h"
+
+namespace df::models {
+
+/// Pafnucy-flavoured single 3D-CNN.
+std::unique_ptr<Cnn3d> make_pafnucy(int in_channels, int grid_dim, core::Rng& rng);
+
+/// KDeep-flavoured single 3D-CNN.
+std::unique_ptr<Cnn3d> make_kdeep(int in_channels, int grid_dim, core::Rng& rng);
+
+}  // namespace df::models

@@ -1,0 +1,39 @@
+#include "models/checkpoint.h"
+
+#include <stdexcept>
+
+#include "io/h5lite.h"
+
+namespace df::models {
+
+void save_checkpoint(Regressor& model, const std::string& path) {
+  io::H5LiteFile f;
+  const std::vector<nn::Parameter*> params = model.trainable_parameters();
+  f.put_ints("meta", {1}, {static_cast<int64_t>(params.size())});
+  for (size_t i = 0; i < params.size(); ++i) {
+    const nn::Parameter& p = *params[i];
+    std::vector<float> values(p.value.flat().begin(), p.value.flat().end());
+    f.put_floats("p" + std::to_string(i), p.value.shape(), std::move(values));
+  }
+  f.save(path);
+}
+
+void load_checkpoint(Regressor& model, const std::string& path) {
+  const io::H5LiteFile f = io::H5LiteFile::load(path);
+  const std::vector<nn::Parameter*> params = model.trainable_parameters();
+  if (!f.has("meta") || f.get("meta").ints().at(0) != static_cast<int64_t>(params.size())) {
+    throw std::runtime_error("load_checkpoint: parameter count mismatch in " + path);
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    const io::Dataset& ds = f.get("p" + std::to_string(i));
+    nn::Parameter& p = *params[i];
+    if (ds.shape != p.value.shape()) {
+      throw std::runtime_error("load_checkpoint: shape mismatch at parameter " +
+                               std::to_string(i));
+    }
+    const std::vector<float>& v = ds.floats();
+    for (int64_t j = 0; j < p.value.numel(); ++j) p.value[j] = v[static_cast<size_t>(j)];
+  }
+}
+
+}  // namespace df::models

@@ -1,0 +1,24 @@
+// Model checkpointing: serialize a Regressor's trainable parameters to the
+// h5lite container and restore them into a structurally identical model.
+// This is what Ray Tune's PB2 exploitation does with checkpoints (§3.2) and
+// what lets a screening deployment ship one trained weight file to every
+// rank instead of re-training per process.
+#pragma once
+
+#include <string>
+
+#include "models/regressor.h"
+
+namespace df::models {
+
+/// Write all trainable parameters (values only, not optimizer state) to
+/// `path`. Dataset names are "p<index>" in trainable_parameters() order,
+/// plus a "meta" record holding the parameter count for validation.
+void save_checkpoint(Regressor& model, const std::string& path);
+
+/// Load parameters saved by save_checkpoint into `model`. Throws
+/// std::runtime_error if the file does not match the model's structure
+/// (parameter count or any shape differs).
+void load_checkpoint(Regressor& model, const std::string& path);
+
+}  // namespace df::models

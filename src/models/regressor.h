@@ -1,0 +1,42 @@
+// Common interface over the binding-affinity models (3D-CNN, SG-CNN and the
+// fusion variants): per-sample training forward/backward plus batched
+// evaluation. Per-sample gradient flow (with batch-level optimizer steps)
+// matches the small batch sizes the paper's optimized models use (Mid-level
+// Fusion converged to batch size 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace df::models {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Training-mode forward for one sample; caches activations.
+  virtual float forward_train(const data::Sample& s) = 0;
+  /// Backward for the most recent forward_train with dLoss/dPrediction.
+  virtual void backward(float grad_pred) = 0;
+  /// Eval-mode prediction (no caching, dropout off, running BN stats).
+  virtual float predict(const data::Sample& s) = 0;
+
+  /// Parameters the optimizer should update.
+  virtual std::vector<nn::Parameter*> trainable_parameters() = 0;
+  virtual void set_training(bool t) = 0;
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (nn::Parameter* p : trainable_parameters()) p->grad.zero();
+  }
+  int64_t num_parameters() {
+    int64_t n = 0;
+    for (nn::Parameter* p : trainable_parameters()) n += p->numel();
+    return n;
+  }
+};
+
+}  // namespace df::models

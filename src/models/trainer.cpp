@@ -1,0 +1,117 @@
+#include "models/trainer.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace df::models {
+
+void clip_grad_norm(const std::vector<nn::Parameter*>& params, float max_norm) {
+  if (max_norm <= 0.0f) return;
+  double total = 0.0;
+  for (const nn::Parameter* p : params) {
+    const float n = p->grad.norm();
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-6f);
+    for (nn::Parameter* p : params) p->grad *= scale;
+  }
+}
+
+void copy_parameters(Regressor& dst, Regressor& src) {
+  const std::vector<nn::Parameter*> d = dst.trainable_parameters();
+  const std::vector<nn::Parameter*> s = src.trainable_parameters();
+  if (d.size() != s.size()) {
+    throw std::invalid_argument("copy_parameters: models are not structurally identical");
+  }
+  for (size_t i = 0; i < d.size(); ++i) {
+    core::check_same_shape(d[i]->value, s[i]->value, "copy_parameters");
+    d[i]->value = s[i]->value;
+  }
+}
+
+std::vector<float> evaluate(Regressor& model, const data::ComplexDataset& ds) {
+  model.set_training(false);
+  core::Rng rng(0);  // no augmentation in eval featurization
+  std::vector<float> preds;
+  preds.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    preds.push_back(model.predict(ds.get(i, rng)));
+  }
+  return preds;
+}
+
+std::vector<float> labels_of(const data::ComplexDataset& ds) {
+  core::Rng rng(0);
+  std::vector<float> y;
+  y.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) y.push_back(ds.get(i, rng).label);
+  return y;
+}
+
+float validation_mse(Regressor& model, const data::ComplexDataset& ds) {
+  const std::vector<float> preds = evaluate(model, ds);
+  const std::vector<float> y = labels_of(ds);
+  double acc = 0.0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const double d = preds[i] - y[i];
+    acc += d * d;
+  }
+  return preds.empty() ? 0.0f : static_cast<float>(acc / static_cast<double>(preds.size()));
+}
+
+TrainResult train_model(Regressor& model, const data::ComplexDataset& train,
+                        const data::ComplexDataset& val, const TrainConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TrainResult result;
+  result.best_val_mse = std::numeric_limits<float>::infinity();
+
+  auto opt = nn::make_optimizer(cfg.optimizer, model.trainable_parameters(), cfg.lr);
+
+  data::LoaderConfig lc;
+  lc.batch_size = cfg.batch_size;
+  lc.num_workers = cfg.loader_workers;
+  lc.seed = cfg.seed;
+  data::DataLoader loader(train, lc);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    model.set_training(true);
+    loader.start_epoch();
+    double epoch_loss = 0.0;
+    size_t n_samples = 0;
+    while (auto batch = loader.next()) {
+      model.zero_grad();
+      const float inv_b = 1.0f / static_cast<float>(batch->size());
+      for (const data::Sample& s : *batch) {
+        const float pred = model.forward_train(s);
+        const float err = pred - s.label;
+        epoch_loss += static_cast<double>(err) * err;
+        // d(mean squared error)/d(pred_i) = 2 (pred_i - y_i) / B
+        model.backward(2.0f * err * inv_b);
+      }
+      n_samples += batch->size();
+      clip_grad_norm(opt->params(), cfg.grad_clip);
+      opt->step();
+    }
+
+    EpochStats es;
+    es.train_mse = n_samples ? static_cast<float>(epoch_loss / static_cast<double>(n_samples)) : 0;
+    es.val_mse = validation_mse(model, val);
+    result.epochs.push_back(es);
+    if (es.val_mse < result.best_val_mse) {
+      result.best_val_mse = es.val_mse;
+      result.best_epoch = epoch;
+    }
+    if (cfg.verbose) {
+      std::printf("[%s] epoch %d/%d train_mse=%.4f val_mse=%.4f\n", model.name().c_str(),
+                  epoch + 1, cfg.epochs, es.train_mse, es.val_mse);
+    }
+  }
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace df::models

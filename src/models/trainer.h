@@ -1,0 +1,58 @@
+// Training loop shared by every model (paper §3.2): per-sample gradient
+// accumulation within a batch, an optimizer step per batch, prefetching
+// data loaders, per-epoch validation MSE (the PB2 objective) and best-epoch
+// checkpoint-free early reporting.
+#pragma once
+
+#include <vector>
+
+#include "data/loader.h"
+#include "models/regressor.h"
+#include "nn/optim.h"
+
+namespace df::models {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 8;
+  float lr = 1e-3f;
+  nn::OptimizerKind optimizer = nn::OptimizerKind::kAdam;
+  int loader_workers = 2;
+  uint64_t seed = 1;
+  float grad_clip = 5.0f;  // global-norm clip; <=0 disables
+  bool verbose = false;
+};
+
+struct EpochStats {
+  float train_mse = 0;
+  float val_mse = 0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  float best_val_mse = 0;
+  int best_epoch = -1;
+  double seconds = 0;
+};
+
+/// Train `model` on `train`, tracking MSE on `val` each epoch.
+TrainResult train_model(Regressor& model, const data::ComplexDataset& train,
+                        const data::ComplexDataset& val, const TrainConfig& cfg);
+
+/// Eval-mode predictions over a dataset (order = dataset order).
+std::vector<float> evaluate(Regressor& model, const data::ComplexDataset& ds);
+
+/// Labels in dataset order (convenience for metric computation).
+std::vector<float> labels_of(const data::ComplexDataset& ds);
+
+float validation_mse(Regressor& model, const data::ComplexDataset& ds);
+
+/// Clip the global gradient norm of `params` to `max_norm`.
+void clip_grad_norm(const std::vector<nn::Parameter*>& params, float max_norm);
+
+/// Copy parameter values from `src` into `dst` (models must be structurally
+/// identical, e.g. built from the same config). Used by PB2's exploitation
+/// clones and by screening jobs to replicate a trained model across ranks.
+void copy_parameters(Regressor& dst, Regressor& src);
+
+}  // namespace df::models

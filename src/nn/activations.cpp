@@ -1,0 +1,70 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace df::nn {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kReLU: return "ReLU";
+    case Activation::kLeakyReLU: return "LReLU";
+    case Activation::kSELU: return "SELU";
+  }
+  return "?";
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  if (training_) cached_input_ = x;
+  return x.map([](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (int64_t i = 0; i < g.numel(); ++i)
+    if (cached_input_[i] <= 0.0f) g[i] = 0.0f;
+  return g;
+}
+
+Tensor LeakyReLU::forward(const Tensor& x) {
+  if (training_) cached_input_ = x;
+  const float s = slope_;
+  return x.map([s](float v) { return v > 0.0f ? v : s * v; });
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (int64_t i = 0; i < g.numel(); ++i)
+    if (cached_input_[i] <= 0.0f) g[i] *= slope_;
+  return g;
+}
+
+Tensor SELU::forward(const Tensor& x) {
+  if (training_) cached_input_ = x;
+  return x.map([](float v) {
+    return v > 0.0f ? kScale * v : kScale * kAlpha * (std::exp(v) - 1.0f);
+  });
+}
+
+Tensor SELU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    const float v = cached_input_[i];
+    g[i] *= v > 0.0f ? kScale : kScale * kAlpha * std::exp(v);
+  }
+  return g;
+}
+
+std::unique_ptr<Module> make_activation(Activation a) {
+  switch (a) {
+    case Activation::kReLU: return std::make_unique<ReLU>();
+    case Activation::kLeakyReLU: return std::make_unique<LeakyReLU>();
+    case Activation::kSELU: return std::make_unique<SELU>();
+  }
+  return std::make_unique<ReLU>();
+}
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float dsigmoid_from_y(float y) { return y * (1.0f - y); }
+float dtanh_from_y(float y) { return 1.0f - y * y; }
+
+}  // namespace df::nn

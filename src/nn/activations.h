@@ -1,0 +1,56 @@
+// Activation layers offered to the PB2 optimization (paper Table 1):
+// ReLU, LeakyReLU and SELU. Sigmoid/Tanh are exposed as free functions for
+// the GRU cell and PotentialNet gather layer.
+#pragma once
+
+#include "nn/module.h"
+
+namespace df::nn {
+
+enum class Activation { kReLU, kLeakyReLU, kSELU };
+
+const char* activation_name(Activation a);
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+/// Self-normalizing ELU (Klambauer et al. 2017) — the activation the
+/// optimized Mid-level and Coherent Fusion models converged to (Tables 4, 5).
+class SELU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  static constexpr float kScale = 1.0507009873554805f;
+  static constexpr float kAlpha = 1.6732632423543772f;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Factory used by the HPO-configurable fusion layers.
+std::unique_ptr<Module> make_activation(Activation a);
+
+// Elementwise free functions (used inside GRU / gather, not as layers).
+float sigmoid(float x);
+float dsigmoid_from_y(float y);  // derivative given the *output* y
+float dtanh_from_y(float y);
+
+}  // namespace df::nn

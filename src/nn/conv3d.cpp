@@ -1,0 +1,185 @@
+#include "nn/conv3d.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace df::nn {
+
+Conv3d::Conv3d(int64_t in_channels, int64_t out_channels, int64_t kernel, core::Rng& rng,
+               int64_t stride, int64_t padding)
+    : cin_(in_channels), cout_(out_channels), k_(kernel), stride_(stride), pad_(padding) {
+  const float fan_in = static_cast<float>(cin_ * k_ * k_ * k_);
+  const float bound = 1.0f / std::sqrt(fan_in);
+  w_ = Parameter(Tensor::uniform({cout_, cin_, k_, k_, k_}, rng, -bound, bound), "conv3d.w");
+  b_ = Parameter(Tensor::uniform({cout_}, rng, -bound, bound), "conv3d.b");
+}
+
+Tensor Conv3d::forward(const Tensor& x) {
+  if (x.ndim() != 5 || x.dim(1) != cin_) {
+    throw std::invalid_argument("Conv3d: expected (B," + std::to_string(cin_) + ",D,H,W), got " +
+                                x.shape_str());
+  }
+  if (training_) cached_input_ = x;
+  const int64_t B = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const int64_t Do = out_size(D, k_, stride_, pad_);
+  const int64_t Ho = out_size(H, k_, stride_, pad_);
+  const int64_t Wo = out_size(W, k_, stride_, pad_);
+  Tensor out({B, cout_, Do, Ho, Wo});
+
+  const float* in = x.data();
+  float* o = out.data();
+  const float* w = w_.value.data();
+  const int64_t in_chan = D * H * W, out_chan = Do * Ho * Wo, wk = k_ * k_ * k_;
+
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < cout_; ++co) {
+      float* obase = o + (b * cout_ + co) * out_chan;
+      const float bias = b_.value[co];
+      for (int64_t zo = 0; zo < Do; ++zo) {
+        for (int64_t yo = 0; yo < Ho; ++yo) {
+          for (int64_t xo = 0; xo < Wo; ++xo) {
+            float acc = bias;
+            const int64_t z0 = zo * stride_ - pad_;
+            const int64_t y0 = yo * stride_ - pad_;
+            const int64_t x0 = xo * stride_ - pad_;
+            for (int64_t ci = 0; ci < cin_; ++ci) {
+              const float* ibase = in + (b * cin_ + ci) * in_chan;
+              const float* wbase = w + (co * cin_ + ci) * wk;
+              for (int64_t kz = 0; kz < k_; ++kz) {
+                const int64_t z = z0 + kz;
+                if (z < 0 || z >= D) continue;
+                for (int64_t ky = 0; ky < k_; ++ky) {
+                  const int64_t y = y0 + ky;
+                  if (y < 0 || y >= H) continue;
+                  const float* irow = ibase + (z * H + y) * W;
+                  const float* wrow = wbase + (kz * k_ + ky) * k_;
+                  for (int64_t kx = 0; kx < k_; ++kx) {
+                    const int64_t xx = x0 + kx;
+                    if (xx < 0 || xx >= W) continue;
+                    acc += irow[xx] * wrow[kx];
+                  }
+                }
+              }
+            }
+            obase[(zo * Ho + yo) * Wo + xo] = acc;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv3d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) throw std::runtime_error("Conv3d::backward before forward");
+  const Tensor& x = cached_input_;
+  const int64_t B = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const int64_t Do = grad_out.dim(2), Ho = grad_out.dim(3), Wo = grad_out.dim(4);
+  Tensor grad_in(x.shape());
+
+  const float* in = x.data();
+  const float* g = grad_out.data();
+  const float* w = w_.value.data();
+  float* gw = w_.grad.data();
+  float* gi = grad_in.data();
+  const int64_t in_chan = D * H * W, out_chan = Do * Ho * Wo, wk = k_ * k_ * k_;
+
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < cout_; ++co) {
+      const float* gbase = g + (b * cout_ + co) * out_chan;
+      for (int64_t zo = 0; zo < Do; ++zo) {
+        for (int64_t yo = 0; yo < Ho; ++yo) {
+          for (int64_t xo = 0; xo < Wo; ++xo) {
+            const float gv = gbase[(zo * Ho + yo) * Wo + xo];
+            if (gv == 0.0f) continue;
+            b_.grad[co] += gv;
+            const int64_t z0 = zo * stride_ - pad_;
+            const int64_t y0 = yo * stride_ - pad_;
+            const int64_t x0 = xo * stride_ - pad_;
+            for (int64_t ci = 0; ci < cin_; ++ci) {
+              const float* ibase = in + (b * cin_ + ci) * in_chan;
+              float* gibase = gi + (b * cin_ + ci) * in_chan;
+              const float* wbase = w + (co * cin_ + ci) * wk;
+              float* gwbase = gw + (co * cin_ + ci) * wk;
+              for (int64_t kz = 0; kz < k_; ++kz) {
+                const int64_t z = z0 + kz;
+                if (z < 0 || z >= D) continue;
+                for (int64_t ky = 0; ky < k_; ++ky) {
+                  const int64_t y = y0 + ky;
+                  if (y < 0 || y >= H) continue;
+                  const int64_t irow = (z * H + y) * W;
+                  const int64_t wrow = (kz * k_ + ky) * k_;
+                  for (int64_t kx = 0; kx < k_; ++kx) {
+                    const int64_t xx = x0 + kx;
+                    if (xx < 0 || xx >= W) continue;
+                    gwbase[wrow + kx] += gv * ibase[irow + xx];
+                    gibase[irow + xx] += gv * wbase[wrow + kx];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv3d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+Tensor MaxPool3d::forward(const Tensor& x) {
+  if (x.ndim() != 5) throw std::invalid_argument("MaxPool3d: expected 5-D, got " + x.shape_str());
+  in_shape_ = x.shape();
+  const int64_t B = x.dim(0), C = x.dim(1), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const int64_t Do = (D - k_) / stride_ + 1, Ho = (H - k_) / stride_ + 1, Wo = (W - k_) / stride_ + 1;
+  Tensor out({B, C, Do, Ho, Wo});
+  argmax_.assign(static_cast<size_t>(out.numel()), 0);
+
+  const float* in = x.data();
+  float* o = out.data();
+  const int64_t in_chan = D * H * W;
+  int64_t oi = 0;
+  for (int64_t bc = 0; bc < B * C; ++bc) {
+    const float* ibase = in + bc * in_chan;
+    for (int64_t zo = 0; zo < Do; ++zo)
+      for (int64_t yo = 0; yo < Ho; ++yo)
+        for (int64_t xo = 0; xo < Wo; ++xo, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t besti = 0;
+          for (int64_t kz = 0; kz < k_; ++kz)
+            for (int64_t ky = 0; ky < k_; ++ky)
+              for (int64_t kx = 0; kx < k_; ++kx) {
+                const int64_t idx = ((zo * stride_ + kz) * H + yo * stride_ + ky) * W +
+                                    xo * stride_ + kx;
+                if (ibase[idx] > best) {
+                  best = ibase[idx];
+                  besti = bc * in_chan + idx;
+                }
+              }
+          o[oi] = best;
+          argmax_[static_cast<size_t>(oi)] = besti;
+        }
+  }
+  return out;
+}
+
+Tensor MaxPool3d::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (int64_t i = 0; i < grad_out.numel(); ++i)
+    grad_in[argmax_[static_cast<size_t>(i)]] += grad_out[i];
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) { return grad_out.reshaped(in_shape_); }
+
+}  // namespace df::nn

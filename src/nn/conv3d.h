@@ -1,0 +1,60 @@
+// 3-D convolution and max-pooling over voxelized protein–ligand complexes.
+// Input layout is (batch, channels, depth, height, width), matching the
+// voxelizer's output. Direct loops (no im2col): grids in this library are
+// small (16³–24³) and the straightforward scatter/gather backward is both
+// cache-friendly at that size and easy to verify against finite differences.
+#pragma once
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace df::nn {
+
+class Conv3d : public Module {
+ public:
+  Conv3d(int64_t in_channels, int64_t out_channels, int64_t kernel, core::Rng& rng,
+         int64_t stride = 1, int64_t padding = 0);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  /// Spatial output size for one dimension.
+  static int64_t out_size(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+
+  int64_t in_channels() const { return cin_; }
+  int64_t out_channels() const { return cout_; }
+
+ private:
+  int64_t cin_, cout_, k_, stride_, pad_;
+  Parameter w_;  // (cout, cin, k, k, k)
+  Parameter b_;  // (cout)
+  Tensor cached_input_;
+};
+
+class MaxPool3d : public Module {
+ public:
+  explicit MaxPool3d(int64_t kernel = 2, int64_t stride = 2) : k_(kernel), stride_(stride) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  int64_t k_, stride_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+  std::vector<int64_t> in_shape_;
+};
+
+/// Flatten (B, ...) -> (B, features); the bridge from conv stack to dense head.
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int64_t> in_shape_;
+};
+
+}  // namespace df::nn

@@ -1,0 +1,26 @@
+#include "nn/dropout.h"
+
+namespace df::nn {
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!training_ || rate_ <= 0.0f) {
+    mask_ = Tensor();
+    return x;
+  }
+  const float keep = 1.0f - rate_;
+  mask_ = Tensor(x.shape());
+  Tensor out(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float m = rng_->bernoulli(keep) ? 1.0f / keep : 0.0f;
+    mask_[i] = m;
+    out[i] = x[i] * m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  return grad_out * mask_;
+}
+
+}  // namespace df::nn

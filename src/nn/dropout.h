@@ -1,0 +1,26 @@
+// Inverted dropout. The paper's optimized fusion models use three dropout
+// rates (early/mid/late, Tables 4–5); rate 0 collapses to identity so HPO
+// can search the rate continuously without special-casing.
+#pragma once
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace df::nn {
+
+class Dropout : public Module {
+ public:
+  Dropout(float rate, core::Rng& rng) : rate_(rate), rng_(&rng) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  core::Rng* rng_;
+  Tensor mask_;
+};
+
+}  // namespace df::nn

@@ -1,0 +1,46 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+namespace df::nn {
+
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor* grad) {
+  core::check_same_shape(pred, target, "mse_loss");
+  const int64_t n = pred.numel();
+  double acc = 0.0;
+  if (grad) *grad = Tensor(pred.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    if (grad) (*grad)[i] = 2.0f * d / static_cast<float>(n);
+  }
+  return static_cast<float>(acc / static_cast<double>(n));
+}
+
+float mae_loss(const Tensor& pred, const Tensor& target) {
+  core::check_same_shape(pred, target, "mae_loss");
+  double acc = 0.0;
+  for (int64_t i = 0; i < pred.numel(); ++i) acc += std::abs(pred[i] - target[i]);
+  return static_cast<float>(acc / static_cast<double>(pred.numel()));
+}
+
+float huber_loss(const Tensor& pred, const Tensor& target, float delta, Tensor* grad) {
+  core::check_same_shape(pred, target, "huber_loss");
+  const int64_t n = pred.numel();
+  double acc = 0.0;
+  if (grad) *grad = Tensor(pred.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    const float ad = std::abs(d);
+    if (ad <= delta) {
+      acc += 0.5 * static_cast<double>(d) * d;
+      if (grad) (*grad)[i] = d / static_cast<float>(n);
+    } else {
+      acc += static_cast<double>(delta) * (ad - 0.5 * delta);
+      if (grad) (*grad)[i] = (d > 0 ? delta : -delta) / static_cast<float>(n);
+    }
+  }
+  return static_cast<float>(acc / static_cast<double>(n));
+}
+
+}  // namespace df::nn

@@ -1,0 +1,20 @@
+// Training losses. Every model in the paper minimizes MSE between predicted
+// and experimental pK (Eq. 1); Huber is provided for robustness ablations.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace df::nn {
+
+using core::Tensor;
+
+/// Mean-squared error over all elements; `grad` receives dLoss/dPred.
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor* grad = nullptr);
+
+/// Mean absolute error (reported metric, not used for training).
+float mae_loss(const Tensor& pred, const Tensor& target);
+
+/// Huber (smooth-L1) with threshold delta.
+float huber_loss(const Tensor& pred, const Tensor& target, float delta, Tensor* grad = nullptr);
+
+}  // namespace df::nn

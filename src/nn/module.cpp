@@ -1,0 +1,3 @@
+#include "nn/module.h"
+
+// Module is fully defined inline; this TU exists to anchor the vtable.

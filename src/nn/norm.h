@@ -1,0 +1,46 @@
+// Batch normalization — a T/F choice in the paper's PB2 search (Table 1;
+// every optimized model ultimately turned it off, which our HPO bench also
+// tends to find on the synthetic data). BatchNorm1d normalizes (B, F) per
+// feature, BatchNorm3d normalizes (B, C, D, H, W) per channel.
+#pragma once
+
+#include "nn/module.h"
+
+namespace df::nn {
+
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(int64_t features, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  int64_t f_;
+  float momentum_, eps_;
+  Parameter gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // caches
+  Tensor xhat_;
+  std::vector<float> invstd_;
+};
+
+class BatchNorm3d : public Module {
+ public:
+  explicit BatchNorm3d(int64_t channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  int64_t c_;
+  float momentum_, eps_;
+  Parameter gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  Tensor xhat_;
+  std::vector<float> invstd_;
+};
+
+}  // namespace df::nn

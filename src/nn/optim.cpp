@@ -1,0 +1,110 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace df::nn {
+
+const char* optimizer_name(OptimizerKind k) {
+  switch (k) {
+    case OptimizerKind::kAdam: return "Adam";
+    case OptimizerKind::kAdamW: return "AdamW";
+    case OptimizerKind::kRMSprop: return "RMSprop";
+    case OptimizerKind::kAdadelta: return "Adadelta";
+    case OptimizerKind::kSGD: return "SGD";
+  }
+  return "?";
+}
+
+SGD::SGD(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {}
+
+void SGD::step() {
+  for (Parameter* p : params_) {
+    if (momentum_ > 0.0f) {
+      auto [it, inserted] = velocity_.try_emplace(p, Tensor(p->value.shape()));
+      Tensor& v = it->second;
+      v *= momentum_;
+      v.axpy(1.0f, p->grad);
+      p->value.axpy(-lr_, v);
+    } else {
+      p->value.axpy(-lr_, p->grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2, float eps,
+           float weight_decay, bool decoupled)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay), decoupled_(decoupled) {}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (Parameter* p : params_) {
+    auto [mit, mi] = m_.try_emplace(p, Tensor(p->value.shape()));
+    auto [vit, vi] = v_.try_emplace(p, Tensor(p->value.shape()));
+    Tensor& m = mit->second;
+    Tensor& v = vit->second;
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      float g = p->grad[i];
+      if (weight_decay_ > 0.0f && !decoupled_) g += weight_decay_ * p->value[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      float update = lr_ * mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f && decoupled_) update += lr_ * weight_decay_ * p->value[i];
+      p->value[i] -= update;
+    }
+  }
+}
+
+RMSprop::RMSprop(std::vector<Parameter*> params, float lr, float alpha, float eps)
+    : Optimizer(std::move(params), lr), alpha_(alpha), eps_(eps) {}
+
+void RMSprop::step() {
+  for (Parameter* p : params_) {
+    auto [it, inserted] = sq_.try_emplace(p, Tensor(p->value.shape()));
+    Tensor& s = it->second;
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      s[i] = alpha_ * s[i] + (1.0f - alpha_) * g * g;
+      p->value[i] -= lr_ * g / (std::sqrt(s[i]) + eps_);
+    }
+  }
+}
+
+Adadelta::Adadelta(std::vector<Parameter*> params, float lr, float rho, float eps)
+    : Optimizer(std::move(params), lr), rho_(rho), eps_(eps) {}
+
+void Adadelta::step() {
+  for (Parameter* p : params_) {
+    auto [sit, si] = sq_.try_emplace(p, Tensor(p->value.shape()));
+    auto [dit, di] = dx_.try_emplace(p, Tensor(p->value.shape()));
+    Tensor& s = sit->second;
+    Tensor& d = dit->second;
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      s[i] = rho_ * s[i] + (1.0f - rho_) * g * g;
+      const float dx = -std::sqrt(d[i] + eps_) / std::sqrt(s[i] + eps_) * g;
+      d[i] = rho_ * d[i] + (1.0f - rho_) * dx * dx;
+      p->value[i] += lr_ * dx;
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, std::vector<Parameter*> params,
+                                          float lr) {
+  switch (kind) {
+    case OptimizerKind::kAdam: return std::make_unique<Adam>(std::move(params), lr);
+    case OptimizerKind::kAdamW:
+      return std::make_unique<Adam>(std::move(params), lr, 0.9f, 0.999f, 1e-8f, 1e-2f, true);
+    case OptimizerKind::kRMSprop: return std::make_unique<RMSprop>(std::move(params), lr);
+    case OptimizerKind::kAdadelta: return std::make_unique<Adadelta>(std::move(params), lr);
+    case OptimizerKind::kSGD: return std::make_unique<SGD>(std::move(params), lr);
+  }
+  return std::make_unique<Adam>(std::move(params), lr);
+}
+
+}  // namespace df::nn

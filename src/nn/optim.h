@@ -1,0 +1,85 @@
+// First-order optimizers. Table 1 of the paper lets PB2 choose between
+// Adam, AdamW, RMSprop and Adadelta for the fusion layers; all four are
+// implemented with per-parameter state keyed by Parameter pointer so the
+// optimizer can outlive model surgery (e.g. Coherent Fusion loading
+// pre-trained heads).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace df::nn {
+
+enum class OptimizerKind { kAdam, kAdamW, kRMSprop, kAdadelta, kSGD };
+
+const char* optimizer_name(OptimizerKind k);
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params, float lr) : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Parameter* p : params_) p->grad.zero();
+  }
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_;
+};
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f, bool decoupled = false);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  bool decoupled_;  // true => AdamW
+  int64_t t_ = 0;
+  std::unordered_map<Parameter*, Tensor> m_, v_;
+};
+
+class RMSprop : public Optimizer {
+ public:
+  RMSprop(std::vector<Parameter*> params, float lr, float alpha = 0.99f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float alpha_, eps_;
+  std::unordered_map<Parameter*, Tensor> sq_;
+};
+
+class Adadelta : public Optimizer {
+ public:
+  Adadelta(std::vector<Parameter*> params, float lr = 1.0f, float rho = 0.9f, float eps = 1e-6f);
+  void step() override;
+
+ private:
+  float rho_, eps_;
+  std::unordered_map<Parameter*, Tensor> sq_, dx_;
+};
+
+/// Factory matching the Table-1 optimizer option list.
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, std::vector<Parameter*> params,
+                                          float lr);
+
+}  // namespace df::nn

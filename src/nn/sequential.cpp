@@ -1,0 +1,26 @@
+#include "nn/sequential.h"
+
+namespace df::nn {
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& l : layers_) l->collect_parameters(out);
+}
+
+void Sequential::set_training(bool t) {
+  Module::set_training(t);
+  for (auto& l : layers_) l->set_training(t);
+}
+
+}  // namespace df::nn

@@ -1,0 +1,39 @@
+// Ordered container of Modules; forward chains, backward unwinds in reverse.
+// The conv stacks and dense heads of both individual models are Sequentials;
+// the fusion models compose Sequentials with hand-routed gradient joins.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace df::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Module> m) {
+    layers_.push_back(std::move(m));
+    return *this;
+  }
+  template <typename M, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<M>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void set_training(bool t) override;
+
+  size_t size() const { return layers_.size(); }
+  Module& layer(size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace df::nn

@@ -1,0 +1,159 @@
+#include "screen/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "io/log.h"
+
+namespace df::screen {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& compounds,
+                                      const ModelFactory& make_model) {
+  CampaignReport report;
+  core::Rng rng(cfg_.seed);
+
+  struct PoseBookkeeping {
+    size_t compound_idx;
+    int target_idx;
+    int pose_idx;
+    float vina;
+    float mmgbsa = std::numeric_limits<float>::quiet_NaN();
+    float true_pk;
+  };
+  std::vector<PoseWorkItem> work;
+  std::vector<PoseBookkeeping> book;
+
+  // Per-target AMPL surrogate training data.
+  std::vector<std::vector<dock::Molecule>> ampl_poses(targets_.size());
+  std::vector<std::vector<std::vector<chem::Atom>>> ampl_pockets(targets_.size());
+  std::vector<std::vector<float>> ampl_scores(targets_.size());
+
+  // --- docking stage (ConveyorLC CDT2-4) ---
+  auto t0 = std::chrono::steady_clock::now();
+  dock::ConveyorLC pipeline(cfg_.pipeline);
+  std::vector<dock::ReceptorModel> receptors;
+  receptors.reserve(targets_.size());
+  for (const data::Target& t : targets_) receptors.push_back(dock::ConveyorLC::prepare_receptor(t.pocket));
+
+  std::vector<bool> rejected(compounds.size(), false);
+  for (size_t ci = 0; ci < compounds.size(); ++ci) {
+    const chem::Molecule raw = data::materialize(compounds[ci]);
+    for (size_t ti = 0; ti < targets_.size(); ++ti) {
+      auto res = pipeline.run(raw, receptors[ti], rng);
+      if (!res) {
+        rejected[ci] = true;
+        break;  // prep rejection is compound-wide
+      }
+      report.mmgbsa_seconds += res->mmgbsa_seconds;
+      for (size_t pi = 0; pi < res->poses.size(); ++pi) {
+        PoseWorkItem item;
+        item.compound_id = static_cast<int64_t>(ci);
+        item.target_id = static_cast<int32_t>(ti);
+        item.pose_id = static_cast<int32_t>(pi);
+        item.ligand = res->conformers[pi];
+        item.pocket = &targets_[ti].pocket;
+        item.site_center = receptors[ti].site_center;
+        work.push_back(std::move(item));
+
+        PoseBookkeeping pb;
+        pb.compound_idx = ci;
+        pb.target_idx = static_cast<int>(ti);
+        pb.pose_idx = static_cast<int>(pi);
+        pb.vina = res->poses[pi].score;
+        if (pi < res->mmgbsa_scores.size()) {
+          pb.mmgbsa = res->mmgbsa_scores[pi];
+          ampl_poses[ti].push_back(res->conformers[pi]);
+          ampl_pockets[ti].push_back(targets_[ti].pocket);
+          ampl_scores[ti].push_back(res->mmgbsa_scores[pi]);
+        }
+        pb.true_pk = data::oracle_pk(res->conformers[pi], targets_[ti].pocket,
+                                     targets_[ti].oracle, nullptr);
+        book.push_back(pb);
+      }
+    }
+  }
+  report.docking_seconds = seconds_since(t0);
+  report.poses_generated = static_cast<int>(work.size());
+  report.compounds_rejected = static_cast<int>(std::count(rejected.begin(), rejected.end(), true));
+
+  // --- AMPL surrogates (one per target, like McLoughlin's models) ---
+  std::vector<dock::AmplMmGbsaSurrogate> ampl(targets_.size());
+  for (size_t ti = 0; ti < targets_.size(); ++ti) {
+    if (ampl_scores[ti].size() >= 12) {
+      ampl[ti].fit(ampl_poses[ti], ampl_pockets[ti], ampl_scores[ti]);
+    }
+  }
+
+  // --- fusion scoring stage: fault-tolerant jobs over pose chunks ---
+  t0 = std::chrono::steady_clock::now();
+  std::vector<float> fusion_pred(work.size(), 0.0f);
+  for (size_t lo = 0; lo < work.size(); lo += static_cast<size_t>(cfg_.poses_per_job)) {
+    const size_t hi = std::min(work.size(), lo + static_cast<size_t>(cfg_.poses_per_job));
+    std::vector<PoseWorkItem> chunk(work.begin() + static_cast<long>(lo),
+                                    work.begin() + static_cast<long>(hi));
+    JobConfig jc = cfg_.job;
+    for (int attempt = 0; attempt <= cfg_.max_job_retries; ++attempt) {
+      jc.seed = cfg_.seed + lo * 31 + static_cast<uint64_t>(attempt) * 7;
+      FusionScoringJob job(jc);
+      JobReport jr = job.run(chunk, make_model);
+      ++report.jobs_run;
+      if (jr.failed) {
+        ++report.jobs_failed;
+        continue;  // resubmit: "another job takes its place"
+      }
+      // Ranks take contiguous slices of the chunk and the allgather
+      // concatenates them in rank order, so results arrive in chunk order.
+      for (size_t i = 0; i < jr.predictions.size(); ++i) {
+        fusion_pred[lo + i] = jr.predictions[i];
+      }
+      break;
+    }
+  }
+  report.fusion_seconds = seconds_since(t0);
+
+  // --- aggregation: strongest prediction across poses per compound/site ---
+  std::map<std::pair<size_t, int>, CompoundScreenResult> agg;
+  for (size_t i = 0; i < book.size(); ++i) {
+    const PoseBookkeeping& pb = book[i];
+    auto key = std::make_pair(pb.compound_idx, pb.target_idx);
+    auto [it, inserted] = agg.try_emplace(key);
+    CompoundScreenResult& r = it->second;
+    if (inserted) {
+      r.compound_id = compounds[pb.compound_idx].id;
+      r.target_index = pb.target_idx;
+      r.fusion_pk = -1e30f;
+      r.vina_score = 1e30f;
+      r.mmgbsa_score = 1e30f;
+      r.ampl_mmgbsa_score = 1e30f;
+      r.true_pk = -1e30f;
+    }
+    r.poses += 1;
+    r.fusion_pk = std::max(r.fusion_pk, fusion_pred[i]);
+    r.vina_score = std::min(r.vina_score, pb.vina);
+    if (!std::isnan(pb.mmgbsa)) r.mmgbsa_score = std::min(r.mmgbsa_score, pb.mmgbsa);
+    r.true_pk = std::max(r.true_pk, pb.true_pk);
+    if (ampl[static_cast<size_t>(pb.target_idx)].trained()) {
+      const float a = ampl[static_cast<size_t>(pb.target_idx)].predict(
+          work[i].ligand, targets_[static_cast<size_t>(pb.target_idx)].pocket);
+      r.ampl_mmgbsa_score = std::min(r.ampl_mmgbsa_score, a);
+    }
+  }
+
+  // --- simulated experimental prosecution ---
+  for (auto& [key, r] : agg) {
+    const data::Target& t = targets_[static_cast<size_t>(r.target_index)];
+    r.percent_inhibition =
+        data::percent_inhibition(r.true_pk, t.assay_concentration_uM, rng, cfg_.assay);
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace df::screen

@@ -1,0 +1,16 @@
+#include "screen/cluster.h"
+
+namespace df::screen {
+
+double job_failure_probability(int nodes_per_job) {
+  if (nodes_per_job <= 2) return 0.02;
+  if (nodes_per_job <= 4) return 0.03;
+  if (nodes_per_job <= 6) return 0.08;
+  return 0.20;
+}
+
+bool batch_fits_gpu(double model_gb, double per_pose_gb, int batch_size, const NodeSpec& node) {
+  return model_gb + per_pose_gb * batch_size <= node.gpu_memory_gb;
+}
+
+}  // namespace df::screen

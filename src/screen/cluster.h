@@ -1,0 +1,32 @@
+// Simulated Lassen-like cluster description (DESIGN.md substitution #2).
+// Node geometry follows the paper §3.2: 4 NVIDIA V100s, 44 Power9 cores and
+// 256 GB per node; jobs are limited to 12 hours by the LSF scheduler. The
+// per-job failure model encodes the §4.3 observation that inter-node
+// communication instability grows sharply with job width.
+#pragma once
+
+namespace df::screen {
+
+struct NodeSpec {
+  int gpus = 4;
+  int cpu_cores = 44;
+  double gpu_memory_gb = 16.0;
+  double node_memory_gb = 256.0;
+};
+
+struct ClusterConfig {
+  int num_nodes = 792;           // Lassen
+  NodeSpec node;
+  double max_job_hours = 12.0;   // LSF run-time limit
+};
+
+/// Probability that a job of `nodes_per_job` nodes dies from the
+/// Horovod/PyTorch instability the paper measured: ~2% at 1-2 nodes,
+/// ~3% at 4, ~20% at 8.
+double job_failure_probability(int nodes_per_job);
+
+/// GPU-memory check: a model instance plus `batch_size` poses must fit on
+/// one GPU. The paper: 1.5 GB model + 56-pose batches on a 16 GB V100.
+bool batch_fits_gpu(double model_gb, double per_pose_gb, int batch_size, const NodeSpec& node);
+
+}  // namespace df::screen

@@ -1,0 +1,119 @@
+#include "screen/job.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "core/rng.h"
+#include "io/log.h"
+#include "screen/writer.h"
+
+namespace df::screen {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+JobReport FusionScoringJob::run(const std::vector<PoseWorkItem>& items,
+                                const ModelFactory& make_model) const {
+  JobReport report;
+  const int ranks = cfg_.nodes * cfg_.gpus_per_node;
+  core::Rng job_rng(cfg_.seed);
+
+  // Failure injection: decide up-front which rank (if any) dies mid-eval.
+  int doomed_rank = -1;
+  if (cfg_.inject_failures && job_rng.bernoulli(job_failure_probability(cfg_.nodes))) {
+    doomed_rank = static_cast<int>(job_rng.randint(0, ranks - 1));
+  }
+
+  // --- startup phase: construct per-rank models + featurizers (the
+  // paper's 20 minutes of module loading and model placement).
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<models::Regressor>> rank_models;
+  rank_models.reserve(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    rank_models.push_back(make_model());
+    rank_models.back()->set_training(false);
+  }
+  const chem::Voxelizer voxelizer(cfg_.voxel);
+  const chem::GraphFeaturizer featurizer(cfg_.graph);
+  report.startup_seconds = seconds_since(t0);
+
+  // --- evaluation phase: each rank scores its contiguous slice in batches.
+  t0 = std::chrono::steady_clock::now();
+  struct RankOutput {
+    std::vector<int64_t> compound, target, pose;
+    std::vector<float> pred;
+    bool died = false;
+  };
+  std::vector<RankOutput> per_rank(static_cast<size_t>(ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      RankOutput& out = per_rank[static_cast<size_t>(r)];
+      const size_t n = items.size();
+      const size_t lo = n * static_cast<size_t>(r) / static_cast<size_t>(ranks);
+      const size_t hi = n * static_cast<size_t>(r + 1) / static_cast<size_t>(ranks);
+      models::Regressor& model = *rank_models[static_cast<size_t>(r)];
+      // A doomed rank dies halfway through its share (immediately if the
+      // share is empty or a single pose — node failures don't care how much
+      // work was assigned).
+      const size_t die_at = (hi - lo) / 2;
+      for (size_t i = lo; i < hi; ++i) {
+        if (r == doomed_rank && (i - lo) == die_at) {
+          out.died = true;
+          return;
+        }
+        const PoseWorkItem& item = items[i];
+        data::Sample s;
+        s.voxel = voxelizer.voxelize(item.ligand, *item.pocket, item.site_center);
+        s.graph = featurizer.featurize(item.ligand, *item.pocket);
+        s.label = 0.0f;
+        out.compound.push_back(item.compound_id);
+        out.target.push_back(item.target_id);
+        out.pose.push_back(item.pose_id);
+        out.pred.push_back(model.predict(s));
+      }
+      if (r == doomed_rank && lo == hi) out.died = true;  // empty-share rank still dies
+    });
+  }
+  for (auto& t : threads) t.join();
+  report.eval_seconds = seconds_since(t0);
+
+  for (int r = 0; r < ranks; ++r) {
+    if (per_rank[static_cast<size_t>(r)].died) {
+      report.failed = true;
+      report.failed_rank = r;
+      io::log_warn("fusion job failed at rank " + std::to_string(r) + " (" +
+                   std::to_string(cfg_.nodes) + " nodes)");
+      return report;  // no output on failure — results only flush at the end
+    }
+  }
+
+  // --- allgather: concatenate per-rank results (MPI allgather analogue).
+  t0 = std::chrono::steady_clock::now();
+  for (const RankOutput& out : per_rank) {
+    report.compound_ids.insert(report.compound_ids.end(), out.compound.begin(), out.compound.end());
+    report.target_ids.insert(report.target_ids.end(), out.target.begin(), out.target.end());
+    report.pose_ids.insert(report.pose_ids.end(), out.pose.begin(), out.pose.end());
+    report.predictions.insert(report.predictions.end(), out.pred.begin(), out.pred.end());
+  }
+  report.poses_scored = static_cast<int>(report.predictions.size());
+
+  // --- output phase: shard across ranks and write in parallel.
+  if (!cfg_.output_prefix.empty()) {
+    report.output_files = write_sharded_results(cfg_.output_prefix, ranks, report.compound_ids,
+                                                report.target_ids, report.pose_ids,
+                                                report.predictions);
+  }
+  report.output_seconds = seconds_since(t0);
+  report.poses_per_second = report.eval_seconds > 0
+                                ? static_cast<double>(report.poses_scored) / report.eval_seconds
+                                : 0.0;
+  return report;
+}
+
+}  // namespace df::screen

@@ -1,0 +1,75 @@
+// One Fusion scoring job (paper Fig. 3): a fixed set of poses is divided
+// across ranks (nodes x GPUs, one worker thread per rank here); each rank
+// featurizes and scores its subset in batches, results are allgathered and
+// written in parallel. Failure injection reproduces the §4.3 instability,
+// and — like the real pipeline — a failed job writes nothing (results are
+// only flushed after scoring completes), so reruns are idempotent.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chem/graph_featurizer.h"
+#include "chem/voxelizer.h"
+#include "data/dataset.h"
+#include "models/regressor.h"
+#include "screen/cluster.h"
+
+namespace df::screen {
+
+struct PoseWorkItem {
+  int64_t compound_id = 0;
+  int32_t target_id = 0;
+  int32_t pose_id = 0;
+  chem::Molecule ligand;                        // posed conformer
+  const std::vector<chem::Atom>* pocket = nullptr;
+  core::Vec3 site_center;
+};
+
+struct JobConfig {
+  int nodes = 4;
+  int gpus_per_node = 4;           // ranks = nodes * gpus_per_node
+  int batch_size_per_rank = 56;
+  int loaders_per_rank = 12;       // recorded; throughput model consumes it
+  uint64_t seed = 99;
+  bool inject_failures = false;    // sample §4.3 failure probabilities
+  chem::VoxelConfig voxel;
+  chem::GraphFeaturizerConfig graph;
+  std::string output_prefix;       // empty = don't write files
+};
+
+struct JobReport {
+  bool failed = false;
+  int failed_rank = -1;
+  int poses_scored = 0;
+  double startup_seconds = 0;
+  double eval_seconds = 0;
+  double output_seconds = 0;
+  double poses_per_second = 0;     // eval-phase rate
+  // Allgathered results (empty when failed, like the real pipeline).
+  std::vector<int64_t> compound_ids;
+  std::vector<int64_t> target_ids;
+  std::vector<int64_t> pose_ids;
+  std::vector<float> predictions;
+  std::vector<std::string> output_files;
+};
+
+/// Builds one model instance per rank (ranks run concurrently and models
+/// carry forward caches, so they cannot be shared).
+using ModelFactory = std::function<std::unique_ptr<models::Regressor>()>;
+
+class FusionScoringJob {
+ public:
+  explicit FusionScoringJob(JobConfig cfg) : cfg_(std::move(cfg)) {}
+
+  JobReport run(const std::vector<PoseWorkItem>& items, const ModelFactory& make_model) const;
+
+  const JobConfig& config() const { return cfg_; }
+
+ private:
+  JobConfig cfg_;
+};
+
+}  // namespace df::screen

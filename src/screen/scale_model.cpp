@@ -1,0 +1,48 @@
+#include "screen/scale_model.h"
+
+namespace df::screen {
+
+double ThroughputModel::batch_efficiency(int batch_size) const {
+  return static_cast<double>(batch_size) /
+         (static_cast<double>(batch_size) + cfg_.batch_efficiency_constant);
+}
+
+JobTimeBreakdown ThroughputModel::job_time(long poses, int nodes, int batch_size) const {
+  JobTimeBreakdown out;
+  const int ranks = nodes * cfg_.gpus_per_node;
+  out.startup_minutes = cfg_.startup_minutes_base + cfg_.startup_minutes_per_node * nodes;
+  const double rate = cfg_.per_rank_poses_per_second * ranks * batch_efficiency(batch_size);
+  out.eval_minutes = static_cast<double>(poses) / rate / 60.0;
+  out.output_minutes = cfg_.output_minutes;
+  out.poses_per_second = static_cast<double>(poses) / (out.total_minutes() * 60.0);
+  return out;
+}
+
+double ThroughputModel::expected_minutes_with_failures(long poses, int nodes,
+                                                       int batch_size) const {
+  const double t = job_time(poses, nodes, batch_size).total_minutes();
+  const double p = job_failure_probability(nodes);
+  // Geometric retries: expected attempts = 1/(1-p); failed attempts burn on
+  // average half an eval phase before dying plus full startup.
+  const double wasted = (p / (1.0 - p)) * (0.5 * t);
+  return t + wasted;
+}
+
+PeakThroughput ThroughputModel::peak(int parallel_jobs, long poses_per_job, int nodes_per_job,
+                                     int batch_size, double poses_per_compound) const {
+  PeakThroughput out;
+  out.parallel_jobs = parallel_jobs;
+  const JobTimeBreakdown one = job_time(poses_per_job, nodes_per_job, batch_size);
+  // In steady state, startup/output amortize across the job stream; peak
+  // throughput is jobs x eval-phase rate adjusted by duty cycle.
+  const double duty = one.eval_minutes / one.total_minutes();
+  const int ranks = nodes_per_job * cfg_.gpus_per_node;
+  const double per_job_rate =
+      cfg_.per_rank_poses_per_second * ranks * batch_efficiency(batch_size) * duty;
+  out.poses_per_second = per_job_rate * parallel_jobs;
+  out.poses_per_hour = out.poses_per_second * 3600.0;
+  out.compounds_per_hour = out.poses_per_hour / poses_per_compound;
+  return out;
+}
+
+}  // namespace df::screen

@@ -1,0 +1,68 @@
+// Analytic throughput model of the screening architecture, calibrated by a
+// measured per-rank scoring rate. This is how we regenerate the paper's
+// Table 7 (single job vs 125-job peak) and Figure 4 (strong scaling over
+// nodes x batch size) without 500 Lassen nodes: job time =
+// startup(nodes) + poses / (ranks * rate * batch_efficiency) + output,
+// with the §4.3 failure probabilities determining expected wasted work.
+#pragma once
+
+#include <vector>
+
+#include "screen/cluster.h"
+
+namespace df::screen {
+
+struct ScaleModelConfig {
+  /// Paper-measured defaults for a 16-rank (4-node) job on 2M poses:
+  /// 20 min startup, 280 min eval, 6.5 min output => 6.75 poses/s/rank.
+  double per_rank_poses_per_second = 6.75;
+  double startup_minutes_base = 18.0;
+  double startup_minutes_per_node = 0.5;   // module loads scale mildly
+  double output_minutes = 6.5;
+  /// CPU->GPU transfer efficiency vs batch size: eff(b) = b / (b + c).
+  double batch_efficiency_constant = 0.5;
+  int gpus_per_node = 4;
+};
+
+struct JobTimeBreakdown {
+  double startup_minutes = 0;
+  double eval_minutes = 0;
+  double output_minutes = 0;
+  double total_minutes() const { return startup_minutes + eval_minutes + output_minutes; }
+  double poses_per_second = 0;   // whole-job average
+};
+
+struct PeakThroughput {
+  int parallel_jobs = 0;
+  double poses_per_second = 0;
+  double poses_per_hour = 0;
+  double compounds_per_hour = 0;  // at `poses_per_compound`
+};
+
+class ThroughputModel {
+ public:
+  explicit ThroughputModel(ScaleModelConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Calibrate from a measured mini-job: rate per rank, in poses/second.
+  void calibrate(double measured_per_rank_rate) {
+    cfg_.per_rank_poses_per_second = measured_per_rank_rate;
+  }
+
+  double batch_efficiency(int batch_size) const;
+
+  JobTimeBreakdown job_time(long poses, int nodes, int batch_size) const;
+
+  /// Expected job time including failure-and-rerun overhead (a failed job
+  /// writes nothing and is fully rerun).
+  double expected_minutes_with_failures(long poses, int nodes, int batch_size) const;
+
+  PeakThroughput peak(int parallel_jobs, long poses_per_job, int nodes_per_job, int batch_size,
+                      double poses_per_compound = 10.0) const;
+
+  const ScaleModelConfig& config() const { return cfg_; }
+
+ private:
+  ScaleModelConfig cfg_;
+};
+
+}  // namespace df::screen

@@ -1,0 +1,58 @@
+#include "screen/writer.h"
+
+#include <thread>
+
+#include "io/h5lite.h"
+
+namespace df::screen {
+
+std::vector<std::string> write_sharded_results(const std::string& prefix, int num_shards,
+                                               const std::vector<int64_t>& compound_ids,
+                                               const std::vector<int64_t>& target_ids,
+                                               const std::vector<int64_t>& pose_ids,
+                                               const std::vector<float>& predictions) {
+  const size_t n = predictions.size();
+  std::vector<std::string> files(static_cast<size_t>(num_shards));
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    files[static_cast<size_t>(s)] = prefix + ".rank" + std::to_string(s) + ".h5lt";
+    writers.emplace_back([&, s] {
+      io::H5LiteFile f;
+      std::vector<int64_t> c, t, p;
+      std::vector<float> y;
+      for (size_t i = static_cast<size_t>(s); i < n; i += static_cast<size_t>(num_shards)) {
+        c.push_back(compound_ids[i]);
+        t.push_back(target_ids[i]);
+        p.push_back(pose_ids[i]);
+        y.push_back(predictions[i]);
+      }
+      const int64_t rows = static_cast<int64_t>(y.size());
+      f.put_ints("compound_id", {rows}, std::move(c));
+      f.put_ints("target_id", {rows}, std::move(t));
+      f.put_ints("pose_id", {rows}, std::move(p));
+      f.put_floats("predicted_pk", {rows}, std::move(y));
+      f.save(files[static_cast<size_t>(s)]);
+    });
+  }
+  for (auto& w : writers) w.join();
+  return files;
+}
+
+GatheredResults read_sharded_results(const std::vector<std::string>& files) {
+  GatheredResults out;
+  for (const std::string& path : files) {
+    const io::H5LiteFile f = io::H5LiteFile::load(path);
+    const auto& c = f.get("compound_id").ints();
+    const auto& t = f.get("target_id").ints();
+    const auto& p = f.get("pose_id").ints();
+    const auto& y = f.get("predicted_pk").floats();
+    out.compound_ids.insert(out.compound_ids.end(), c.begin(), c.end());
+    out.target_ids.insert(out.target_ids.end(), t.begin(), t.end());
+    out.pose_ids.insert(out.pose_ids.end(), p.begin(), p.end());
+    out.predictions.insert(out.predictions.end(), y.begin(), y.end());
+  }
+  return out;
+}
+
+}  // namespace df::screen

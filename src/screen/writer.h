@@ -1,0 +1,28 @@
+// Parallel sharded result writer (paper §4.2): after the allgather, results
+// are redistributed so every rank writes its own HDF5 file — the fix for
+// the file-output bottleneck the authors identified. The dataset layout
+// mirrors CDT3Docking's output (identifier triplets + predicted affinity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace df::screen {
+
+/// Write `num_shards` h5lite files named <prefix>.rankN.h5lt in parallel.
+/// Returns the file paths. Row i goes to shard i % num_shards.
+std::vector<std::string> write_sharded_results(const std::string& prefix, int num_shards,
+                                               const std::vector<int64_t>& compound_ids,
+                                               const std::vector<int64_t>& target_ids,
+                                               const std::vector<int64_t>& pose_ids,
+                                               const std::vector<float>& predictions);
+
+/// Load all shards written by write_sharded_results back into flat arrays.
+struct GatheredResults {
+  std::vector<int64_t> compound_ids, target_ids, pose_ids;
+  std::vector<float> predictions;
+};
+GatheredResults read_sharded_results(const std::vector<std::string>& files);
+
+}  // namespace df::screen

@@ -1,0 +1,76 @@
+#include "stats/classification.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace df::stats {
+
+std::vector<PRPoint> pr_curve(std::span<const float> scores, const std::vector<bool>& labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("pr_curve: size mismatch or empty");
+  }
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  const int total_pos = static_cast<int>(std::count(labels.begin(), labels.end(), true));
+  std::vector<PRPoint> curve;
+  int tp = 0, fp = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]]) ++tp;
+    else ++fp;
+    // Emit a point at each distinct threshold (after ties are absorbed).
+    if (i + 1 < order.size() && scores[order[i + 1]] == scores[order[i]]) continue;
+    PRPoint p;
+    p.threshold = scores[order[i]];
+    p.precision = static_cast<float>(tp) / static_cast<float>(tp + fp);
+    p.recall = total_pos > 0 ? static_cast<float>(tp) / static_cast<float>(total_pos) : 0.0f;
+    p.f1 = (p.precision + p.recall) > 0 ? 2 * p.precision * p.recall / (p.precision + p.recall)
+                                        : 0.0f;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+float best_f1(std::span<const float> scores, const std::vector<bool>& labels) {
+  float best = 0.0f;
+  for (const PRPoint& p : pr_curve(scores, labels)) best = std::max(best, p.f1);
+  return best;
+}
+
+float average_precision(std::span<const float> scores, const std::vector<bool>& labels) {
+  const std::vector<PRPoint> curve = pr_curve(scores, labels);
+  float ap = 0.0f, prev_recall = 0.0f;
+  for (const PRPoint& p : curve) {
+    ap += p.precision * (p.recall - prev_recall);
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+float cohen_kappa(const std::vector<bool>& pred, const std::vector<bool>& truth) {
+  if (pred.size() != truth.size() || pred.empty()) {
+    throw std::invalid_argument("cohen_kappa: size mismatch or empty");
+  }
+  const double n = static_cast<double>(pred.size());
+  double agree = 0, pred_pos = 0, true_pos = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == truth[i]) ++agree;
+    if (pred[i]) ++pred_pos;
+    if (truth[i]) ++true_pos;
+  }
+  const double po = agree / n;
+  const double pe = (pred_pos / n) * (true_pos / n) +
+                    ((n - pred_pos) / n) * ((n - true_pos) / n);
+  if (pe >= 1.0) return 0.0f;
+  return static_cast<float>((po - pe) / (1.0 - pe));
+}
+
+float positive_rate(const std::vector<bool>& labels) {
+  if (labels.empty()) return 0.0f;
+  return static_cast<float>(std::count(labels.begin(), labels.end(), true)) /
+         static_cast<float>(labels.size());
+}
+
+}  // namespace df::stats

@@ -1,0 +1,35 @@
+// Binary-classification analysis used by the paper's Figures 2 and 6:
+// precision/recall curves over a continuous score, F1, average precision,
+// and Cohen's kappa against a frequency-matched random classifier (Eq. 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace df::stats {
+
+struct PRPoint {
+  float threshold;
+  float precision;
+  float recall;
+  float f1;
+};
+
+/// Sweep thresholds over the (descending) unique score values. Higher score
+/// must mean "more positive".
+std::vector<PRPoint> pr_curve(std::span<const float> scores, const std::vector<bool>& labels);
+
+/// Maximum F1 over the curve.
+float best_f1(std::span<const float> scores, const std::vector<bool>& labels);
+
+/// Area under the P/R curve by step-wise interpolation (average precision).
+float average_precision(std::span<const float> scores, const std::vector<bool>& labels);
+
+/// Cohen's kappa for hard predictions.
+float cohen_kappa(const std::vector<bool>& pred, const std::vector<bool>& truth);
+
+/// Expected precision of a random classifier = positive prevalence (the
+/// dashed line in the paper's P/R plots).
+float positive_rate(const std::vector<bool>& labels);
+
+}  // namespace df::stats

@@ -1,0 +1,92 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace df::stats {
+
+namespace {
+void check(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+  }
+}
+}  // namespace
+
+float rmse(std::span<const float> pred, std::span<const float> truth) {
+  check(pred, truth);
+  double acc = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(pred.size())));
+}
+
+float mae(std::span<const float> pred, std::span<const float> truth) {
+  check(pred, truth);
+  double acc = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) acc += std::abs(pred[i] - truth[i]);
+  return static_cast<float>(acc / static_cast<double>(pred.size()));
+}
+
+float r_squared(std::span<const float> pred, std::span<const float> truth) {
+  check(pred, truth);
+  double mean = 0.0;
+  for (float t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) return 0.0f;
+  return static_cast<float>(1.0 - ss_res / ss_tot);
+}
+
+float pearson(std::span<const float> a, std::span<const float> b) {
+  check(a, b);
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0f;
+  return static_cast<float>(cov / std::sqrt(va * vb));
+}
+
+std::vector<float> ranks(std::span<const float> v) {
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<float> r(v.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const float avg = static_cast<float>(i + j) / 2.0f + 1.0f;
+    for (size_t k = i; k <= j; ++k) r[order[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+float spearman(std::span<const float> a, std::span<const float> b) {
+  check(a, b);
+  const std::vector<float> ra = ranks(a), rb = ranks(b);
+  return pearson(ra, rb);
+}
+
+}  // namespace df::stats

@@ -1,0 +1,21 @@
+// Regression metrics reported in the paper's Table 6 (RMSE, MAE, R²,
+// Pearson R, Spearman R) and the correlation analyses of Table 8.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace df::stats {
+
+float rmse(std::span<const float> pred, std::span<const float> truth);
+float mae(std::span<const float> pred, std::span<const float> truth);
+/// Coefficient of determination (1 - SS_res / SS_tot).
+float r_squared(std::span<const float> pred, std::span<const float> truth);
+float pearson(std::span<const float> a, std::span<const float> b);
+/// Spearman rank correlation (average ranks for ties).
+float spearman(std::span<const float> a, std::span<const float> b);
+
+/// Fractional ranks with tie averaging (exposed for property tests).
+std::vector<float> ranks(std::span<const float> v);
+
+}  // namespace df::stats

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "chem/ligand_prep.h"
+#include "data/assay.h"
+#include "data/compound_library.h"
+
+namespace df::data {
+namespace {
+
+using core::Rng;
+
+TEST(Assay, OccupancyAtKdIsHalf) {
+  // At concentration == Kd, occupancy is exactly 50%.
+  // pk = 5 -> Kd = 10 uM; assay at 10 uM.
+  EXPECT_NEAR(occupancy_percent(5.0f, 10.0f), 50.0f, 1e-3f);
+}
+
+TEST(Assay, StrongBinderSaturates) {
+  EXPECT_GT(occupancy_percent(9.0f, 100.0f), 99.0f);
+}
+
+TEST(Assay, WeakBinderReadsNearZero) {
+  EXPECT_LT(occupancy_percent(2.0f, 10.0f), 0.2f);
+}
+
+TEST(Assay, HigherConcentrationRaisesInhibition) {
+  // The paper's caveat: Mpro assays at 100 uM let weaker binders show
+  // higher inhibition than spike assays at 10 uM.
+  EXPECT_GT(occupancy_percent(5.0f, 100.0f), occupancy_percent(5.0f, 10.0f));
+}
+
+TEST(Assay, OutputClampedTo0And100) {
+  Rng rng(1);
+  AssayConfig cfg;
+  cfg.noise_sigma = 60.0f;  // huge noise to stress the clamp
+  for (int i = 0; i < 200; ++i) {
+    const float v = percent_inhibition(6.0f, 10.0f, rng, cfg);
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 100.0f);
+  }
+}
+
+TEST(Assay, DeadFractionReadsBelowLeak) {
+  Rng rng(2);
+  AssayConfig cfg;
+  cfg.dead_fraction = 1.0f;  // all compounds dead
+  cfg.dead_leak = 1.0f;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(percent_inhibition(10.0f, 100.0f, rng, cfg), 1.0f);
+  }
+}
+
+TEST(Assay, SignalSurvivesNoiseOnAverage) {
+  Rng rng(3);
+  AssayConfig cfg;
+  cfg.dead_fraction = 0.0f;
+  double strong = 0, weak = 0;
+  for (int i = 0; i < 300; ++i) {
+    strong += percent_inhibition(8.0f, 100.0f, rng, cfg);
+    weak += percent_inhibition(3.0f, 100.0f, rng, cfg);
+  }
+  EXPECT_GT(strong / 300, weak / 300 + 30.0);
+}
+
+TEST(Library, NamesMatchPaperSources) {
+  EXPECT_STREQ(library_name(LibrarySource::ZINC), "ZINC");
+  EXPECT_STREQ(library_name(LibrarySource::ChEMBL), "ChEMBL");
+  EXPECT_STREQ(library_name(LibrarySource::eMolecules), "eMolecules");
+  EXPECT_STREQ(library_name(LibrarySource::Enamine), "Enamine");
+}
+
+TEST(Library, GeneratesRequestedCountWithIds) {
+  Rng rng(4);
+  const auto lib = generate_library(default_library(LibrarySource::Enamine, 25), rng);
+  ASSERT_EQ(lib.size(), 25u);
+  EXPECT_EQ(lib[0].id, "Enamine-0");
+  EXPECT_EQ(lib[24].id, "Enamine-24");
+}
+
+TEST(Library, SmilesFormForEmoleculesAndEnamine) {
+  Rng rng(5);
+  for (LibrarySource s : {LibrarySource::eMolecules, LibrarySource::Enamine}) {
+    const auto lib = generate_library(default_library(s, 5), rng);
+    for (const auto& c : lib) {
+      EXPECT_TRUE(c.is_smiles_entry);
+      EXPECT_FALSE(c.smiles.empty());
+      // Materialize parses the SMILES back into an isomorphic graph.
+      const chem::Molecule m = materialize(c);
+      EXPECT_EQ(m.num_atoms(), c.molecule.num_atoms());
+      EXPECT_EQ(m.num_bonds(), c.molecule.num_bonds());
+    }
+  }
+}
+
+TEST(Library, SdfFormForZincAndChembl) {
+  Rng rng(6);
+  for (LibrarySource s : {LibrarySource::ZINC, LibrarySource::ChEMBL}) {
+    const auto lib = generate_library(default_library(s, 5), rng);
+    for (const auto& c : lib) {
+      EXPECT_FALSE(c.is_smiles_entry);
+      EXPECT_GT(materialize(c).num_atoms(), 0u);
+    }
+  }
+}
+
+TEST(Library, ZincHasMoreSaltsThanEnamine) {
+  Rng rng(7);
+  auto count_multifragment = [&](LibrarySource s) {
+    int n = 0;
+    const auto lib = generate_library(default_library(s, 200), rng);
+    for (const auto& c : lib) {
+      if (c.molecule.connected_components().size() > 1) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_multifragment(LibrarySource::ZINC),
+            count_multifragment(LibrarySource::Enamine));
+}
+
+TEST(Library, PrepFiltersLibraryContaminants) {
+  Rng rng(8);
+  const auto lib = generate_library(default_library(LibrarySource::ZINC, 100), rng);
+  int accepted = 0;
+  for (const auto& c : lib) {
+    if (chem::prepare_ligand(materialize(c), rng).has_value()) ++accepted;
+  }
+  // Most compounds survive prep; metal-containing ones are dropped.
+  EXPECT_GT(accepted, 80);
+  EXPECT_LE(accepted, 100);
+}
+
+}  // namespace
+}  // namespace df::data

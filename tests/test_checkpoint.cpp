@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "chem/conformer.h"
+#include "chem/smiles.h"
+#include "data/target.h"
+#include "models/checkpoint.h"
+#include "models/fusion.h"
+#include "models/trainer.h"
+
+namespace df::models {
+namespace {
+
+using core::Rng;
+
+std::string tmp(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SgcnnConfig tiny_sg() {
+  SgcnnConfig cfg;
+  cfg.covalent_gather_width = 8;
+  cfg.noncovalent_gather_width = 12;
+  cfg.covalent_k = 2;
+  cfg.noncovalent_k = 2;
+  return cfg;
+}
+
+data::Sample sample(Rng& rng) {
+  chem::Molecule lig = chem::parse_smiles("CC(N)CC(=O)O");
+  chem::embed_conformer(lig, rng);
+  lig.translate(core::Vec3{} - lig.centroid());
+  std::vector<chem::Atom> pocket = data::make_pocket({4.5f, 20, 0.6f, 0.5f, 0.1f}, rng);
+  data::Sample s;
+  chem::VoxelConfig vc;
+  vc.grid_dim = 8;
+  s.voxel = chem::Voxelizer(vc).voxelize(lig, pocket, {});
+  s.graph = chem::GraphFeaturizer().featurize(lig, pocket);
+  return s;
+}
+
+TEST(Checkpoint, RoundTripRestoresPredictions) {
+  Rng rng(1);
+  Sgcnn a(tiny_sg(), rng);
+  Rng rng2(99);  // different weights
+  Sgcnn b(tiny_sg(), rng2);
+  Rng srng(2);
+  const data::Sample s = sample(srng);
+  ASSERT_NE(a.predict(s), b.predict(s));
+
+  const std::string path = tmp("df_ckpt_rt.h5lt");
+  save_checkpoint(a, path);
+  load_checkpoint(b, path);
+  EXPECT_FLOAT_EQ(a.predict(s), b.predict(s));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, StructureMismatchRejected) {
+  Rng rng(3);
+  Sgcnn a(tiny_sg(), rng);
+  SgcnnConfig other = tiny_sg();
+  other.noncovalent_gather_width = 24;  // different widths
+  Sgcnn b(other, rng);
+  const std::string path = tmp("df_ckpt_mismatch.h5lt");
+  save_checkpoint(a, path);
+  EXPECT_THROW(load_checkpoint(b, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, FusionModelRoundTrip) {
+  Rng rng(4);
+  Cnn3dConfig cc;
+  cc.grid_dim = 8;
+  cc.conv_filters1 = 4;
+  cc.conv_filters2 = 8;
+  cc.dense_nodes = 16;
+  cc.dropout1 = cc.dropout2 = 0.0f;
+  FusionConfig fc;
+  fc.kind = FusionKind::Coherent;
+  fc.fusion_nodes = 8;
+  fc.dropout1 = fc.dropout2 = fc.dropout3 = 0.0f;
+  FusionModel a(fc, std::make_shared<Cnn3d>(cc, rng), std::make_shared<Sgcnn>(tiny_sg(), rng),
+                rng);
+  Rng rng2(77);
+  FusionModel b(fc, std::make_shared<Cnn3d>(cc, rng2), std::make_shared<Sgcnn>(tiny_sg(), rng2),
+                rng2);
+  Rng srng(5);
+  const data::Sample s = sample(srng);
+  const std::string path = tmp("df_ckpt_fusion.h5lt");
+  save_checkpoint(a, path);
+  load_checkpoint(b, path);
+  EXPECT_FLOAT_EQ(a.predict(s), b.predict(s));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Rng rng(6);
+  Sgcnn a(tiny_sg(), rng);
+  EXPECT_THROW(load_checkpoint(a, "/nonexistent/ckpt.h5lt"), std::runtime_error);
+}
+
+TEST(Checkpoint, CopyParametersAgreesWithCheckpoint) {
+  // copy_parameters and save/load are two routes to the same state.
+  Rng rng(7);
+  Sgcnn a(tiny_sg(), rng);
+  Rng rng2(55);
+  Sgcnn b(tiny_sg(), rng2), c(tiny_sg(), rng2);
+  copy_parameters(b, a);
+  const std::string path = tmp("df_ckpt_agree.h5lt");
+  save_checkpoint(a, path);
+  load_checkpoint(c, path);
+  Rng srng(8);
+  const data::Sample s = sample(srng);
+  EXPECT_FLOAT_EQ(b.predict(s), c.predict(s));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace df::models

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "chem/conformer.h"
+#include "chem/ligand_prep.h"
+#include "chem/smiles.h"
+
+namespace df::chem {
+namespace {
+
+using core::Rng;
+
+TEST(Conformer, BondLengthsNearIdeal) {
+  Rng rng(1);
+  Molecule m = parse_smiles("CCCCC");
+  embed_conformer(m, rng);
+  for (const Bond& b : m.bonds()) {
+    const float d = m.atoms()[static_cast<size_t>(b.a)].pos.dist(
+        m.atoms()[static_cast<size_t>(b.b)].pos);
+    EXPECT_GT(d, 1.0f);
+    EXPECT_LT(d, 2.2f);
+  }
+}
+
+TEST(Conformer, NoSevereClashes) {
+  Rng rng(2);
+  MoleculeGenConfig cfg;
+  for (int trial = 0; trial < 5; ++trial) {
+    Molecule m = generate_molecule(cfg, rng);
+    embed_conformer(m, rng);
+    for (size_t i = 0; i < m.num_atoms(); ++i) {
+      for (size_t j = i + 1; j < m.num_atoms(); ++j) {
+        EXPECT_GT(m.atoms()[i].pos.dist(m.atoms()[j].pos), 0.7f)
+            << "clash between atoms " << i << " and " << j;
+      }
+    }
+  }
+}
+
+TEST(Conformer, RelaxationLowersEnergy) {
+  Rng rng(3);
+  Molecule m = parse_smiles("CC(C)CC1CCCCC1");
+  // Random initial coordinates -> relax must reduce MM energy.
+  for (Atom& a : m.atoms()) {
+    a.pos = {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+  }
+  const float before = mm_energy(m);
+  relax_conformer(m);
+  const float after = mm_energy(m);
+  EXPECT_LT(after, before);
+}
+
+TEST(Conformer, DisconnectedFragmentsSeparated) {
+  Rng rng(4);
+  Molecule m = parse_smiles("CC.Cl");
+  embed_conformer(m, rng);
+  // The counter-ion is placed away from the main fragment.
+  EXPECT_GT(m.atoms()[2].pos.dist(m.atoms()[0].pos), 2.5f);
+}
+
+TEST(LigandPrep, StripsSalts) {
+  Rng rng(5);
+  Molecule m = parse_smiles("CCCCN.Cl");
+  auto prep = prepare_ligand(m, rng);
+  ASSERT_TRUE(prep.has_value());
+  EXPECT_EQ(prep->mol.num_atoms(), 5u);  // Cl- dropped
+  EXPECT_EQ(prep->mol.connected_components().size(), 1u);
+}
+
+TEST(LigandPrep, RejectsMetals) {
+  Rng rng(6);
+  Molecule m;
+  m.add_atom(Element::C);
+  m.add_atom(Element::Metal);
+  EXPECT_FALSE(prepare_ligand(m, rng).has_value());
+}
+
+TEST(LigandPrep, RejectsEmpty) {
+  Rng rng(7);
+  EXPECT_FALSE(prepare_ligand(Molecule{}, rng).has_value());
+}
+
+TEST(LigandPrep, Ph7ProtonatesAmine) {
+  Molecule m = parse_smiles("CCN");  // primary amine: NH2 -> NH3+
+  set_ph7_protonation(m);
+  EXPECT_EQ(m.atoms()[2].formal_charge, 1);
+  EXPECT_EQ(m.atoms()[2].implicit_h, 3);
+}
+
+TEST(LigandPrep, Ph7DeprotonatesCarboxylicAcid) {
+  Molecule m = parse_smiles("CC(=O)O");  // acetic acid -> acetate
+  set_ph7_protonation(m);
+  int negative_o = 0;
+  for (const Atom& a : m.atoms()) {
+    if (a.element == Element::O && a.formal_charge == -1) ++negative_o;
+  }
+  EXPECT_EQ(negative_o, 1);
+}
+
+TEST(LigandPrep, AromaticNitrogenNotProtonated) {
+  Molecule m = parse_smiles("c1ccncc1");  // pyridine-like
+  set_ph7_protonation(m);
+  for (const Atom& a : m.atoms()) EXPECT_EQ(a.formal_charge, 0);
+}
+
+TEST(LigandPrep, DescriptorBlockPopulated) {
+  Rng rng(8);
+  Molecule m = parse_smiles("CC(=O)Oc1ccccc1C(=O)O");  // aspirin-like
+  auto prep = prepare_ligand(m, rng);
+  ASSERT_TRUE(prep.has_value());
+  const LigandDescriptors& d = prep->descriptors;
+  EXPECT_GT(d.molecular_weight, 100.0f);
+  EXPECT_GT(d.tpsa, 0.0f);
+  EXPECT_GE(d.rings, 1);
+  EXPECT_GT(d.hbond_acceptors, 0);
+}
+
+TEST(LigandPrep, MaxWeightGate) {
+  Rng rng(9);
+  MoleculeGenConfig cfg;
+  cfg.min_heavy_atoms = 100;
+  cfg.max_heavy_atoms = 130;
+  Molecule heavy = generate_molecule(cfg, rng);
+  LigandPrepConfig pc;
+  pc.max_molecular_weight = 500.0f;
+  EXPECT_FALSE(prepare_ligand(heavy, rng, pc).has_value());
+}
+
+}  // namespace
+}  // namespace df::chem

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "data/pdbbind.h"
+#include "data/target.h"
+
+namespace df::data {
+namespace {
+
+using core::Rng;
+
+PdbbindConfig small_config() {
+  PdbbindConfig cfg;
+  cfg.num_complexes = 60;
+  cfg.core_size = 8;
+  cfg.settle_runs = 1;
+  cfg.settle_steps = 10;
+  return cfg;
+}
+
+TEST(Targets, FourSitesWithPaperProperties) {
+  Rng rng(1);
+  const std::vector<Target> targets = make_sars_cov2_targets(rng);
+  ASSERT_EQ(targets.size(), 4u);
+  EXPECT_EQ(targets[0].name, "protease1");
+  EXPECT_EQ(targets[3].name, "spike2");
+  // Mpro assayed at 100 uM, spike at 10 uM (paper Fig. 5).
+  EXPECT_FLOAT_EQ(targets[0].assay_concentration_uM, 100.0f);
+  EXPECT_FLOAT_EQ(targets[1].assay_concentration_uM, 100.0f);
+  EXPECT_FLOAT_EQ(targets[2].assay_concentration_uM, 10.0f);
+  EXPECT_FLOAT_EQ(targets[3].assay_concentration_uM, 10.0f);
+  // Protease pockets are larger than spike pockets.
+  EXPECT_GT(targets[0].pocket.size(), targets[2].pocket.size());
+}
+
+TEST(Pocket, GeometryFollowsConfig) {
+  Rng rng(2);
+  PocketConfig cfg{6.0f, 50, 0.6f, 0.5f, 0.1f};
+  const auto pocket = make_pocket(cfg, rng);
+  EXPECT_EQ(pocket.size(), 50u);
+  for (const chem::Atom& a : pocket) {
+    const float r = a.pos.norm();
+    EXPECT_GT(r, 6.0f * 0.9f);
+    EXPECT_LT(r, 6.0f * 1.15f);
+  }
+}
+
+TEST(Oracle, PkWithinRange) {
+  Rng rng(3);
+  const std::vector<Target> targets = make_sars_cov2_targets(rng);
+  chem::MoleculeGenConfig mg;
+  for (int i = 0; i < 10; ++i) {
+    chem::Molecule m = chem::generate_molecule(mg, rng);
+    for (auto& a : m.atoms()) a.pos = {rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const float pk = oracle_pk(m, targets[0].pocket, targets[0].oracle, &rng);
+    EXPECT_GE(pk, 2.0f);
+    EXPECT_LE(pk, 11.5f);
+  }
+}
+
+TEST(Oracle, NoiseFreeIsDeterministic) {
+  Rng rng(4);
+  const Target t = make_target(TargetKind::Spike1, rng);
+  chem::Molecule m = chem::generate_molecule({}, rng);
+  for (auto& a : m.atoms()) a.pos = {1, 0, 0};
+  EXPECT_FLOAT_EQ(oracle_pk(m, t.pocket, t.oracle, nullptr),
+                  oracle_pk(m, t.pocket, t.oracle, nullptr));
+}
+
+TEST(Oracle, TopoTermSensitiveToGraph) {
+  // Two molecules with identical coordinates but different bond graphs must
+  // get different topo contributions — the signal only the SG-CNN sees.
+  chem::Molecule chain;
+  for (int i = 0; i < 6; ++i) chain.add_atom(chem::Element::C);
+  for (int i = 0; i < 5; ++i) chain.add_bond(i, i + 1);
+  chem::Molecule ring = chain;
+  ring.add_bond(5, 0);  // close the ring
+  EXPECT_NE(topo_term(chain), topo_term(ring));
+}
+
+TEST(Pdbbind, GeneratesRequestedCount) {
+  Rng rng(5);
+  SyntheticPdbbind gen(small_config());
+  const auto recs = gen.generate(rng);
+  EXPECT_EQ(recs.size(), 60u);
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.id.size(), 4u);
+    EXPECT_GE(r.pk, 2.0f);
+    EXPECT_LE(r.pk, 11.5f);
+    EXPECT_FALSE(r.pocket.empty());
+    EXPECT_GT(r.ligand.num_atoms(), 0u);
+  }
+}
+
+TEST(Pdbbind, RefinedRulesEnforced) {
+  Rng rng(6);
+  SyntheticPdbbind gen(small_config());
+  const auto recs = gen.generate(rng);
+  int refined = 0;
+  for (const auto& r : recs) {
+    if (r.in_refined) {
+      ++refined;
+      EXPECT_LE(r.ligand.molecular_weight(), 1000.0f);
+      EXPECT_NE(r.label_kind, LabelKind::IC50);
+      EXPECT_LT(r.resolution, 2.5f);
+    }
+  }
+  EXPECT_GT(refined, 0);
+}
+
+TEST(Pdbbind, CoreIsSubsetOfRefinedRules) {
+  Rng rng(7);
+  SyntheticPdbbind gen(small_config());
+  const auto recs = gen.generate(rng);
+  int core = 0;
+  for (const auto& r : recs) {
+    if (r.in_core) {
+      ++core;
+      // core complexes satisfy refined criteria by construction
+      EXPECT_LE(r.ligand.molecular_weight(), 1000.0f);
+      EXPECT_LT(r.resolution, 2.5f);
+    }
+  }
+  EXPECT_EQ(core, 8);
+}
+
+TEST(Pdbbind, GroupIndicesPartition) {
+  Rng rng(8);
+  SyntheticPdbbind gen(small_config());
+  const auto recs = gen.generate(rng);
+  const auto g = SyntheticPdbbind::general_indices(recs);
+  const auto r = SyntheticPdbbind::refined_indices(recs);
+  const auto c = SyntheticPdbbind::core_indices(recs);
+  EXPECT_EQ(g.size() + r.size() + c.size(), recs.size());
+}
+
+TEST(Pdbbind, DeterministicGivenSeed) {
+  SyntheticPdbbind gen(small_config());
+  Rng r1(9), r2(9);
+  const auto a = gen.generate(r1);
+  const auto b = gen.generate(r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_FLOAT_EQ(a[i].pk, b[i].pk);
+  }
+}
+
+TEST(Pdbbind, LabelKindNames) {
+  EXPECT_STREQ(label_kind_name(LabelKind::Ki), "Ki");
+  EXPECT_STREQ(label_kind_name(LabelKind::Kd), "Kd");
+  EXPECT_STREQ(label_kind_name(LabelKind::IC50), "IC50");
+}
+
+}  // namespace
+}  // namespace df::data

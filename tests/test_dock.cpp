@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "chem/conformer.h"
+#include "chem/smiles.h"
+#include "data/target.h"
+#include "dock/docking.h"
+#include "dock/pose.h"
+#include "dock/scoring.h"
+
+namespace df::dock {
+namespace {
+
+using core::Rng;
+using core::Vec3;
+
+Molecule small_ligand(Rng& rng) {
+  Molecule m = chem::parse_smiles("CC(N)C(=O)O");
+  chem::embed_conformer(m, rng);
+  m.translate(Vec3{} - m.centroid());
+  return m;
+}
+
+TEST(Scoring, EmptyPocketScoresZero) {
+  Rng rng(1);
+  Molecule lig = small_ligand(rng);
+  EXPECT_FLOAT_EQ(vina_score(lig, {}), 0.0f);
+}
+
+TEST(Scoring, ContactBeatsIsolation) {
+  // A ligand in contact with a pocket must score better (more negative)
+  // than the same ligand 50 A away.
+  Rng rng(2);
+  Molecule lig = small_ligand(rng);
+  std::vector<Atom> pocket = data::make_pocket({4.5f, 40, 0.6f, 0.5f, 0.1f}, rng);
+  const float near = vina_score(lig, pocket);
+  Molecule far = lig;
+  far.translate({50, 0, 0});
+  const float far_score = vina_score(far, pocket);
+  EXPECT_LT(near, far_score);
+  EXPECT_FLOAT_EQ(far_score, 0.0f);
+}
+
+TEST(Scoring, ClashIsPenalized) {
+  // Overlapping atoms: repulsion term must dominate.
+  Molecule lig;
+  lig.add_atom(chem::Element::C, {0, 0, 0});
+  std::vector<Atom> pocket{Atom{chem::Element::C, Vec3{0.1f, 0, 0}, 0, false, 0}};
+  const TermBreakdown t = score_terms(lig, pocket);
+  EXPECT_GT(t.repulsion, 1.0f);
+  EXPECT_GT(vina_score(lig, pocket), 0.0f);  // net unfavorable
+}
+
+TEST(Scoring, HydrophobicPairsContribute) {
+  Molecule lig;
+  lig.add_atom(chem::Element::C, {0, 0, 0});
+  // carbon at ideal contact distance (surface distance ~0.2)
+  std::vector<Atom> c_pocket{Atom{chem::Element::C, Vec3{3.6f, 0, 0}, 0, false, 0}};
+  std::vector<Atom> o_pocket{Atom{chem::Element::O, Vec3{3.6f, 0, 0}, 0, false, 0}};
+  EXPECT_GT(score_terms(lig, c_pocket).hydrophobic, 0.0f);
+  EXPECT_FLOAT_EQ(score_terms(lig, o_pocket).hydrophobic, 0.0f);
+}
+
+TEST(Scoring, HbondRequiresDonorAcceptorPair) {
+  Molecule lig;
+  lig.add_atom(chem::Element::O, {0, 0, 0});
+  lig.atoms()[0].implicit_h = 1;  // donor OH
+  std::vector<Atom> acceptor{Atom{chem::Element::N, Vec3{2.6f, 0, 0}, 0, false, 0}};
+  std::vector<Atom> carbon{Atom{chem::Element::C, Vec3{2.6f, 0, 0}, 0, false, 0}};
+  EXPECT_GT(score_terms(lig, acceptor).hbond, 0.0f);
+  EXPECT_FLOAT_EQ(score_terms(lig, carbon).hbond, 0.0f);
+}
+
+TEST(Scoring, RotorPenaltyDampens) {
+  Rng rng(3);
+  std::vector<Atom> pocket = data::make_pocket({4.5f, 40, 0.6f, 0.5f, 0.1f}, rng);
+  Molecule rigid = chem::parse_smiles("c1ccccc1");
+  chem::embed_conformer(rigid, rng);
+  rigid.translate(Vec3{} - rigid.centroid());
+  VinaWeights w;
+  const float with_penalty = vina_score(rigid, pocket, w);
+  w.rotor = 0.0f;
+  const float without = vina_score(rigid, pocket, w);
+  // Benzene has no rotors: identical either way.
+  EXPECT_FLOAT_EQ(with_penalty, without);
+}
+
+TEST(Scoring, ScoreToPkPositiveForFavorable) {
+  EXPECT_GT(score_to_pk(-8.0f), 0.0f);
+  EXPECT_NEAR(score_to_pk(-1.365f), 1.0f, 1e-3f);  // -RT ln10 per pK unit
+}
+
+TEST(Pose, ApplyPlacesCentroid) {
+  Rng rng(4);
+  Molecule lig = small_ligand(rng);
+  Pose p;
+  p.translation = {1, 2, 3};
+  p.axis = {0, 0, 1};
+  p.angle = 1.0f;
+  Molecule placed = p.apply(lig, {10, 0, 0});
+  const Vec3 c = placed.centroid();
+  EXPECT_NEAR(c.x, 11.0f, 1e-3f);
+  EXPECT_NEAR(c.y, 2.0f, 1e-3f);
+  EXPECT_NEAR(c.z, 3.0f, 1e-3f);
+}
+
+TEST(Pose, RotationPreservesInternalGeometry) {
+  Rng rng(5);
+  Molecule lig = small_ligand(rng);
+  Pose p = random_pose(rng, 3.0f);
+  Molecule placed = p.apply(lig, {});
+  // bond lengths invariant under rigid transform
+  for (const chem::Bond& b : lig.bonds()) {
+    const float before = lig.atoms()[static_cast<size_t>(b.a)].pos.dist(
+        lig.atoms()[static_cast<size_t>(b.b)].pos);
+    const float after = placed.atoms()[static_cast<size_t>(b.a)].pos.dist(
+        placed.atoms()[static_cast<size_t>(b.b)].pos);
+    EXPECT_NEAR(before, after, 1e-4f);
+  }
+}
+
+TEST(Docking, ReturnsSortedDedupedPoses) {
+  Rng rng(6);
+  Molecule lig = small_ligand(rng);
+  std::vector<Atom> pocket = data::make_pocket({5.0f, 48, 0.65f, 0.5f, 0.1f}, rng);
+  DockingConfig cfg;
+  cfg.num_runs = 6;
+  cfg.steps_per_run = 60;
+  DockingEngine engine(cfg);
+  DockingResult res = engine.dock(lig, pocket, {}, rng);
+  ASSERT_FALSE(res.poses.empty());
+  for (size_t i = 1; i < res.poses.size(); ++i) {
+    EXPECT_LE(res.poses[i - 1].score, res.poses[i].score);
+  }
+  for (size_t i = 0; i < res.conformers.size(); ++i) {
+    for (size_t j = i + 1; j < res.conformers.size(); ++j) {
+      EXPECT_GE(chem::pose_rmsd(res.conformers[i], res.conformers[j]), cfg.dedup_rmsd);
+    }
+  }
+  EXPECT_EQ(res.total_evaluations, cfg.num_runs * (cfg.steps_per_run + 1));
+}
+
+TEST(Docking, FindsBetterThanRandomPlacement) {
+  Rng rng(7);
+  Molecule lig = small_ligand(rng);
+  std::vector<Atom> pocket = data::make_pocket({5.0f, 48, 0.65f, 0.5f, 0.1f}, rng);
+  DockingConfig cfg;
+  cfg.num_runs = 4;
+  cfg.steps_per_run = 120;
+  DockingEngine engine(cfg);
+  DockingResult res = engine.dock(lig, pocket, {}, rng);
+  // Average random-pose score as baseline.
+  float random_avg = 0.0f;
+  for (int i = 0; i < 20; ++i) {
+    Pose p = random_pose(rng, cfg.box_half);
+    random_avg += vina_score(p.apply(lig, {}), pocket);
+  }
+  random_avg /= 20.0f;
+  EXPECT_LT(res.poses.front().score, random_avg);
+}
+
+TEST(Docking, RespectsMaxPoses) {
+  Rng rng(8);
+  Molecule lig = small_ligand(rng);
+  std::vector<Atom> pocket = data::make_pocket({5.0f, 40, 0.6f, 0.5f, 0.1f}, rng);
+  DockingConfig cfg;
+  cfg.num_runs = 12;
+  cfg.steps_per_run = 30;
+  cfg.max_poses = 3;
+  cfg.dedup_rmsd = 0.0f;  // keep everything
+  DockingResult res = DockingEngine(cfg).dock(lig, pocket, {}, rng);
+  EXPECT_LE(res.poses.size(), 3u);
+}
+
+}  // namespace
+}  // namespace df::dock

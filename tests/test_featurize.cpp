@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "chem/conformer.h"
+#include "chem/graph_featurizer.h"
+#include "chem/smiles.h"
+#include "chem/voxelizer.h"
+#include "data/target.h"
+
+namespace df::chem {
+namespace {
+
+using core::Rng;
+using core::Vec3;
+
+Molecule centered_ligand(Rng& rng) {
+  Molecule m = parse_smiles("CC(N)C(=O)O");
+  embed_conformer(m, rng);
+  m.translate(Vec3{} - m.centroid());
+  return m;
+}
+
+TEST(Voxelizer, OutputShape) {
+  Rng rng(1);
+  VoxelConfig cfg;
+  Voxelizer vox(cfg);
+  Molecule lig = centered_ligand(rng);
+  core::Tensor grid = vox.voxelize(lig, {}, {});
+  EXPECT_EQ(grid.shape(), (std::vector<int64_t>{1, cfg.channels(), cfg.grid_dim, cfg.grid_dim,
+                                                cfg.grid_dim}));
+}
+
+TEST(Voxelizer, LigandAndProteinOccupyDisjointBlocks) {
+  Rng rng(2);
+  VoxelConfig cfg;
+  Voxelizer vox(cfg);
+  Molecule lig = centered_ligand(rng);
+  core::Tensor lig_only = vox.voxelize(lig, {}, {});
+  const int64_t block = kVoxelChannelsPerBlock * cfg.grid_dim * cfg.grid_dim * cfg.grid_dim;
+  // Ligand-only: protein block (second half) must be empty.
+  float protein_mass = 0.0f;
+  for (int64_t i = block; i < lig_only.numel(); ++i) protein_mass += lig_only[i];
+  EXPECT_FLOAT_EQ(protein_mass, 0.0f);
+
+  std::vector<Atom> pocket{Atom{Element::O, Vec3{2, 0, 0}, 0, false, 1}};
+  core::Tensor both = vox.voxelize(lig, pocket, {});
+  protein_mass = 0.0f;
+  for (int64_t i = block; i < both.numel(); ++i) protein_mass += both[i];
+  EXPECT_GT(protein_mass, 0.0f);
+}
+
+TEST(Voxelizer, DensityPeaksAtAtomLocation) {
+  VoxelConfig cfg;
+  cfg.grid_dim = 9;
+  cfg.resolution = 1.0f;
+  Voxelizer vox(cfg);
+  Molecule m;
+  m.add_atom(Element::C, {0, 0, 0});
+  core::Tensor grid = vox.voxelize(m, {}, {});
+  // Channel 0 (ligand carbon): center voxel should hold the max density.
+  const int G = cfg.grid_dim;
+  float best = -1;
+  int best_idx = -1;
+  for (int i = 0; i < G * G * G; ++i) {
+    if (grid[i] > best) {
+      best = grid[i];
+      best_idx = i;
+    }
+  }
+  // Atom at origin is nearest the center voxel (4,4,4) for G=9.
+  const int c = (4 * G + 4) * G + 4;
+  EXPECT_EQ(best_idx, c);
+  EXPECT_GT(best, 0.5f);
+}
+
+TEST(Voxelizer, AtomOutsideBoxContributesNothing) {
+  VoxelConfig cfg;
+  Voxelizer vox(cfg);
+  Molecule m;
+  m.add_atom(Element::C, {100, 100, 100});
+  core::Tensor grid = vox.voxelize(m, {}, {});
+  EXPECT_FLOAT_EQ(grid.sum(), 0.0f);
+}
+
+TEST(Voxelizer, RotationAugmentPreservesMass) {
+  Rng rng(3);
+  VoxelConfig cfg;
+  Voxelizer vox(cfg);
+  Molecule lig = centered_ligand(rng);
+  std::vector<Atom> pocket = data::make_pocket({5.0f, 30, 0.6f, 0.5f, 0.1f}, rng);
+  core::Tensor before = vox.voxelize(lig, pocket, {});
+  Molecule lig2 = lig;
+  std::vector<Atom> pocket2 = pocket;
+  random_rotation_augment(lig2, pocket2, {}, rng, /*prob=*/1.0f);
+  core::Tensor after = vox.voxelize(lig2, pocket2, {});
+  // 90-degree rotations permute voxels: total density is conserved up to
+  // boundary effects.
+  EXPECT_NEAR(before.sum(), after.sum(), before.sum() * 0.08f + 1.0f);
+}
+
+TEST(GraphFeaturizer, NodeLayout) {
+  Rng rng(4);
+  GraphFeaturizer feat;
+  Molecule lig = centered_ligand(rng);
+  std::vector<Atom> pocket = data::make_pocket({5.0f, 20, 0.6f, 0.5f, 0.1f}, rng);
+  graph::SpatialGraph g = feat.featurize(lig, pocket);
+  EXPECT_EQ(g.num_ligand_nodes, static_cast<int32_t>(lig.num_atoms()));
+  EXPECT_EQ(g.num_nodes(), static_cast<int64_t>(lig.num_atoms() + 20));
+  EXPECT_EQ(g.feature_dim(), kGraphNodeFeatures);
+  // is_ligand flag: last feature column.
+  for (int64_t i = 0; i < g.num_nodes(); ++i) {
+    const float flag = g.node_features.at(i, kGraphNodeFeatures - 1);
+    EXPECT_FLOAT_EQ(flag, i < g.num_ligand_nodes ? 1.0f : 0.0f);
+  }
+}
+
+TEST(GraphFeaturizer, CovalentEdgesMatchBondGraph) {
+  Rng rng(5);
+  GraphFeaturizer feat;
+  Molecule lig = centered_ligand(rng);
+  graph::SpatialGraph g = feat.featurize(lig, {});
+  EXPECT_EQ(g.covalent.size(), 2 * lig.num_bonds());
+}
+
+TEST(GraphFeaturizer, NoncovalentEdgesRespectThreshold) {
+  Rng rng(6);
+  GraphFeaturizerConfig cfg;
+  cfg.noncovalent_threshold = 4.0f;
+  GraphFeaturizer feat(cfg);
+  Molecule lig;
+  lig.add_atom(Element::C, {0, 0, 0});
+  std::vector<Atom> pocket{
+      Atom{Element::C, core::Vec3{3.0f, 0, 0}, 0, false, 0},   // inside threshold
+      Atom{Element::C, core::Vec3{10.0f, 0, 0}, 0, false, 0},  // outside
+  };
+  graph::SpatialGraph g = feat.featurize(lig, pocket);
+  // Exactly one undirected ligand-pocket pair inside 4 A (plus none between
+  // the two pocket atoms: 7 A apart).
+  EXPECT_EQ(g.noncovalent.size(), 2u);
+}
+
+TEST(GraphFeaturizer, PocketCapKeepsNearestAtoms) {
+  Rng rng(7);
+  GraphFeaturizerConfig cfg;
+  cfg.max_pocket_atoms = 5;
+  GraphFeaturizer feat(cfg);
+  Molecule lig;
+  lig.add_atom(Element::C, {0, 0, 0});
+  std::vector<Atom> pocket;
+  for (int i = 0; i < 20; ++i) {
+    pocket.push_back(Atom{Element::C, core::Vec3{static_cast<float>(i + 2), 0, 0}, 0, false, 0});
+  }
+  graph::SpatialGraph g = feat.featurize(lig, pocket);
+  EXPECT_EQ(g.num_nodes(), 6);  // 1 ligand + 5 nearest pocket atoms
+}
+
+TEST(GraphFeaturizer, OneHotElementsExclusive) {
+  Rng rng(8);
+  GraphFeaturizer feat;
+  Molecule lig = centered_ligand(rng);
+  graph::SpatialGraph g = feat.featurize(lig, {});
+  for (int64_t i = 0; i < g.num_nodes(); ++i) {
+    float onehot_sum = 0;
+    for (int e = 0; e < kNumElements; ++e) onehot_sum += g.node_features.at(i, e);
+    EXPECT_FLOAT_EQ(onehot_sum, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace df::chem

@@ -1,0 +1,146 @@
+// Cross-module property tests: invariants that must hold over randomized
+// inputs (parameterized over seeds), complementing the per-module unit
+// tests with broader, generative coverage.
+#include <gtest/gtest.h>
+
+#include "chem/conformer.h"
+#include "chem/graph_featurizer.h"
+#include "chem/smiles.h"
+#include "chem/voxelizer.h"
+#include "data/assay.h"
+#include "data/target.h"
+#include "dock/docking.h"
+#include "stats/metrics.h"
+
+namespace df {
+namespace {
+
+using core::Rng;
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, OracleIsDeterministicAndBounded) {
+  Rng rng(GetParam());
+  const data::Target t = data::make_target(data::TargetKind::Protease1, rng);
+  chem::Molecule m = chem::generate_molecule({}, rng);
+  chem::embed_conformer(m, rng);
+  m.translate(core::Vec3{} - m.centroid());
+  const float a = data::oracle_pk(m, t.pocket, t.oracle, nullptr);
+  const float b = data::oracle_pk(m, t.pocket, t.oracle, nullptr);
+  EXPECT_FLOAT_EQ(a, b);
+  EXPECT_GE(a, 2.0f);
+  EXPECT_LE(a, 11.5f);
+}
+
+TEST_P(SeededProperty, VoxelMassGrowsWithAtoms) {
+  // Adding an in-box atom can only add density.
+  Rng rng(GetParam());
+  chem::VoxelConfig vc;
+  vc.grid_dim = 8;
+  chem::Voxelizer vox(vc);
+  chem::Molecule m;
+  m.add_atom(chem::Element::C, {0, 0, 0});
+  const float one = vox.voxelize(m, {}, {}).sum();
+  m.add_atom(chem::Element::N, {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)});
+  const float two = vox.voxelize(m, {}, {}).sum();
+  EXPECT_GT(two, one);
+}
+
+TEST_P(SeededProperty, GraphFeaturizerEdgeSymmetry) {
+  // Every directed edge has its reverse in the same edge list.
+  Rng rng(GetParam());
+  chem::Molecule lig = chem::generate_molecule({}, rng);
+  chem::embed_conformer(lig, rng);
+  lig.translate(core::Vec3{} - lig.centroid());
+  const auto pocket = data::make_pocket({5.0f, 30, 0.6f, 0.5f, 0.1f}, rng);
+  const graph::SpatialGraph g = chem::GraphFeaturizer().featurize(lig, pocket);
+  auto symmetric = [](const graph::EdgeList& e) {
+    std::multiset<std::pair<int32_t, int32_t>> fwd, rev;
+    for (size_t i = 0; i < e.size(); ++i) {
+      fwd.emplace(e.src[i], e.dst[i]);
+      rev.emplace(e.dst[i], e.src[i]);
+    }
+    return fwd == rev;
+  };
+  EXPECT_TRUE(symmetric(g.covalent));
+  EXPECT_TRUE(symmetric(g.noncovalent));
+}
+
+TEST_P(SeededProperty, DockingIsDeterministicGivenSeed) {
+  Rng setup(GetParam());
+  chem::Molecule lig = chem::generate_molecule({}, setup);
+  chem::embed_conformer(lig, setup);
+  lig.translate(core::Vec3{} - lig.centroid());
+  const auto pocket = data::make_pocket({5.0f, 32, 0.6f, 0.5f, 0.1f}, setup);
+  dock::DockingConfig cfg;
+  cfg.num_runs = 2;
+  cfg.steps_per_run = 25;
+  dock::DockingEngine engine(cfg);
+  Rng r1(GetParam() + 1), r2(GetParam() + 1);
+  const auto a = engine.dock(lig, pocket, {}, r1);
+  const auto b = engine.dock(lig, pocket, {}, r2);
+  ASSERT_EQ(a.poses.size(), b.poses.size());
+  for (size_t i = 0; i < a.poses.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.poses[i].score, b.poses[i].score);
+  }
+}
+
+TEST_P(SeededProperty, RigidTransformPreservesVinaScore) {
+  // Scoring is invariant under a rigid transform applied to BOTH ligand and
+  // pocket (only relative geometry matters).
+  Rng rng(GetParam());
+  chem::Molecule lig = chem::generate_molecule({}, rng);
+  chem::embed_conformer(lig, rng);
+  lig.translate(core::Vec3{} - lig.centroid());
+  auto pocket = data::make_pocket({5.0f, 32, 0.6f, 0.5f, 0.1f}, rng);
+  const float before = dock::vina_score(lig, pocket);
+  const core::Vec3 axis = core::Vec3{rng.normal(), rng.normal(), rng.normal()}.normalized();
+  const float angle = rng.uniform(0, 3.0f);
+  const core::Vec3 shift{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+  lig.rotate({0, 0, 0}, axis, angle);
+  lig.translate(shift);
+  for (chem::Atom& a : pocket) {
+    a.pos = core::rotate_axis_angle(a.pos, axis, angle) + shift;
+  }
+  EXPECT_NEAR(dock::vina_score(lig, pocket), before, std::abs(before) * 0.01f + 1e-3f);
+}
+
+TEST_P(SeededProperty, AssayMonotoneInAffinityOnAverage) {
+  Rng rng(GetParam());
+  data::AssayConfig cfg;
+  cfg.dead_fraction = 0.0f;
+  double weak = 0, strong = 0;
+  for (int i = 0; i < 100; ++i) {
+    weak += data::percent_inhibition(3.0f, 100.0f, rng, cfg);
+    strong += data::percent_inhibition(7.0f, 100.0f, rng, cfg);
+  }
+  EXPECT_GT(strong, weak);
+}
+
+TEST_P(SeededProperty, SpearmanBoundedAndSymmetric) {
+  Rng rng(GetParam());
+  std::vector<float> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  const float sab = stats::spearman(a, b);
+  EXPECT_GE(sab, -1.0f);
+  EXPECT_LE(sab, 1.0f);
+  EXPECT_FLOAT_EQ(sab, stats::spearman(b, a));
+}
+
+TEST_P(SeededProperty, SmilesRoundTripPreservesDescriptors) {
+  Rng rng(GetParam());
+  const chem::Molecule m = chem::generate_molecule({}, rng);
+  const chem::Molecule m2 = chem::parse_smiles(chem::write_smiles(m));
+  EXPECT_EQ(m2.num_rings(), m.num_rings());
+  EXPECT_EQ(m2.num_hbond_acceptors(), m.num_hbond_acceptors());
+  EXPECT_NEAR(m2.molecular_weight(), m.molecular_weight(), 1.5f);  // implicit-H rederivation
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace df

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "chem/smiles.h"
+
+namespace df::chem {
+namespace {
+
+TEST(Smiles, ParsesLinearChain) {
+  const Molecule m = parse_smiles("CCO");  // ethanol heavy atoms
+  ASSERT_EQ(m.num_atoms(), 3u);
+  EXPECT_EQ(m.atoms()[0].element, Element::C);
+  EXPECT_EQ(m.atoms()[2].element, Element::O);
+  EXPECT_EQ(m.num_bonds(), 2u);
+  // implicit hydrogens: CH3-CH2-OH
+  EXPECT_EQ(m.atoms()[0].implicit_h, 3);
+  EXPECT_EQ(m.atoms()[1].implicit_h, 2);
+  EXPECT_EQ(m.atoms()[2].implicit_h, 1);
+}
+
+TEST(Smiles, ParsesBranches) {
+  const Molecule m = parse_smiles("CC(C)C");  // isobutane
+  ASSERT_EQ(m.num_atoms(), 4u);
+  EXPECT_EQ(m.degree(1), 3);
+}
+
+TEST(Smiles, ParsesRings) {
+  const Molecule m = parse_smiles("C1CCCCC1");  // cyclohexane
+  ASSERT_EQ(m.num_atoms(), 6u);
+  EXPECT_EQ(m.num_bonds(), 6u);
+  EXPECT_EQ(m.num_rings(), 1);
+}
+
+TEST(Smiles, ParsesAromaticLowercase) {
+  const Molecule m = parse_smiles("c1ccccc1");  // benzene
+  ASSERT_EQ(m.num_atoms(), 6u);
+  for (const Atom& a : m.atoms()) EXPECT_TRUE(a.aromatic);
+}
+
+TEST(Smiles, ParsesBondOrders) {
+  const Molecule m = parse_smiles("C=C");
+  ASSERT_EQ(m.num_bonds(), 1u);
+  EXPECT_EQ(m.bonds()[0].order, 2);
+  const Molecule t = parse_smiles("C#N");
+  EXPECT_EQ(t.bonds()[0].order, 3);
+}
+
+TEST(Smiles, ParsesTwoLetterHalogens) {
+  const Molecule m = parse_smiles("ClCBr");
+  ASSERT_EQ(m.num_atoms(), 3u);
+  EXPECT_EQ(m.atoms()[0].element, Element::Cl);
+  EXPECT_EQ(m.atoms()[2].element, Element::Br);
+}
+
+TEST(Smiles, ParsesBracketChargeAndH) {
+  const Molecule m = parse_smiles("[NH3+]CC([O-])=O");  // glycine-ish (zwitterion)
+  EXPECT_EQ(m.atoms()[0].formal_charge, 1);
+  EXPECT_EQ(m.atoms()[0].implicit_h, 3);
+  bool found_neg_o = false;
+  for (const Atom& a : m.atoms()) {
+    if (a.element == Element::O && a.formal_charge == -1) found_neg_o = true;
+  }
+  EXPECT_TRUE(found_neg_o);
+}
+
+TEST(Smiles, MalformedInputsThrow) {
+  EXPECT_THROW(parse_smiles("C(C"), std::invalid_argument);   // unclosed branch
+  EXPECT_THROW(parse_smiles("C1CC"), std::invalid_argument);  // unclosed ring
+  EXPECT_THROW(parse_smiles("C)"), std::invalid_argument);    // stray close
+  EXPECT_THROW(parse_smiles("[C"), std::invalid_argument);    // unterminated bracket
+  EXPECT_THROW(parse_smiles("?"), std::invalid_argument);     // garbage
+}
+
+struct RoundTripCase {
+  const char* smiles;
+  size_t atoms;
+  size_t bonds;
+};
+
+class SmilesRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(SmilesRoundTrip, WriteParsePreservesGraph) {
+  const RoundTripCase& c = GetParam();
+  const Molecule m = parse_smiles(c.smiles);
+  EXPECT_EQ(m.num_atoms(), c.atoms);
+  EXPECT_EQ(m.num_bonds(), c.bonds);
+  const std::string out = write_smiles(m);
+  const Molecule m2 = parse_smiles(out);
+  EXPECT_EQ(m2.num_atoms(), m.num_atoms()) << out;
+  EXPECT_EQ(m2.num_bonds(), m.num_bonds()) << out;
+  EXPECT_EQ(m2.num_rings(), m.num_rings()) << out;
+  // element multiset must match
+  std::vector<int> h1(kNumElements, 0), h2(kNumElements, 0);
+  for (const Atom& a : m.atoms()) ++h1[element_index(a.element)];
+  for (const Atom& a : m2.atoms()) ++h2[element_index(a.element)];
+  EXPECT_EQ(h1, h2) << out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SmilesRoundTrip,
+    ::testing::Values(RoundTripCase{"CCO", 3, 2}, RoundTripCase{"CC(C)C", 4, 3},
+                      RoundTripCase{"C1CCCCC1", 6, 6}, RoundTripCase{"c1ccccc1", 6, 6},
+                      RoundTripCase{"CC(=O)O", 4, 3}, RoundTripCase{"C1CC1CC2CC2", 7, 8},
+                      RoundTripCase{"N#CC1CC1", 5, 5}, RoundTripCase{"ClC(Br)F", 4, 3}));
+
+TEST(Smiles, GeneratedMoleculesRoundTrip) {
+  core::Rng rng(5);
+  MoleculeGenConfig cfg;
+  cfg.salt_probability = 0.3f;
+  for (int i = 0; i < 20; ++i) {
+    const Molecule m = generate_molecule(cfg, rng);
+    const std::string s = write_smiles(m);
+    const Molecule m2 = parse_smiles(s);
+    EXPECT_EQ(m2.num_atoms(), m.num_atoms()) << s;
+    EXPECT_EQ(m2.num_bonds(), m.num_bonds()) << s;
+  }
+}
+
+TEST(Smiles, EmptyMolecule) { EXPECT_EQ(write_smiles(Molecule{}), ""); }
+
+TEST(Smiles, DisconnectedFragmentsDotSeparated) {
+  Molecule m;
+  m.add_atom(Element::C);
+  m.add_atom(Element::Cl);
+  const std::string s = write_smiles(m);
+  EXPECT_NE(s.find('.'), std::string::npos);
+  const Molecule m2 = parse_smiles(s);
+  EXPECT_EQ(m2.num_atoms(), 2u);
+}
+
+}  // namespace
+}  // namespace df::chem

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/loader.h"
+#include "data/splits.h"
+
+namespace df::data {
+namespace {
+
+using core::Rng;
+
+std::vector<ComplexRecord> tiny_corpus(int n, Rng& rng) {
+  PdbbindConfig cfg;
+  cfg.num_complexes = n;
+  cfg.core_size = std::max(2, n / 10);
+  cfg.settle_runs = 1;
+  cfg.settle_steps = 5;
+  return SyntheticPdbbind(cfg).generate(rng);
+}
+
+TEST(QuintileSplit, PartitionsWithoutOverlap) {
+  Rng rng(1);
+  const auto recs = tiny_corpus(50, rng);
+  std::vector<int> all(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) all[i] = static_cast<int>(i);
+  const TrainValSplit split = quintile_split(recs, all, 0.2f, rng);
+  EXPECT_EQ(split.train.size() + split.val.size(), recs.size());
+  std::set<int> train_set(split.train.begin(), split.train.end());
+  for (int v : split.val) EXPECT_FALSE(train_set.count(v));
+}
+
+TEST(QuintileSplit, ValCoversAffinityRange) {
+  Rng rng(2);
+  const auto recs = tiny_corpus(100, rng);
+  std::vector<int> all(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) all[i] = static_cast<int>(i);
+  const TrainValSplit split = quintile_split(recs, all, 0.2f, rng);
+  // The guarantee of quintile sampling: validation spans the pk range, so
+  // its min must fall in the lowest quintile and max in the highest.
+  std::vector<float> all_pk, val_pk;
+  for (int i : all) all_pk.push_back(recs[static_cast<size_t>(i)].pk);
+  for (int i : split.val) val_pk.push_back(recs[static_cast<size_t>(i)].pk);
+  std::sort(all_pk.begin(), all_pk.end());
+  const float q1 = all_pk[all_pk.size() / 5];
+  const float q4 = all_pk[all_pk.size() * 4 / 5];
+  EXPECT_LE(*std::min_element(val_pk.begin(), val_pk.end()), q1);
+  EXPECT_GE(*std::max_element(val_pk.begin(), val_pk.end()), q4);
+}
+
+TEST(QuintileSplit, FractionRespected) {
+  Rng rng(3);
+  const auto recs = tiny_corpus(100, rng);
+  std::vector<int> all(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) all[i] = static_cast<int>(i);
+  const TrainValSplit split = quintile_split(recs, all, 0.1f, rng);
+  EXPECT_NEAR(static_cast<double>(split.val.size()) / recs.size(), 0.1, 0.05);
+}
+
+TEST(PdbbindTrainVal, ExcludesCoreSet) {
+  Rng rng(4);
+  const auto recs = tiny_corpus(80, rng);
+  const TrainValSplit split = pdbbind_train_val(recs, 0.1f, rng);
+  for (int i : split.train) EXPECT_FALSE(recs[static_cast<size_t>(i)].in_core);
+  for (int i : split.val) EXPECT_FALSE(recs[static_cast<size_t>(i)].in_core);
+}
+
+TEST(Dataset, FeaturizesWithLabels) {
+  Rng rng(5);
+  const auto recs = tiny_corpus(10, rng);
+  DatasetConfig cfg;
+  cfg.voxel.grid_dim = 8;
+  ComplexDataset ds(&recs, {0, 1, 2}, cfg);
+  EXPECT_EQ(ds.size(), 3u);
+  Rng frng(6);
+  const Sample s = ds.get(1, frng);
+  EXPECT_EQ(s.record_index, 1);
+  EXPECT_FLOAT_EQ(s.label, recs[1].pk);
+  EXPECT_EQ(s.voxel.dim(1), cfg.voxel.channels());
+  EXPECT_GT(s.graph.num_nodes(), 0);
+}
+
+TEST(Dataset, OutOfRangeIndexThrows) {
+  Rng rng(7);
+  const auto recs = tiny_corpus(5, rng);
+  EXPECT_THROW(ComplexDataset(&recs, {99}), std::out_of_range);
+}
+
+TEST(Dataset, AugmentationOnlyAffectsVoxels) {
+  Rng rng(8);
+  const auto recs = tiny_corpus(5, rng);
+  DatasetConfig plain;
+  plain.voxel.grid_dim = 8;
+  DatasetConfig aug = plain;
+  aug.rotation_augment = true;
+  aug.rotation_prob = 1.0f;
+  ComplexDataset ds_plain(&recs, {0}, plain);
+  ComplexDataset ds_aug(&recs, {0}, aug);
+  Rng r1(9), r2(9);
+  const Sample a = ds_plain.get(0, r1);
+  const Sample b = ds_aug.get(0, r2);
+  // Graph features identical (rotation-invariant representation)...
+  ASSERT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  for (int64_t i = 0; i < a.graph.node_features.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.graph.node_features[i], b.graph.node_features[i]);
+  }
+  // ...voxels differ (the complex was rotated).
+  float diff = 0;
+  for (int64_t i = 0; i < a.voxel.numel(); ++i) diff += std::abs(a.voxel[i] - b.voxel[i]);
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(Loader, DeliversWholeEpochInOrderWithoutShuffle) {
+  Rng rng(10);
+  const auto recs = tiny_corpus(12, rng);
+  DatasetConfig dcfg;
+  dcfg.voxel.grid_dim = 8;
+  std::vector<int> idx(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) idx[i] = static_cast<int>(i);
+  ComplexDataset ds(&recs, idx, dcfg);
+  LoaderConfig lc;
+  lc.batch_size = 5;
+  lc.num_workers = 2;
+  lc.shuffle = false;
+  DataLoader loader(ds, lc);
+  EXPECT_EQ(loader.batches_per_epoch(), 3u);
+  loader.start_epoch();
+  std::vector<int> seen;
+  while (auto batch = loader.next()) {
+    for (const Sample& s : *batch) seen.push_back(s.record_index);
+  }
+  ASSERT_EQ(seen.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(Loader, ShuffleChangesOrderButNotContent) {
+  Rng rng(11);
+  const auto recs = tiny_corpus(16, rng);
+  DatasetConfig dcfg;
+  dcfg.voxel.grid_dim = 8;
+  std::vector<int> idx(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) idx[i] = static_cast<int>(i);
+  ComplexDataset ds(&recs, idx, dcfg);
+  LoaderConfig lc;
+  lc.batch_size = 4;
+  lc.shuffle = true;
+  DataLoader loader(ds, lc);
+  std::multiset<int> epoch1, epoch2;
+  std::vector<int> order1, order2;
+  loader.start_epoch();
+  while (auto b = loader.next()) {
+    for (const Sample& s : *b) {
+      epoch1.insert(s.record_index);
+      order1.push_back(s.record_index);
+    }
+  }
+  loader.start_epoch();
+  while (auto b = loader.next()) {
+    for (const Sample& s : *b) {
+      epoch2.insert(s.record_index);
+      order2.push_back(s.record_index);
+    }
+  }
+  EXPECT_EQ(epoch1, epoch2);  // same multiset of samples
+  EXPECT_NE(order1, order2);  // reshuffled between epochs
+}
+
+TEST(Loader, RejectsBadConfig) {
+  Rng rng(12);
+  const auto recs = tiny_corpus(4, rng);
+  ComplexDataset ds(&recs, {0, 1});
+  LoaderConfig lc;
+  lc.batch_size = 0;
+  EXPECT_THROW(DataLoader(ds, lc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace df::data

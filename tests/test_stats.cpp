@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "stats/classification.h"
+#include "stats/metrics.h"
+
+namespace df::stats {
+namespace {
+
+TEST(Metrics, RmseMaeKnownValues) {
+  std::vector<float> p{1, 2, 3}, t{1, 4, 3};
+  EXPECT_NEAR(rmse(p, t), std::sqrt(4.0f / 3.0f), 1e-6f);
+  EXPECT_NEAR(mae(p, t), 2.0f / 3.0f, 1e-6f);
+}
+
+TEST(Metrics, PerfectPrediction) {
+  std::vector<float> v{1, 2, 3, 4};
+  EXPECT_FLOAT_EQ(rmse(v, v), 0.0f);
+  EXPECT_FLOAT_EQ(r_squared(v, v), 1.0f);
+  EXPECT_FLOAT_EQ(pearson(v, v), 1.0f);
+  EXPECT_FLOAT_EQ(spearman(v, v), 1.0f);
+}
+
+TEST(Metrics, AntiCorrelation) {
+  std::vector<float> a{1, 2, 3, 4}, b{4, 3, 2, 1};
+  EXPECT_FLOAT_EQ(pearson(a, b), -1.0f);
+  EXPECT_FLOAT_EQ(spearman(a, b), -1.0f);
+}
+
+TEST(Metrics, SpearmanInvariantToMonotoneTransform) {
+  std::vector<float> a{1, 2, 3, 4, 5};
+  std::vector<float> b{1, 8, 27, 64, 125};  // a^3: nonlinear but monotone
+  EXPECT_FLOAT_EQ(spearman(a, b), 1.0f);
+  EXPECT_LT(pearson(a, b), 1.0f);
+}
+
+TEST(Metrics, RanksHandleTies) {
+  std::vector<float> v{1, 2, 2, 3};
+  const std::vector<float> r = ranks(v);
+  EXPECT_FLOAT_EQ(r[0], 1.0f);
+  EXPECT_FLOAT_EQ(r[1], 2.5f);
+  EXPECT_FLOAT_EQ(r[2], 2.5f);
+  EXPECT_FLOAT_EQ(r[3], 4.0f);
+}
+
+TEST(Metrics, ConstantInputGivesZeroCorrelation) {
+  std::vector<float> c{2, 2, 2}, v{1, 2, 3};
+  EXPECT_FLOAT_EQ(pearson(c, v), 0.0f);
+  EXPECT_FLOAT_EQ(r_squared(v, c), 0.0f);
+}
+
+TEST(Metrics, EmptyOrMismatchedThrows) {
+  std::vector<float> a{1}, b{1, 2}, e;
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+  EXPECT_THROW(pearson(e, e), std::invalid_argument);
+}
+
+TEST(Metrics, RSquaredNegativeForBadModel) {
+  std::vector<float> truth{1, 2, 3, 4};
+  std::vector<float> bad{10, -10, 10, -10};
+  EXPECT_LT(r_squared(bad, truth), 0.0f);
+}
+
+TEST(PrCurve, PerfectClassifier) {
+  std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  std::vector<bool> labels{true, true, false, false};
+  EXPECT_FLOAT_EQ(best_f1(scores, labels), 1.0f);
+  EXPECT_FLOAT_EQ(average_precision(scores, labels), 1.0f);
+}
+
+TEST(PrCurve, MonotoneRecall) {
+  core::Rng rng(1);
+  std::vector<float> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.3));
+  }
+  const auto curve = pr_curve(scores, labels);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_NEAR(curve.back().recall, 1.0f, 1e-6f);
+  // final precision equals prevalence
+  EXPECT_NEAR(curve.back().precision, positive_rate(labels), 1e-6f);
+}
+
+TEST(PrCurve, RandomScoresGivePrevalencePrecision) {
+  core::Rng rng(2);
+  std::vector<float> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 3000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.2));
+  }
+  EXPECT_NEAR(average_precision(scores, labels), 0.2f, 0.05f);
+}
+
+TEST(PrCurve, TiesAbsorbedIntoOnePoint) {
+  std::vector<float> scores{0.5f, 0.5f, 0.5f};
+  std::vector<bool> labels{true, false, true};
+  const auto curve = pr_curve(scores, labels);
+  EXPECT_EQ(curve.size(), 1u);
+}
+
+TEST(Kappa, PerfectAgreementIsOne) {
+  std::vector<bool> y{true, false, true, false};
+  EXPECT_FLOAT_EQ(cohen_kappa(y, y), 1.0f);
+}
+
+TEST(Kappa, FrequencyMatchedRandomNearZero) {
+  core::Rng rng(3);
+  std::vector<bool> truth, pred;
+  for (int i = 0; i < 20000; ++i) {
+    truth.push_back(rng.bernoulli(0.3));
+    pred.push_back(rng.bernoulli(0.3));  // random at matching frequency
+  }
+  EXPECT_NEAR(cohen_kappa(pred, truth), 0.0f, 0.03f);
+}
+
+TEST(Kappa, InvertedPredictorNegative) {
+  std::vector<bool> truth{true, true, false, false};
+  std::vector<bool> pred{false, false, true, true};
+  EXPECT_LT(cohen_kappa(pred, truth), 0.0f);
+}
+
+TEST(PositiveRate, Basic) {
+  std::vector<bool> l{true, false, false, true};
+  EXPECT_FLOAT_EQ(positive_rate(l), 0.5f);
+  EXPECT_FLOAT_EQ(positive_rate(std::vector<bool>{}), 0.0f);
+}
+
+}  // namespace
+}  // namespace df::stats
