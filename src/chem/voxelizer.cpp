@@ -1,6 +1,9 @@
 #include "chem/voxelizer.h"
 
 #include <cmath>
+#include <vector>
+
+#include "core/parallel.h"
 
 namespace df::chem {
 
@@ -15,61 +18,96 @@ int channel_for_atom(const Atom& a, int block) {
   }
   return block * kVoxelChannelsPerBlock + c;
 }
-}  // namespace
 
-void Voxelizer::splat(Tensor& grid, const Atom& atom, int block, const core::Vec3& center) const {
-  const int G = cfg_.grid_dim;
-  const float res = cfg_.resolution;
-  const float half = cfg_.box_extent() * 0.5f;
-  const ElementInfo& info = element_info(atom.element);
-  const float sigma = info.vdw_radius * cfg_.sigma_scale;
-  const float cutoff = sigma * cfg_.cutoff_sigmas;
-  const float inv2s2 = 1.0f / (2.0f * sigma * sigma);
+// One (channel, weight) deposit for one atom with all per-atom geometry
+// precomputed, so the grid can be filled one z-slice at a time (slices are
+// disjoint, which makes the fill safely parallel without atomics) without
+// re-deriving sigma/cutoff/box bounds per slice.
+struct SplatOp {
+  core::Vec3 rel;   // atom position relative to the grid center
+  float cutoff2;    // squared Gaussian cutoff radius
+  float inv2s2;     // 1 / (2 sigma^2)
+  float weight;
+  int channel;
+  int xlo, xhi, ylo, yhi, zlo, zhi;  // inclusive voxel box, clipped to grid
+};
 
-  // Atom position in grid coordinates.
-  const core::Vec3 rel = atom.pos - center;
-  const float gx = (rel.x + half) / res, gy = (rel.y + half) / res, gz = (rel.z + half) / res;
-  const int r = static_cast<int>(std::ceil(cutoff / res));
-  const int cx = static_cast<int>(std::floor(gx));
-  const int cy = static_cast<int>(std::floor(gy));
-  const int cz = static_cast<int>(std::floor(gz));
-
-  auto add_to = [&](int channel, float weight) {
-    float* base = grid.data() + static_cast<int64_t>(channel) * G * G * G;
-    for (int z = cz - r; z <= cz + r; ++z) {
-      if (z < 0 || z >= G) continue;
-      for (int y = cy - r; y <= cy + r; ++y) {
-        if (y < 0 || y >= G) continue;
-        for (int x = cx - r; x <= cx + r; ++x) {
-          if (x < 0 || x >= G) continue;
-          const float vx = (static_cast<float>(x) + 0.5f) * res - half;
-          const float vy = (static_cast<float>(y) + 0.5f) * res - half;
-          const float vz = (static_cast<float>(z) + 0.5f) * res - half;
-          const float dx = vx - rel.x, dy = vy - rel.y, dz = vz - rel.z;
-          const float d2 = dx * dx + dy * dy + dz * dz;
-          if (d2 > cutoff * cutoff) continue;
-          base[(static_cast<int64_t>(z) * G + y) * G + x] += weight * std::exp(-d2 * inv2s2);
-        }
-      }
+void splat_slice(core::Tensor& grid, const SplatOp& op, int G, float res, float half, int z) {
+  float* base = grid.data() + (static_cast<int64_t>(op.channel) * G + z) * G * G;
+  const float vz = (static_cast<float>(z) + 0.5f) * res - half;
+  const float dz = vz - op.rel.z;
+  for (int y = op.ylo; y <= op.yhi; ++y) {
+    const float vy = (static_cast<float>(y) + 0.5f) * res - half;
+    const float dy = vy - op.rel.y;
+    for (int x = op.xlo; x <= op.xhi; ++x) {
+      const float vx = (static_cast<float>(x) + 0.5f) * res - half;
+      const float dx = vx - op.rel.x;
+      const float d2 = dx * dx + dy * dy + dz * dz;
+      if (d2 > op.cutoff2) continue;
+      base[static_cast<int64_t>(y) * G + x] += op.weight * std::exp(-d2 * op.inv2s2);
     }
-  };
-
-  add_to(channel_for_atom(atom, block), 1.0f);
-  const int pharm = block * kVoxelChannelsPerBlock;
-  if (info.hydrophobic) add_to(pharm + 4, 1.0f);
-  if (info.hbond_donor_heavy && atom.implicit_h > 0) add_to(pharm + 5, 1.0f);
-  if (info.hbond_acceptor) add_to(pharm + 6, 1.0f);
-  if (atom.formal_charge != 0) add_to(pharm + 7, static_cast<float>(std::abs(atom.formal_charge)));
+  }
 }
+}  // namespace
 
 Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pocket,
                            const core::Vec3& center) const {
   const int G = cfg_.grid_dim;
+  const float res = cfg_.resolution;
+  const float half = cfg_.box_extent() * 0.5f;
   Tensor grid({1, cfg_.channels(), G, G, G});
   // The (1, C, ...) tensor is addressed as (C, ...) internally: batch dim 1.
   Tensor view = grid.reshaped({cfg_.channels(), G, G, G});
-  for (const Atom& a : ligand.atoms()) splat(view, a, /*block=*/0, center);
-  for (const Atom& a : pocket) splat(view, a, /*block=*/1, center);
+
+  // Expand atoms into per-channel deposits once (geometry included), then
+  // fill the grid one z-slice at a time. Slices write disjoint memory, so
+  // the slice loop fans out over the compute pool when one is installed;
+  // per-cell accumulation order is unchanged, so output is bitwise
+  // identical either way.
+  std::vector<SplatOp> ops;
+  ops.reserve((ligand.atoms().size() + pocket.size()) * 2);
+  auto expand = [&](const Atom& a, int block) {
+    const ElementInfo& info = element_info(a.element);
+    const float sigma = info.vdw_radius * cfg_.sigma_scale;
+    const float cutoff = sigma * cfg_.cutoff_sigmas;
+    SplatOp op;
+    op.rel = a.pos - center;
+    op.cutoff2 = cutoff * cutoff;
+    op.inv2s2 = 1.0f / (2.0f * sigma * sigma);
+    const int r = static_cast<int>(std::ceil(cutoff / res));
+    const int cx = static_cast<int>(std::floor((op.rel.x + half) / res));
+    const int cy = static_cast<int>(std::floor((op.rel.y + half) / res));
+    const int cz = static_cast<int>(std::floor((op.rel.z + half) / res));
+    op.xlo = std::max(0, cx - r);
+    op.xhi = std::min(G - 1, cx + r);
+    op.ylo = std::max(0, cy - r);
+    op.yhi = std::min(G - 1, cy + r);
+    op.zlo = std::max(0, cz - r);
+    op.zhi = std::min(G - 1, cz + r);
+    if (op.xlo > op.xhi || op.ylo > op.yhi || op.zlo > op.zhi) return;  // fully off-grid
+
+    auto push = [&](int channel, float weight) {
+      op.channel = channel;
+      op.weight = weight;
+      ops.push_back(op);
+    };
+    push(channel_for_atom(a, block), 1.0f);
+    const int pharm = block * kVoxelChannelsPerBlock;
+    if (info.hydrophobic) push(pharm + 4, 1.0f);
+    if (info.hbond_donor_heavy && a.implicit_h > 0) push(pharm + 5, 1.0f);
+    if (info.hbond_acceptor) push(pharm + 6, 1.0f);
+    if (a.formal_charge != 0) push(pharm + 7, static_cast<float>(std::abs(a.formal_charge)));
+  };
+  for (const Atom& a : ligand.atoms()) expand(a, /*block=*/0);
+  for (const Atom& a : pocket) expand(a, /*block=*/1);
+
+  core::parallel_for_auto(static_cast<size_t>(G), 4, [&](size_t zi) {
+    const int z = static_cast<int>(zi);
+    for (const SplatOp& op : ops) {
+      if (z < op.zlo || z > op.zhi) continue;
+      splat_slice(view, op, G, res, half, z);
+    }
+  });
   return view.reshaped({1, cfg_.channels(), G, G, G});
 }
 

@@ -35,14 +35,15 @@ class Voxelizer {
   explicit Voxelizer(VoxelConfig cfg = {}) : cfg_(cfg) {}
 
   /// Produce a (1, C, G, G, G) tensor centred on `center` (normally the
-  /// pocket centroid).
+  /// pocket centroid). Grid z-slices are filled independently and fan out
+  /// over the shared compute pool (core/parallel.h) when one is installed;
+  /// output is bitwise identical either way.
   Tensor voxelize(const Molecule& ligand, const std::vector<Atom>& pocket,
                   const core::Vec3& center) const;
 
   const VoxelConfig& config() const { return cfg_; }
 
  private:
-  void splat(Tensor& grid, const Atom& atom, int channel_block, const core::Vec3& center) const;
   VoxelConfig cfg_;
 };
 

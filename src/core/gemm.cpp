@@ -1,0 +1,229 @@
+#include "core/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/threadpool.h"
+
+namespace df::core {
+
+namespace {
+
+// BLIS-style blocking: a KC x NC panel of B is packed once and streamed from
+// L2/L3 while MC x KC panels of A (packed per row-block, micro-panels of MR
+// rows) are multiplied against it with an MR x NR register tile. The sizes
+// target common x86 cache geometry: the A panel (~72 KiB) sits in L2, one B
+// micro-panel (KC*NR floats, 24 KiB) in L1; the 6x32 tile holds twelve
+// 16-lane accumulators, which maps onto AVX-512 (and splits cleanly in half
+// on AVX2) without spilling.
+constexpr int64_t MR = 6;
+constexpr int64_t NR = 32;
+constexpr int64_t KC = 192;
+constexpr int64_t MC = 96;    // multiple of MR
+constexpr int64_t NC = 1024;  // multiple of NR
+
+inline int64_t round_up(int64_t v, int64_t to) { return (v + to - 1) / to * to; }
+
+// Element (i, p) of op(A): stored (m x k) or transposed (k x m).
+inline float load_a(const float* A, int64_t lda, bool trans, int64_t i, int64_t p) {
+  return trans ? A[p * lda + i] : A[i * lda + p];
+}
+// Element (p, j) of op(B): stored (k x n) or transposed (n x k).
+inline float load_b(const float* B, int64_t ldb, bool trans, int64_t p, int64_t j) {
+  return trans ? B[j * ldb + p] : B[p * ldb + j];
+}
+
+// Pack an mc x kc block of op(A) starting at (row0, col0) into micro-panels
+// of MR rows: ap[panel][p * MR + r]. Rows past mc are zero-padded so the
+// micro-kernel's k-loop never branches.
+void pack_a(const float* A, int64_t lda, bool trans, int64_t row0, int64_t col0, int64_t mc,
+            int64_t kc, float* ap) {
+  for (int64_t ir = 0; ir < mc; ir += MR) {
+    const int64_t mr = std::min(MR, mc - ir);
+    float* panel = ap + ir * kc;
+    if (!trans && mr == MR) {
+      // Full panel from row-major A: gather MR contiguous rows.
+      const float* a0 = A + (row0 + ir) * lda + col0;
+      for (int64_t p = 0; p < kc; ++p)
+        for (int64_t r = 0; r < MR; ++r) panel[p * MR + r] = a0[r * lda + p];
+    } else {
+      for (int64_t p = 0; p < kc; ++p) {
+        for (int64_t r = 0; r < mr; ++r)
+          panel[p * MR + r] = load_a(A, lda, trans, row0 + ir + r, col0 + p);
+        for (int64_t r = mr; r < MR; ++r) panel[p * MR + r] = 0.0f;
+      }
+    }
+  }
+}
+
+// Pack a kc x nc block of op(B) starting at (row0, col0) into micro-panels
+// of NR columns: bp[panel][p * NR + c], zero-padded past nc.
+void pack_b(const float* B, int64_t ldb, bool trans, int64_t row0, int64_t col0, int64_t kc,
+            int64_t nc, float* bp) {
+  for (int64_t jr = 0; jr < nc; jr += NR) {
+    const int64_t nr = std::min(NR, nc - jr);
+    float* panel = bp + jr * kc;
+    if (!trans && nr == NR) {
+      const float* b0 = B + row0 * ldb + col0 + jr;
+      for (int64_t p = 0; p < kc; ++p) std::memcpy(panel + p * NR, b0 + p * ldb, NR * sizeof(float));
+    } else {
+      for (int64_t p = 0; p < kc; ++p) {
+        for (int64_t c = 0; c < nr; ++c)
+          panel[p * NR + c] = load_b(B, ldb, trans, row0 + p, col0 + jr + c);
+        for (int64_t c = nr; c < NR; ++c) panel[p * NR + c] = 0.0f;
+      }
+    }
+  }
+}
+
+// MR x NR register tile over packed panels. `first` selects store vs
+// accumulate into C; mr/nr clip the write-back at block edges (the packed
+// operands are zero-padded, so the arithmetic is always full-tile and
+// branch-free). The GNU vector-extension path keeps the twelve 16-lane
+// accumulators in registers — the portable scalar fallback compiles
+// everywhere but leaves ~30x on the table.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float v16f __attribute__((vector_size(64), aligned(4)));
+
+void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_t ldc, bool first,
+                  int64_t mr, int64_t nr) {
+  v16f acc[MR][2] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    v16f b0, b1;
+    std::memcpy(&b0, b, sizeof(b0));
+    std::memcpy(&b1, b + 16, sizeof(b1));
+    for (int64_t r = 0; r < MR; ++r) {
+      const v16f av = v16f{} + a[r];
+      acc[r][0] += av * b0;
+      acc[r][1] += av * b1;
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (int64_t r = 0; r < MR; ++r) {
+      for (int h = 0; h < 2; ++h) {
+        float* dst = C + r * ldc + 16 * h;
+        v16f cv;
+        if (first) {
+          cv = acc[r][h];
+        } else {
+          std::memcpy(&cv, dst, sizeof(cv));
+          cv += acc[r][h];
+        }
+        std::memcpy(dst, &cv, sizeof(cv));
+      }
+    }
+  } else {
+    float tile[MR][NR];
+    for (int64_t r = 0; r < MR; ++r) {
+      std::memcpy(&tile[r][0], &acc[r][0], sizeof(v16f));
+      std::memcpy(&tile[r][16], &acc[r][1], sizeof(v16f));
+    }
+    for (int64_t r = 0; r < mr; ++r)
+      for (int64_t c = 0; c < nr; ++c) {
+        if (first) C[r * ldc + c] = tile[r][c];
+        else C[r * ldc + c] += tile[r][c];
+      }
+  }
+}
+#else
+void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_t ldc, bool first,
+                  int64_t mr, int64_t nr) {
+  float acc[MR][NR] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (int64_t r = 0; r < MR; ++r) {
+      const float av = a[r];
+      for (int64_t c = 0; c < NR; ++c) acc[r][c] += av * b[c];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t c = 0; c < nr; ++c) {
+      if (first) C[r * ldc + c] = acc[r][c];
+      else C[r * ldc + c] += acc[r][c];
+    }
+}
+#endif
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const float* A, int64_t lda,
+           const float* B, int64_t ldb, float* C, int64_t ldc, bool accumulate) {
+  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("sgemm: negative dimension");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (int64_t i = 0; i < m; ++i) std::memset(C + i * ldc, 0, static_cast<size_t>(n) * sizeof(float));
+    return;
+  }
+
+  // One shared B panel per (pc, jc) iteration; A panels are packed per
+  // row-block inside the (possibly parallel) ic loop. Both buffers are
+  // reused thread_locals — the per-sample conv and small dense paths call
+  // sgemm far too often to pay a heap allocation per call. Workers only
+  // read bbuf; the calling thread owns and fills it before fanning out.
+  static thread_local std::vector<float> bbuf;
+  bbuf.resize(static_cast<size_t>(round_up(std::min(NC, n), NR) * std::min(KC, k)));
+  // Workers must see the caller's panel, not their own thread_local — hand
+  // them the raw pointer, never the thread_local name.
+  float* const bpack = bbuf.data();
+  // Parallelize row blocks only when the problem carries enough arithmetic
+  // to amortize the fork/join (~2 MFLOP). The row-block grain shrinks below
+  // MC when the pool would otherwise starve: at MC=96 a 256-row GEMM has
+  // only 3 blocks, capping 4-thread scaling at ~2.7x — so aim for ~2 blocks
+  // per worker (still multiples of MR, never below one micro-tile).
+  const bool wide_enough = m * n * k >= (int64_t{1} << 20);
+  const size_t min_parallel = wide_enough ? 2 : static_cast<size_t>(-1);
+  int64_t iblock = MC;
+  ThreadPool* pool = compute_thread_pool();
+  if (wide_enough && pool != nullptr && pool->size() > 1 && !in_pool_worker()) {
+    const int64_t workers = static_cast<int64_t>(pool->size());
+    const int64_t target = round_up((m + 2 * workers - 1) / (2 * workers), MR);
+    iblock = std::clamp(target, MR, MC);
+  }
+  const int64_t n_iblocks = (m + iblock - 1) / iblock;
+
+  for (int64_t pc = 0; pc < k; pc += KC) {
+    const int64_t kc = std::min(KC, k - pc);
+    const bool first = (pc == 0) && !accumulate;
+    for (int64_t jc = 0; jc < n; jc += NC) {
+      const int64_t nc = std::min(NC, n - jc);
+      pack_b(B, ldb, trans_b, pc, jc, kc, nc, bpack);
+      parallel_for_auto(static_cast<size_t>(n_iblocks), min_parallel, [&](size_t ib) {
+        const int64_t ic = static_cast<int64_t>(ib) * iblock;
+        const int64_t mc = std::min(iblock, m - ic);
+        static thread_local std::vector<float> abuf;
+        abuf.resize(static_cast<size_t>(round_up(mc, MR) * kc));
+        pack_a(A, lda, trans_a, ic, pc, mc, kc, abuf.data());
+        for (int64_t jr = 0; jr < nc; jr += NR) {
+          const int64_t nr = std::min(NR, nc - jr);
+          const float* bpanel = bpack + jr * kc;
+          for (int64_t ir = 0; ir < mc; ir += MR) {
+            const int64_t mr = std::min(MR, mc - ir);
+            micro_kernel(kc, abuf.data() + ir * kc, bpanel, C + (ic + ir) * ldc + jc + jr, ldc,
+                         first, mr, nr);
+          }
+        }
+      });
+    }
+  }
+}
+
+void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const float* A,
+                 int64_t lda, const float* B, int64_t ldb, float* C, int64_t ldc, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = accumulate ? C[i * ldc + j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p)
+        acc += load_a(A, lda, trans_a, i, p) * load_b(B, ldb, trans_b, p, j);
+      C[i * ldc + j] = acc;
+    }
+  }
+}
+
+}  // namespace df::core

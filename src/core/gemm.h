@@ -1,0 +1,31 @@
+// Cache-blocked, register-tiled single-precision GEMM — the one kernel every
+// dense FLOP in deepfusion (Dense, GatedGraphConv, vol2col Conv3d) lowers
+// onto. Row-major storage with explicit leading dimensions, BLIS-style
+// packed panels (MR x NR micro-tiles), and optional ThreadPool parallelism
+// over row panels via core::compute_thread_pool().
+//
+// The naive triple-loop variant is retained as the correctness reference for
+// equivalence tests and the speedup benchmark; it must never be called from
+// model code.
+#pragma once
+
+#include <cstdint>
+
+namespace df::core {
+
+/// C (m x n, ldc) = op(A) * op(B), overwriting C — or accumulating into C
+/// when `accumulate` is true.
+///   op(A) is m x k: stored as (m x k, lda >= k) when !trans_a,
+///                   or as its transpose (k x m, lda >= m) when trans_a.
+///   op(B) is k x n: stored as (k x n, ldb >= n) when !trans_b,
+///                   or as its transpose (n x k, ldb >= k) when trans_b.
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           const float* A, int64_t lda, const float* B, int64_t ldb,
+           float* C, int64_t ldc, bool accumulate = false);
+
+/// Unblocked reference implementation with identical semantics.
+void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 const float* A, int64_t lda, const float* B, int64_t ldb,
+                 float* C, int64_t ldc, bool accumulate = false);
+
+}  // namespace df::core

@@ -1,0 +1,32 @@
+#include "core/parallel.h"
+
+#include <atomic>
+
+#include "core/threadpool.h"
+
+namespace df::core {
+
+namespace {
+std::atomic<ThreadPool*> g_compute_pool{nullptr};
+}  // namespace
+
+void set_compute_thread_pool(ThreadPool* pool) { g_compute_pool.store(pool); }
+
+ThreadPool* compute_thread_pool() { return g_compute_pool.load(); }
+
+bool in_pool_worker() { return ThreadPool::this_thread_is_worker(); }
+
+ComputePoolGuard::ComputePoolGuard(ThreadPool* pool) : previous_(g_compute_pool.exchange(pool)) {}
+
+ComputePoolGuard::~ComputePoolGuard() { g_compute_pool.store(previous_); }
+
+void parallel_for_auto(size_t n, size_t min_parallel, const std::function<void(size_t)>& fn) {
+  ThreadPool* pool = g_compute_pool.load();
+  if (pool != nullptr && pool->size() > 1 && n >= min_parallel && !in_pool_worker()) {
+    parallel_for(*pool, n, fn);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace df::core

@@ -1,0 +1,42 @@
+// Process-wide compute-pool hook. Numeric kernels (gemm, conv lowering,
+// voxel splatting, pooling) are leaf code that cannot know who owns the
+// threads, so they pick up an optional shared ThreadPool from here and fall
+// back to serial execution when none is installed — or when the caller is
+// itself a pool worker, which keeps nested parallel regions from deadlocking
+// wait_idle().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace df::core {
+
+class ThreadPool;
+
+/// Install (or clear, with nullptr) the shared compute pool. Not owned.
+/// Callers are responsible for keeping the pool alive while installed.
+void set_compute_thread_pool(ThreadPool* pool);
+ThreadPool* compute_thread_pool();
+
+/// True when the calling thread is a ThreadPool worker (any pool).
+bool in_pool_worker();
+
+/// RAII installer for scoped pool sharing (campaign/bench entry points).
+class ComputePoolGuard {
+ public:
+  explicit ComputePoolGuard(ThreadPool* pool);
+  ~ComputePoolGuard();
+  ComputePoolGuard(const ComputePoolGuard&) = delete;
+  ComputePoolGuard& operator=(const ComputePoolGuard&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+/// Run fn(i) for i in [0, n) on the compute pool when one is installed, the
+/// caller is not already a pool worker, and the work is large enough
+/// (n >= min_parallel); otherwise run serially on the calling thread.
+/// Exceptions thrown by fn propagate to the caller in either mode.
+void parallel_for_auto(size_t n, size_t min_parallel, const std::function<void(size_t)>& fn);
+
+}  // namespace df::core

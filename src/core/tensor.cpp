@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/gemm.h"
 #include "core/rng.h"
 
 namespace df::core {
@@ -164,17 +165,7 @@ Tensor Tensor::matmul(const Tensor& rhs) const {
   }
   const int64_t m = shape_[0], k = shape_[1], n = rhs.shape_[1];
   Tensor out({m, n});
-  // ikj order keeps rhs rows hot in cache.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a = data_.data() + i * k;
-    float* o = out.data_.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a[p];
-      if (av == 0.0f) continue;
-      const float* b = rhs.data_.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) o[j] += av * b[j];
-    }
-  }
+  sgemm(false, false, m, n, k, data_.data(), k, rhs.data_.data(), n, out.data_.data(), n);
   return out;
 }
 
@@ -184,16 +175,7 @@ Tensor Tensor::matmul_tn(const Tensor& rhs) const {
   }
   const int64_t k = shape_[0], m = shape_[1], n = rhs.shape_[1];
   Tensor out({m, n});
-  for (int64_t p = 0; p < k; ++p) {
-    const float* a = data_.data() + p * m;
-    const float* b = rhs.data_.data() + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = a[i];
-      if (av == 0.0f) continue;
-      float* o = out.data_.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) o[j] += av * b[j];
-    }
-  }
+  sgemm(true, false, m, n, k, data_.data(), m, rhs.data_.data(), n, out.data_.data(), n);
   return out;
 }
 
@@ -203,16 +185,7 @@ Tensor Tensor::matmul_nt(const Tensor& rhs) const {
   }
   const int64_t m = shape_[0], k = shape_[1], n = rhs.shape_[0];
   Tensor out({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a = data_.data() + i * k;
-    float* o = out.data_.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b = rhs.data_.data() + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a[p] * b[p];
-      o[j] = acc;
-    }
-  }
+  sgemm(false, true, m, n, k, data_.data(), k, rhs.data_.data(), k, out.data_.data(), n);
   return out;
 }
 

@@ -82,7 +82,8 @@ class Tensor {
   /// L2 norm of the flattened tensor.
   float norm() const;
 
-  /// (m,k) x (k,n) -> (m,n). Cache-blocked inner loop.
+  /// (m,k) x (k,n) -> (m,n). Lowered onto the blocked sgemm kernel
+  /// (core/gemm.h), which parallelizes over the installed compute pool.
   Tensor matmul(const Tensor& rhs) const;
   /// matmul with this transposed: (k,m)^T x (k,n) -> (m,n).
   Tensor matmul_tn(const Tensor& rhs) const;

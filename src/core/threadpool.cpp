@@ -1,8 +1,12 @@
 #include "core/threadpool.h"
 
-#include <atomic>
+#include <utility>
 
 namespace df::core {
+
+namespace {
+thread_local bool t_is_pool_worker = false;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -17,7 +21,11 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // A pending first_error_ nobody joined on dies with the pool; throwing
+  // from a destructor is never an option.
 }
+
+bool ThreadPool::this_thread_is_worker() { return t_is_pool_worker; }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
@@ -30,9 +38,15 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
   idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
+  t_is_pool_worker = true;
   for (;;) {
     std::function<void()> job;
     {
@@ -43,9 +57,15 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    job();
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard lk(mu_);
+      if (err && !first_error_) first_error_ = err;
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -2,10 +2,15 @@
 // (24 per rank) and for Horovod ranks inside one simulated node: work is
 // pushed as std::function jobs and joined with wait_idle(), mirroring the
 // fork/allgather structure of a Fusion scoring job (paper Fig. 3).
+//
+// Jobs that throw do not kill the worker: the first exception is captured
+// and rethrown from the next wait_idle()/parallel_for() join, so a failing
+// rank surfaces at the barrier instead of calling std::terminate.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,9 +27,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   void submit(std::function<void()> job);
-  /// Block until the queue is empty and all workers are idle.
+  /// Block until the queue is empty and all workers are idle. Rethrows the
+  /// first exception any job threw since the last join (remaining queued
+  /// jobs still run to completion first). The pool assumes one logical
+  /// submitter/joiner at a time: concurrent non-worker joiners block on
+  /// each other's jobs and may receive each other's exceptions.
   void wait_idle();
   size_t size() const { return workers_.size(); }
+
+  /// True when the calling thread is a worker of any ThreadPool. Leaf
+  /// kernels use this to avoid submitting nested work to a pool they are
+  /// already running on (which would deadlock wait_idle).
+  static bool this_thread_is_worker();
 
  private:
   void worker_loop();
@@ -34,11 +48,13 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;       // wakes workers
   std::condition_variable idle_cv_;  // wakes wait_idle
+  std::exception_ptr first_error_;   // first job exception since last join
   size_t active_ = 0;
   bool stop_ = false;
 };
 
-/// Run fn(i) for i in [0, n) across the pool and join.
+/// Run fn(i) for i in [0, n) across the pool and join. Rethrows the first
+/// exception thrown by any fn(i).
 void parallel_for(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn);
 
 }  // namespace df::core

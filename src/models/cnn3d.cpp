@@ -1,5 +1,6 @@
 #include "models/cnn3d.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/activations.h"
@@ -84,6 +85,31 @@ float Cnn3d::predict(const data::Sample& s) {
   out_->set_training(false);
   nn::Tensor latent = forward_latent(s.voxel, false);
   return out_->forward(latent)[0];
+}
+
+core::Tensor stack_voxel_batch(const std::vector<const data::Sample*>& batch) {
+  std::vector<int64_t> shape = batch.front()->voxel.shape();
+  shape[0] = static_cast<int64_t>(batch.size());
+  core::Tensor out(shape);
+  const int64_t per = batch.front()->voxel.numel();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i]->voxel.shape() != batch.front()->voxel.shape()) {
+      throw std::invalid_argument("stack_voxel_batch: inconsistent voxel shapes");
+    }
+    std::memcpy(out.data() + static_cast<int64_t>(i) * per, batch[i]->voxel.data(),
+                static_cast<size_t>(per) * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<float> Cnn3d::predict_batch(const std::vector<const data::Sample*>& batch) {
+  if (batch.empty()) return {};
+  out_->set_training(false);
+  nn::Tensor latent = forward_latent(stack_voxel_batch(batch), false);
+  nn::Tensor y = out_->forward(latent);  // (B, 1)
+  std::vector<float> preds(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) preds[i] = y[static_cast<int64_t>(i)];
+  return preds;
 }
 
 std::vector<nn::Parameter*> Cnn3d::trainable_parameters() {

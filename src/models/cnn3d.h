@@ -27,6 +27,10 @@ struct Cnn3dConfig {
   float dropout2 = 0.125f;  // mid (above second dense)
 };
 
+/// Stack per-sample (1, C, D, H, W) voxel grids into one (B, C, D, H, W)
+/// batch tensor (shared by the batched CNN and fusion predict paths).
+core::Tensor stack_voxel_batch(const std::vector<const data::Sample*>& batch);
+
 class Cnn3d : public Regressor {
  public:
   Cnn3d(const Cnn3dConfig& cfg, core::Rng& rng);
@@ -34,6 +38,7 @@ class Cnn3d : public Regressor {
   float forward_train(const data::Sample& s) override;
   void backward(float grad_pred) override;
   float predict(const data::Sample& s) override;
+  std::vector<float> predict_batch(const std::vector<const data::Sample*>& batch) override;
   std::vector<nn::Parameter*> trainable_parameters() override;
   void set_training(bool t) override;
   std::string name() const override { return "3D-CNN"; }

@@ -57,22 +57,32 @@ FusionModel::FusionModel(FusionConfig cfg, std::shared_ptr<Cnn3d> cnn, std::shar
   fusion_.add(std::move(out));
 }
 
-float FusionModel::run_forward(const data::Sample& s, bool training) {
-  nn::Tensor lc = cnn_->forward_latent(s.voxel, training && cfg_.kind == FusionKind::Coherent);
-  nn::Tensor ls = sg_->forward_latent(s.graph, training && cfg_.kind == FusionKind::Coherent);
-
-  nn::Tensor cat({1, d_cnn_ + d_sg_ + 2 * d_ms_});
-  int64_t off = 0;
-  for (int64_t i = 0; i < d_cnn_; ++i) cat.at(0, off++) = lc.at(0, i);
-  for (int64_t i = 0; i < d_sg_; ++i) cat.at(0, off++) = ls.at(0, i);
+nn::Tensor FusionModel::build_cat(const nn::Tensor& lc, const nn::Tensor& ls, bool training) {
+  const int64_t B = lc.dim(0);
+  nn::Tensor cat({B, d_cnn_ + d_sg_ + 2 * d_ms_});
+  for (int64_t i = 0; i < B; ++i) {
+    int64_t off = 0;
+    for (int64_t j = 0; j < d_cnn_; ++j) cat.at(i, off++) = lc.at(i, j);
+    for (int64_t j = 0; j < d_sg_; ++j) cat.at(i, off++) = ls.at(i, j);
+  }
   if (cfg_.model_specific_layers) {
     ms_cnn_->set_training(training);
     ms_sg_->set_training(training);
     nn::Tensor mc = ms_cnn_->forward(lc);
     nn::Tensor msv = ms_sg_->forward(ls);
-    for (int64_t i = 0; i < d_ms_; ++i) cat.at(0, off++) = mc.at(0, i);
-    for (int64_t i = 0; i < d_ms_; ++i) cat.at(0, off++) = msv.at(0, i);
+    for (int64_t i = 0; i < B; ++i) {
+      int64_t off = d_cnn_ + d_sg_;
+      for (int64_t j = 0; j < d_ms_; ++j) cat.at(i, off++) = mc.at(i, j);
+      for (int64_t j = 0; j < d_ms_; ++j) cat.at(i, off++) = msv.at(i, j);
+    }
   }
+  return cat;
+}
+
+float FusionModel::run_forward(const data::Sample& s, bool training) {
+  nn::Tensor lc = cnn_->forward_latent(s.voxel, training && cfg_.kind == FusionKind::Coherent);
+  nn::Tensor ls = sg_->forward_latent(s.graph, training && cfg_.kind == FusionKind::Coherent);
+  nn::Tensor cat = build_cat(lc, ls, training);
   fusion_.set_training(training);
   return fusion_.forward(cat)[0];
 }
@@ -80,6 +90,24 @@ float FusionModel::run_forward(const data::Sample& s, bool training) {
 float FusionModel::forward_train(const data::Sample& s) { return run_forward(s, true); }
 
 float FusionModel::predict(const data::Sample& s) { return run_forward(s, false); }
+
+std::vector<float> FusionModel::predict_batch(const std::vector<const data::Sample*>& batch) {
+  if (batch.empty()) return {};
+  const int64_t B = static_cast<int64_t>(batch.size());
+  nn::Tensor lc = cnn_->forward_latent(stack_voxel_batch(batch), false);  // (B, d_cnn)
+  nn::Tensor ls({B, d_sg_});
+  for (int64_t i = 0; i < B; ++i) {
+    nn::Tensor row = sg_->forward_latent(batch[static_cast<size_t>(i)]->graph, false);
+    for (int64_t j = 0; j < d_sg_; ++j) ls.at(i, j) = row.at(0, j);
+  }
+
+  nn::Tensor cat = build_cat(lc, ls, /*training=*/false);
+  fusion_.set_training(false);
+  nn::Tensor y = fusion_.forward(cat);  // (B, 1)
+  std::vector<float> preds(batch.size());
+  for (int64_t i = 0; i < B; ++i) preds[static_cast<size_t>(i)] = y[i];
+  return preds;
+}
 
 void FusionModel::backward(float grad_pred) {
   nn::Tensor g({1, 1});

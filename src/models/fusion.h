@@ -47,6 +47,12 @@ class LateFusion : public Regressor {
   float predict(const data::Sample& s) override {
     return 0.5f * (cnn_->predict(s) + sg_->predict(s));
   }
+  std::vector<float> predict_batch(const std::vector<const data::Sample*>& batch) override {
+    std::vector<float> c = cnn_->predict_batch(batch);
+    const std::vector<float> s = sg_->predict_batch(batch);
+    for (size_t i = 0; i < c.size(); ++i) c[i] = 0.5f * (c[i] + s[i]);
+    return c;
+  }
   std::vector<nn::Parameter*> trainable_parameters() override { return {}; }
   void set_training(bool t) override {
     cnn_->set_training(t);
@@ -69,6 +75,9 @@ class FusionModel : public Regressor {
   float forward_train(const data::Sample& s) override;
   void backward(float grad_pred) override;
   float predict(const data::Sample& s) override;
+  /// Batched eval: one CNN trunk + fusion trunk forward per batch; SG-CNN
+  /// latents (variable-size graphs) are computed per sample and stacked.
+  std::vector<float> predict_batch(const std::vector<const data::Sample*>& batch) override;
   std::vector<nn::Parameter*> trainable_parameters() override;
   void set_training(bool t) override;
   std::string name() const override { return fusion_name(cfg_.kind); }
@@ -85,6 +94,10 @@ class FusionModel : public Regressor {
 
  private:
   float run_forward(const data::Sample& s, bool training);
+  /// Concatenate head latents (B rows each) with the optional
+  /// model-specific blocks into the fusion trunk's input — the one place
+  /// that knows the cat layout, shared by the per-sample and batched paths.
+  nn::Tensor build_cat(const nn::Tensor& lc, const nn::Tensor& ls, bool training);
 
   FusionConfig cfg_;
   std::shared_ptr<Cnn3d> cnn_;

@@ -23,6 +23,15 @@ class Regressor {
   virtual void backward(float grad_pred) = 0;
   /// Eval-mode prediction (no caching, dropout off, running BN stats).
   virtual float predict(const data::Sample& s) = 0;
+  /// Eval-mode prediction for a batch of poses. Models whose trunks accept
+  /// a batch dimension override this to run one forward per batch instead
+  /// of one per pose (the screening hot path); the default loops.
+  virtual std::vector<float> predict_batch(const std::vector<const data::Sample*>& batch) {
+    std::vector<float> out;
+    out.reserve(batch.size());
+    for (const data::Sample* s : batch) out.push_back(predict(*s));
+    return out;
+  }
 
   /// Parameters the optimizer should update.
   virtual std::vector<nn::Parameter*> trainable_parameters() = 0;

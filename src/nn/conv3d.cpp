@@ -1,10 +1,112 @@
 #include "nn/conv3d.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "core/gemm.h"
+#include "core/parallel.h"
 
 namespace df::nn {
+
+namespace {
+
+// Valid output range [lo, hi) for one spatial axis and one kernel offset:
+// the positions `o` with 0 <= o*stride - pad + koff < in_size. Everything
+// outside maps into the zero padding.
+struct AxisRange {
+  int64_t lo, hi;
+};
+
+AxisRange valid_range(int64_t in_size, int64_t out_size, int64_t stride, int64_t pad,
+                      int64_t koff) {
+  // o*stride >= pad - koff  and  o*stride <= in_size - 1 + pad - koff
+  const int64_t num = pad - koff;
+  int64_t lo = num <= 0 ? 0 : (num + stride - 1) / stride;
+  int64_t hi = (in_size - 1 + pad - koff) / stride + 1;
+  if (in_size - 1 + pad - koff < 0) hi = 0;
+  lo = std::min(lo, out_size);
+  hi = std::clamp(hi, lo, out_size);
+  return {lo, hi};
+}
+
+// Lower one sample (cin, D, H, W) to cols (cin*k^3, Do*Ho*Wo). Rows touched
+// by padding are zero-filled up front; the interior is copied with
+// contiguous (stride 1) or strided row loops, no per-element bounds checks.
+void vol2col(const float* x, int64_t cin, int64_t D, int64_t H, int64_t W, int64_t k,
+             int64_t stride, int64_t pad, int64_t Do, int64_t Ho, int64_t Wo, float* cols) {
+  const int64_t N = Do * Ho * Wo;
+  if (pad > 0) std::memset(cols, 0, static_cast<size_t>(cin * k * k * k * N) * sizeof(float));
+  for (int64_t ci = 0; ci < cin; ++ci) {
+    const float* xc = x + ci * D * H * W;
+    for (int64_t kz = 0; kz < k; ++kz) {
+      const AxisRange rz = valid_range(D, Do, stride, pad, kz);
+      for (int64_t ky = 0; ky < k; ++ky) {
+        const AxisRange ry = valid_range(H, Ho, stride, pad, ky);
+        for (int64_t kx = 0; kx < k; ++kx) {
+          const AxisRange rx = valid_range(W, Wo, stride, pad, kx);
+          float* row = cols + (((ci * k + kz) * k + ky) * k + kx) * N;
+          const int64_t nx = rx.hi - rx.lo;
+          if (nx <= 0) continue;
+          for (int64_t zo = rz.lo; zo < rz.hi; ++zo) {
+            const int64_t z = zo * stride - pad + kz;
+            for (int64_t yo = ry.lo; yo < ry.hi; ++yo) {
+              const int64_t y = yo * stride - pad + ky;
+              const float* src = xc + (z * H + y) * W + (rx.lo * stride - pad + kx);
+              float* dst = row + (zo * Ho + yo) * Wo + rx.lo;
+              if (stride == 1) {
+                std::memcpy(dst, src, static_cast<size_t>(nx) * sizeof(float));
+              } else {
+                for (int64_t j = 0; j < nx; ++j) dst[j] = src[j * stride];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatter-add cols-shaped gradients back into one sample's input gradient.
+// Mirrors vol2col's interior ranges; border columns map into padding and
+// are dropped.
+void col2vol(const float* cols, int64_t cin, int64_t D, int64_t H, int64_t W, int64_t k,
+             int64_t stride, int64_t pad, int64_t Do, int64_t Ho, int64_t Wo, float* gx) {
+  const int64_t N = Do * Ho * Wo;
+  for (int64_t ci = 0; ci < cin; ++ci) {
+    float* gc = gx + ci * D * H * W;
+    for (int64_t kz = 0; kz < k; ++kz) {
+      const AxisRange rz = valid_range(D, Do, stride, pad, kz);
+      for (int64_t ky = 0; ky < k; ++ky) {
+        const AxisRange ry = valid_range(H, Ho, stride, pad, ky);
+        for (int64_t kx = 0; kx < k; ++kx) {
+          const AxisRange rx = valid_range(W, Wo, stride, pad, kx);
+          const float* row = cols + (((ci * k + kz) * k + ky) * k + kx) * N;
+          const int64_t nx = rx.hi - rx.lo;
+          if (nx <= 0) continue;
+          for (int64_t zo = rz.lo; zo < rz.hi; ++zo) {
+            const int64_t z = zo * stride - pad + kz;
+            for (int64_t yo = ry.lo; yo < ry.hi; ++yo) {
+              const int64_t y = yo * stride - pad + ky;
+              float* dst = gc + (z * H + y) * W + (rx.lo * stride - pad + kx);
+              const float* src = row + (zo * Ho + yo) * Wo + rx.lo;
+              if (stride == 1) {
+                for (int64_t j = 0; j < nx; ++j) dst[j] += src[j];
+              } else {
+                for (int64_t j = 0; j < nx; ++j) dst[j * stride] += src[j];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv3d::Conv3d(int64_t in_channels, int64_t out_channels, int64_t kernel, core::Rng& rng,
                int64_t stride, int64_t padding)
@@ -27,34 +129,112 @@ Tensor Conv3d::forward(const Tensor& x) {
   const int64_t Wo = out_size(W, k_, stride_, pad_);
   Tensor out({B, cout_, Do, Ho, Wo});
 
+  const int64_t K = cin_ * k_ * k_ * k_;
+  const int64_t N = Do * Ho * Wo;
+  const float* in = x.data();
+  const float* w = w_.value.data();  // (cout, K) row-major as stored
+  const float* bias = b_.value.data();
+  float* o = out.data();
+
+  // One vol2col + one gemm per sample; samples fan out over the compute
+  // pool (sgemm detects it runs on a worker and stays serial inside).
+  core::parallel_for_auto(static_cast<size_t>(B), 2, [&](size_t bi) {
+    const int64_t b = static_cast<int64_t>(bi);
+    static thread_local std::vector<float> cols;
+    cols.resize(static_cast<size_t>(K * N));
+    vol2col(in + b * cin_ * D * H * W, cin_, D, H, W, k_, stride_, pad_, Do, Ho, Wo, cols.data());
+    float* ob = o + b * cout_ * N;
+    core::sgemm(false, false, cout_, N, K, w, K, cols.data(), N, ob, N);
+    for (int64_t co = 0; co < cout_; ++co) {
+      float* row = ob + co * N;
+      const float bv = bias[co];
+      for (int64_t j = 0; j < N; ++j) row[j] += bv;
+    }
+  });
+  return out;
+}
+
+Tensor Conv3d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) throw std::runtime_error("Conv3d::backward before forward");
+  const Tensor& x = cached_input_;
+  const int64_t B = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const int64_t Do = grad_out.dim(2), Ho = grad_out.dim(3), Wo = grad_out.dim(4);
+  Tensor grad_in(x.shape());
+
+  const int64_t K = cin_ * k_ * k_ * k_;
+  const int64_t N = Do * Ho * Wo;
+  const float* in = x.data();
+  const float* g = grad_out.data();
+  const float* w = w_.value.data();
+  float* gw = w_.grad.data();
+  float* gb = b_.grad.data();
+  float* gi = grad_in.data();
+
+  // Serial over samples: grad_w/grad_b accumulate across the batch, and the
+  // per-sample gemms already use the pool when one is installed.
+  std::vector<float> cols(static_cast<size_t>(K * N));
+  std::vector<float> cols_grad(static_cast<size_t>(K * N));
+  for (int64_t b = 0; b < B; ++b) {
+    const float* gbatch = g + b * cout_ * N;
+    for (int64_t co = 0; co < cout_; ++co) {
+      const float* row = gbatch + co * N;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < N; ++j) acc += row[j];
+      gb[co] += acc;
+    }
+    vol2col(in + b * cin_ * D * H * W, cin_, D, H, W, k_, stride_, pad_, Do, Ho, Wo, cols.data());
+    // dW (cout,K) += gOut (cout,N) x cols^T (N,K)
+    core::sgemm(false, true, cout_, K, N, gbatch, N, cols.data(), N, gw, K, /*accumulate=*/true);
+    // dCols (K,N) = W^T (K,cout) x gOut (cout,N), scattered back to dInput.
+    core::sgemm(true, false, K, N, cout_, w, K, gbatch, N, cols_grad.data(), N);
+    col2vol(cols_grad.data(), cin_, D, H, W, k_, stride_, pad_, Do, Ho, Wo,
+            gi + b * cin_ * D * H * W);
+  }
+  return grad_in;
+}
+
+void Conv3d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+Tensor conv3d_forward_naive(const Tensor& x, const Tensor& w, const Tensor& b, int64_t stride,
+                            int64_t padding) {
+  const int64_t B = x.dim(0), cin = x.dim(1), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const int64_t cout = w.dim(0), k = w.dim(2);
+  const int64_t Do = Conv3d::out_size(D, k, stride, padding);
+  const int64_t Ho = Conv3d::out_size(H, k, stride, padding);
+  const int64_t Wo = Conv3d::out_size(W, k, stride, padding);
+  Tensor out({B, cout, Do, Ho, Wo});
+
   const float* in = x.data();
   float* o = out.data();
-  const float* w = w_.value.data();
-  const int64_t in_chan = D * H * W, out_chan = Do * Ho * Wo, wk = k_ * k_ * k_;
+  const float* wd = w.data();
+  const int64_t in_chan = D * H * W, out_chan = Do * Ho * Wo, wk = k * k * k;
 
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t co = 0; co < cout_; ++co) {
-      float* obase = o + (b * cout_ + co) * out_chan;
-      const float bias = b_.value[co];
+  for (int64_t bb = 0; bb < B; ++bb) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* obase = o + (bb * cout + co) * out_chan;
+      const float bias = b[co];
       for (int64_t zo = 0; zo < Do; ++zo) {
         for (int64_t yo = 0; yo < Ho; ++yo) {
           for (int64_t xo = 0; xo < Wo; ++xo) {
             float acc = bias;
-            const int64_t z0 = zo * stride_ - pad_;
-            const int64_t y0 = yo * stride_ - pad_;
-            const int64_t x0 = xo * stride_ - pad_;
-            for (int64_t ci = 0; ci < cin_; ++ci) {
-              const float* ibase = in + (b * cin_ + ci) * in_chan;
-              const float* wbase = w + (co * cin_ + ci) * wk;
-              for (int64_t kz = 0; kz < k_; ++kz) {
+            const int64_t z0 = zo * stride - padding;
+            const int64_t y0 = yo * stride - padding;
+            const int64_t x0 = xo * stride - padding;
+            for (int64_t ci = 0; ci < cin; ++ci) {
+              const float* ibase = in + (bb * cin + ci) * in_chan;
+              const float* wbase = wd + (co * cin + ci) * wk;
+              for (int64_t kz = 0; kz < k; ++kz) {
                 const int64_t z = z0 + kz;
                 if (z < 0 || z >= D) continue;
-                for (int64_t ky = 0; ky < k_; ++ky) {
+                for (int64_t ky = 0; ky < k; ++ky) {
                   const int64_t y = y0 + ky;
                   if (y < 0 || y >= H) continue;
                   const float* irow = ibase + (z * H + y) * W;
-                  const float* wrow = wbase + (kz * k_ + ky) * k_;
-                  for (int64_t kx = 0; kx < k_; ++kx) {
+                  const float* wrow = wbase + (kz * k + ky) * k;
+                  for (int64_t kx = 0; kx < k; ++kx) {
                     const int64_t xx = x0 + kx;
                     if (xx < 0 || xx >= W) continue;
                     acc += irow[xx] * wrow[kx];
@@ -71,46 +251,45 @@ Tensor Conv3d::forward(const Tensor& x) {
   return out;
 }
 
-Tensor Conv3d::backward(const Tensor& grad_out) {
-  if (cached_input_.empty()) throw std::runtime_error("Conv3d::backward before forward");
-  const Tensor& x = cached_input_;
-  const int64_t B = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+Tensor conv3d_backward_naive(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                             Tensor& grad_w, Tensor& grad_b, int64_t stride, int64_t padding) {
+  const int64_t B = x.dim(0), cin = x.dim(1), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const int64_t cout = w.dim(0), k = w.dim(2);
   const int64_t Do = grad_out.dim(2), Ho = grad_out.dim(3), Wo = grad_out.dim(4);
   Tensor grad_in(x.shape());
 
   const float* in = x.data();
   const float* g = grad_out.data();
-  const float* w = w_.value.data();
-  float* gw = w_.grad.data();
+  const float* wd = w.data();
+  float* gw = grad_w.data();
   float* gi = grad_in.data();
-  const int64_t in_chan = D * H * W, out_chan = Do * Ho * Wo, wk = k_ * k_ * k_;
+  const int64_t in_chan = D * H * W, out_chan = Do * Ho * Wo, wk = k * k * k;
 
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t co = 0; co < cout_; ++co) {
-      const float* gbase = g + (b * cout_ + co) * out_chan;
+  for (int64_t bb = 0; bb < B; ++bb) {
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* gbase = g + (bb * cout + co) * out_chan;
       for (int64_t zo = 0; zo < Do; ++zo) {
         for (int64_t yo = 0; yo < Ho; ++yo) {
           for (int64_t xo = 0; xo < Wo; ++xo) {
             const float gv = gbase[(zo * Ho + yo) * Wo + xo];
-            if (gv == 0.0f) continue;
-            b_.grad[co] += gv;
-            const int64_t z0 = zo * stride_ - pad_;
-            const int64_t y0 = yo * stride_ - pad_;
-            const int64_t x0 = xo * stride_ - pad_;
-            for (int64_t ci = 0; ci < cin_; ++ci) {
-              const float* ibase = in + (b * cin_ + ci) * in_chan;
-              float* gibase = gi + (b * cin_ + ci) * in_chan;
-              const float* wbase = w + (co * cin_ + ci) * wk;
-              float* gwbase = gw + (co * cin_ + ci) * wk;
-              for (int64_t kz = 0; kz < k_; ++kz) {
+            grad_b[co] += gv;
+            const int64_t z0 = zo * stride - padding;
+            const int64_t y0 = yo * stride - padding;
+            const int64_t x0 = xo * stride - padding;
+            for (int64_t ci = 0; ci < cin; ++ci) {
+              const float* ibase = in + (bb * cin + ci) * in_chan;
+              float* gibase = gi + (bb * cin + ci) * in_chan;
+              const float* wbase = wd + (co * cin + ci) * wk;
+              float* gwbase = gw + (co * cin + ci) * wk;
+              for (int64_t kz = 0; kz < k; ++kz) {
                 const int64_t z = z0 + kz;
                 if (z < 0 || z >= D) continue;
-                for (int64_t ky = 0; ky < k_; ++ky) {
+                for (int64_t ky = 0; ky < k; ++ky) {
                   const int64_t y = y0 + ky;
                   if (y < 0 || y >= H) continue;
                   const int64_t irow = (z * H + y) * W;
-                  const int64_t wrow = (kz * k_ + ky) * k_;
-                  for (int64_t kx = 0; kx < k_; ++kx) {
+                  const int64_t wrow = (kz * k + ky) * k;
+                  for (int64_t kx = 0; kx < k; ++kx) {
                     const int64_t xx = x0 + kx;
                     if (xx < 0 || xx >= W) continue;
                     gwbase[wrow + kx] += gv * ibase[irow + xx];
@@ -127,11 +306,6 @@ Tensor Conv3d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-void Conv3d::collect_parameters(std::vector<Parameter*>& out) {
-  out.push_back(&w_);
-  out.push_back(&b_);
-}
-
 Tensor MaxPool3d::forward(const Tensor& x) {
   if (x.ndim() != 5) throw std::invalid_argument("MaxPool3d: expected 5-D, got " + x.shape_str());
   in_shape_ = x.shape();
@@ -143,9 +317,12 @@ Tensor MaxPool3d::forward(const Tensor& x) {
   const float* in = x.data();
   float* o = out.data();
   const int64_t in_chan = D * H * W;
-  int64_t oi = 0;
-  for (int64_t bc = 0; bc < B * C; ++bc) {
+  const int64_t out_chan = Do * Ho * Wo;
+  // (batch, channel) planes are independent — fan out over the pool.
+  core::parallel_for_auto(static_cast<size_t>(B * C), 4, [&](size_t bci) {
+    const int64_t bc = static_cast<int64_t>(bci);
     const float* ibase = in + bc * in_chan;
+    int64_t oi = bc * out_chan;
     for (int64_t zo = 0; zo < Do; ++zo)
       for (int64_t yo = 0; yo < Ho; ++yo)
         for (int64_t xo = 0; xo < Wo; ++xo, ++oi) {
@@ -164,7 +341,7 @@ Tensor MaxPool3d::forward(const Tensor& x) {
           o[oi] = best;
           argmax_[static_cast<size_t>(oi)] = besti;
         }
-  }
+  });
   return out;
 }
 

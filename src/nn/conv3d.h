@@ -1,8 +1,11 @@
 // 3-D convolution and max-pooling over voxelized protein–ligand complexes.
 // Input layout is (batch, channels, depth, height, width), matching the
-// voxelizer's output. Direct loops (no im2col): grids in this library are
-// small (16³–24³) and the straightforward scatter/gather backward is both
-// cache-friendly at that size and easy to verify against finite differences.
+// voxelizer's output. Conv3d lowers each sample to a (cin*k³, Do*Ho*Wo)
+// column matrix (vol2col) whose padded border is zero-filled up front and
+// whose interior is copied with branch-free row loops, then runs a single
+// blocked sgemm per sample; backward reverses the lowering (col2vol).
+// The original direct 7-loop implementation is retained below as the
+// equivalence reference for tests and the speedup benchmark.
 #pragma once
 
 #include "core/rng.h"
@@ -46,6 +49,15 @@ class MaxPool3d : public Module {
   std::vector<int64_t> argmax_;  // flat input index per output element
   std::vector<int64_t> in_shape_;
 };
+
+/// Direct 7-loop reference convolution (the pre-vol2col implementation).
+/// Retained for equivalence tests and the speedup benchmark only — model
+/// code must go through Conv3d.
+Tensor conv3d_forward_naive(const Tensor& x, const Tensor& w, const Tensor& b, int64_t stride,
+                            int64_t padding);
+/// Reference backward: returns grad_in and accumulates into grad_w/grad_b.
+Tensor conv3d_backward_naive(const Tensor& x, const Tensor& w, const Tensor& grad_out,
+                             Tensor& grad_w, Tensor& grad_b, int64_t stride, int64_t padding);
 
 /// Flatten (B, ...) -> (B, features); the bridge from conv stack to dense head.
 class Flatten : public Module {

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <thread>
 
+#include "core/parallel.h"
+#include "core/threadpool.h"
 #include "io/log.h"
 
 namespace df::screen {
@@ -18,6 +21,16 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
                                       const ModelFactory& make_model) {
   CampaignReport report;
   core::Rng rng(cfg_.seed);
+
+  // One worker pool for the whole campaign: fusion scoring jobs run their
+  // ranks on it, and while it is installed as the compute pool the numeric
+  // kernels (gemm, conv lowering, voxel splatting) pick it up for any work
+  // issued from the campaign thread.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t pool_threads =
+      cfg_.threads > 0 ? static_cast<size_t>(cfg_.threads) : (hw != 0 ? hw : 1);
+  core::ThreadPool pool(pool_threads);
+  core::ComputePoolGuard pool_guard(&pool);
 
   struct PoseBookkeeping {
     size_t compound_idx;
@@ -99,6 +112,7 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
     std::vector<PoseWorkItem> chunk(work.begin() + static_cast<long>(lo),
                                     work.begin() + static_cast<long>(hi));
     JobConfig jc = cfg_.job;
+    jc.pool = &pool;
     for (int attempt = 0; attempt <= cfg_.max_job_retries; ++attempt) {
       jc.seed = cfg_.seed + lo * 31 + static_cast<uint64_t>(attempt) * 7;
       FusionScoringJob job(jc);

@@ -39,6 +39,7 @@ struct CampaignConfig {
   int poses_per_job = 512;               // paper: 2M; scaled
   data::AssayConfig assay;
   int max_job_retries = 4;
+  int threads = 0;                       // shared worker pool size; 0 = hardware concurrency
   uint64_t seed = 2021;
 };
 

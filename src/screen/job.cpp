@@ -1,10 +1,12 @@
 #include "screen/job.h"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <thread>
 
 #include "core/rng.h"
+#include "core/threadpool.h"
 #include "io/log.h"
 #include "screen/writer.h"
 
@@ -49,38 +51,60 @@ JobReport FusionScoringJob::run(const std::vector<PoseWorkItem>& items,
     bool died = false;
   };
   std::vector<RankOutput> per_rank(static_cast<size_t>(ranks));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) {
-    threads.emplace_back([&, r] {
-      RankOutput& out = per_rank[static_cast<size_t>(r)];
-      const size_t n = items.size();
-      const size_t lo = n * static_cast<size_t>(r) / static_cast<size_t>(ranks);
-      const size_t hi = n * static_cast<size_t>(r + 1) / static_cast<size_t>(ranks);
-      models::Regressor& model = *rank_models[static_cast<size_t>(r)];
-      // A doomed rank dies halfway through its share (immediately if the
-      // share is empty or a single pose — node failures don't care how much
-      // work was assigned).
-      const size_t die_at = (hi - lo) / 2;
-      for (size_t i = lo; i < hi; ++i) {
-        if (r == doomed_rank && (i - lo) == die_at) {
-          out.died = true;
-          return;
-        }
-        const PoseWorkItem& item = items[i];
-        data::Sample s;
-        s.voxel = voxelizer.voxelize(item.ligand, *item.pocket, item.site_center);
-        s.graph = featurizer.featurize(item.ligand, *item.pocket);
-        s.label = 0.0f;
-        out.compound.push_back(item.compound_id);
-        out.target.push_back(item.target_id);
-        out.pose.push_back(item.pose_id);
-        out.pred.push_back(model.predict(s));
+  const size_t batch_cap = static_cast<size_t>(std::max(1, cfg_.poses_per_batch));
+  const auto run_rank = [&](int r) {
+    RankOutput& out = per_rank[static_cast<size_t>(r)];
+    const size_t n = items.size();
+    const size_t lo = n * static_cast<size_t>(r) / static_cast<size_t>(ranks);
+    const size_t hi = n * static_cast<size_t>(r + 1) / static_cast<size_t>(ranks);
+    models::Regressor& model = *rank_models[static_cast<size_t>(r)];
+    // A doomed rank dies halfway through its share (immediately if the
+    // share is empty or a single pose — node failures don't care how much
+    // work was assigned).
+    const size_t die_at = (hi - lo) / 2;
+    // Featurize into a pose batch and score `poses_per_batch` poses per
+    // model forward — the conv/dense trunks amortize one gemm per batch.
+    std::vector<data::Sample> batch;
+    batch.reserve(std::min(batch_cap, hi - lo));
+    const auto flush = [&] {
+      if (batch.empty()) return;
+      std::vector<const data::Sample*> ptrs;
+      ptrs.reserve(batch.size());
+      for (const data::Sample& s : batch) ptrs.push_back(&s);
+      const std::vector<float> preds = model.predict_batch(ptrs);
+      out.pred.insert(out.pred.end(), preds.begin(), preds.end());
+      batch.clear();
+    };
+    for (size_t i = lo; i < hi; ++i) {
+      if (r == doomed_rank && (i - lo) == die_at) {
+        out.died = true;
+        return;
       }
-      if (r == doomed_rank && lo == hi) out.died = true;  // empty-share rank still dies
-    });
+      const PoseWorkItem& item = items[i];
+      data::Sample s;
+      s.voxel = voxelizer.voxelize(item.ligand, *item.pocket, item.site_center);
+      s.graph = featurizer.featurize(item.ligand, *item.pocket);
+      s.label = 0.0f;
+      out.compound.push_back(item.compound_id);
+      out.target.push_back(item.target_id);
+      out.pose.push_back(item.pose_id);
+      batch.push_back(std::move(s));
+      if (batch.size() >= batch_cap) flush();
+    }
+    flush();
+    if (r == doomed_rank && lo == hi) out.died = true;  // empty-share rank still dies
+  };
+  if (cfg_.pool != nullptr) {
+    // Shared pool: ranks become pool jobs; a rank that throws surfaces at
+    // the wait_idle join instead of taking the process down.
+    for (int r = 0; r < ranks; ++r) cfg_.pool->submit([&run_rank, r] { run_rank(r); });
+    cfg_.pool->wait_idle();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) threads.emplace_back([&run_rank, r] { run_rank(r); });
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   report.eval_seconds = seconds_since(t0);
 
   for (int r = 0; r < ranks; ++r) {

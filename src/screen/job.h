@@ -17,6 +17,10 @@
 #include "models/regressor.h"
 #include "screen/cluster.h"
 
+namespace df::core {
+class ThreadPool;
+}
+
 namespace df::screen {
 
 struct PoseWorkItem {
@@ -35,6 +39,10 @@ struct JobConfig {
   int loaders_per_rank = 12;       // recorded; throughput model consumes it
   uint64_t seed = 99;
   bool inject_failures = false;    // sample §4.3 failure probabilities
+  int poses_per_batch = 32;        // poses per model forward inside a rank
+  core::ThreadPool* pool = nullptr;  // shared worker pool (not owned); ranks
+                                     // run as pool jobs when set, as raw
+                                     // std::threads otherwise
   chem::VoxelConfig voxel;
   chem::GraphFeaturizerConfig graph;
   std::string output_prefix;       // empty = don't write files
