@@ -24,6 +24,17 @@ inline uint64_t mix_seed(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Derive a reproducible child seed for element `index` of logical stream
+/// `tag` under a root `seed`. Components that need many independent RNGs
+/// (per-job scoring streams, fault-injection draws, per-compound assay
+/// noise) key their stream on *stable identifiers* through this helper
+/// instead of consuming a shared engine in arrival order — that is what
+/// makes whole campaigns bitwise independent of thread count and of
+/// kill/resume history.
+inline uint64_t derive_stream(uint64_t seed, uint64_t tag, uint64_t index) {
+  return mix_seed(mix_seed(seed ^ tag) + index);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5eedULL) : engine_(mix_seed(seed)) {}

@@ -1,6 +1,7 @@
 #include "data/compound_library.h"
 
 #include "chem/smiles.h"
+#include "io/h5lite.h"
 
 namespace df::data {
 
@@ -71,6 +72,33 @@ std::vector<LibraryCompound> generate_library(const LibraryConfig& cfg, core::Rn
 
 chem::Molecule materialize(const LibraryCompound& c) {
   return c.is_smiles_entry ? chem::parse_smiles(c.smiles) : c.molecule;
+}
+
+uint64_t library_fingerprint(const std::vector<LibraryCompound>& compounds) {
+  // Two independent CRC32 streams folded into one u64; cheap, stable across
+  // runs, and sensitive to ordering (position is mixed into the hash).
+  uint32_t lo = 0;
+  uint32_t hi = io::crc32("df-library", 10);
+  const auto mix = [&](const void* data, size_t n) {
+    lo = io::crc32(data, n, lo);
+    hi = io::crc32(data, n, hi ^ 0x9e3779b9u);
+  };
+  const uint64_t count = compounds.size();
+  mix(&count, sizeof(count));
+  for (size_t i = 0; i < compounds.size(); ++i) {
+    const LibraryCompound& c = compounds[i];
+    const uint64_t pos = i;
+    mix(&pos, sizeof(pos));
+    mix(c.id.data(), c.id.size());
+    const int32_t source = static_cast<int32_t>(c.source);
+    mix(&source, sizeof(source));
+    const uint8_t form = c.is_smiles_entry ? 1 : 0;
+    mix(&form, sizeof(form));
+    mix(c.smiles.data(), c.smiles.size());
+    const uint64_t sizes[2] = {c.molecule.num_atoms(), c.molecule.num_bonds()};
+    mix(sizes, sizeof(sizes));
+  }
+  return (static_cast<uint64_t>(hi) << 32) | lo;
 }
 
 }  // namespace df::data

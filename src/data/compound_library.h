@@ -5,6 +5,7 @@
 // pre-built Molecule here), so the ligand-prep path is exercised both ways.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,5 +42,11 @@ std::vector<LibraryCompound> generate_library(const LibraryConfig& cfg, core::Rn
 
 /// Materialize the molecule from either entry form (parses SMILES entries).
 chem::Molecule materialize(const LibraryCompound& c);
+
+/// Stable fingerprint of a library's identity (ids, sources, entry forms,
+/// molecule sizes). A campaign checkpoint stores it so a resume against a
+/// different or reordered compound set is rejected instead of silently
+/// mixing predictions from two libraries.
+uint64_t library_fingerprint(const std::vector<LibraryCompound>& compounds);
 
 }  // namespace df::data

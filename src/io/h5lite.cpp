@@ -1,27 +1,62 @@
 #include "io/h5lite.h"
 
+#include <array>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <stdexcept>
 
 namespace df::io {
 
 namespace {
 constexpr char kMagic[4] = {'H', '5', 'L', 'T'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;  // v2 = v1 + trailing whole-file CRC32
+constexpr size_t kHeaderBytes = 8;  // magic + version; excluded from the CRC
 
-template <typename T>
-void write_pod(std::ofstream& f, const T& v) {
-  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
 }
 
 template <typename T>
-T read_pod(std::ifstream& f) {
-  T v{};
-  f.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!f) throw std::runtime_error("h5lite: truncated file");
-  return v;
+void append_pod(std::string& buf, const T& v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
+
+/// Bounds-checked cursor over an in-memory file image.
+struct Reader {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+  std::string path;
+
+  template <typename T>
+  T pod() {
+    T v{};
+    bytes(&v, sizeof(T));
+    return v;
+  }
+  void bytes(void* dst, size_t n) {
+    if (pos + n > size) {
+      throw H5LiteError(H5LiteError::Kind::Truncated, "h5lite: truncated file: " + path);
+    }
+    std::memcpy(dst, data + pos, n);
+    pos += n;
+  }
+};
 }  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
 
 int64_t Dataset::numel() const {
   int64_t n = 1;
@@ -54,67 +89,123 @@ const Dataset& H5LiteFile::get(const std::string& name) const {
 }
 
 void H5LiteFile::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("h5lite: cannot open for write: " + path);
-  f.write(kMagic, 4);
-  write_pod(f, kVersion);
-  write_pod(f, static_cast<uint32_t>(datasets_.size()));
+  // Serialize the dataset section to memory first so the file-level CRC can
+  // be computed over exactly the bytes that land on disk.
+  std::string body;
+  append_pod(body, static_cast<uint32_t>(datasets_.size()));
   for (const auto& [name, ds] : datasets_) {
-    write_pod(f, static_cast<uint32_t>(name.size()));
-    f.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(f, static_cast<uint8_t>(ds.is_float() ? 0 : 1));
-    write_pod(f, static_cast<uint32_t>(ds.shape.size()));
-    for (int64_t d : ds.shape) write_pod(f, d);
+    append_pod(body, static_cast<uint32_t>(name.size()));
+    body.append(name);
+    append_pod(body, static_cast<uint8_t>(ds.is_float() ? 0 : 1));
+    append_pod(body, static_cast<uint32_t>(ds.shape.size()));
+    for (int64_t d : ds.shape) append_pod(body, d);
     if (ds.is_float()) {
-      f.write(reinterpret_cast<const char*>(ds.floats().data()),
-              static_cast<std::streamsize>(ds.floats().size() * sizeof(float)));
+      body.append(reinterpret_cast<const char*>(ds.floats().data()),
+                  ds.floats().size() * sizeof(float));
     } else {
-      f.write(reinterpret_cast<const char*>(ds.ints().data()),
-              static_cast<std::streamsize>(ds.ints().size() * sizeof(int64_t)));
+      body.append(reinterpret_cast<const char*>(ds.ints().data()),
+                  ds.ints().size() * sizeof(int64_t));
     }
   }
-  if (!f) throw std::runtime_error("h5lite: write failed: " + path);
+  const uint32_t crc = crc32(body.data(), body.size());
+
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw H5LiteError(H5LiteError::Kind::Open, "h5lite: cannot open for write: " + path);
+  f.write(kMagic, 4);
+  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  f.write(body.data(), static_cast<std::streamsize>(body.size()));
+  f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  // Flush before checking: a late error (e.g. ENOSPC on the buffered tail)
+  // must fail the save, or save_atomic would rename a torn file into place.
+  f.close();
+  if (f.fail()) throw H5LiteError(H5LiteError::Kind::Open, "h5lite: write failed: " + path);
+}
+
+void H5LiteFile::save_atomic(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  save(tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw H5LiteError(H5LiteError::Kind::Open,
+                      "h5lite: atomic rename failed: " + path + " (" + ec.message() + ")");
+  }
 }
 
 H5LiteFile H5LiteFile::load(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("h5lite: cannot open for read: " + path);
-  char magic[4];
-  f.read(magic, 4);
-  if (!f || std::string(magic, 4) != std::string(kMagic, 4)) {
-    throw std::runtime_error("h5lite: bad magic in " + path);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw H5LiteError(H5LiteError::Kind::Open, "h5lite: cannot open for read: " + path);
+  const std::streamsize file_size = f.tellg();
+  f.seekg(0);
+  std::string image(static_cast<size_t>(file_size), '\0');
+  f.read(image.data(), file_size);
+  if (!f) throw H5LiteError(H5LiteError::Kind::Open, "h5lite: read failed: " + path);
+
+  if (image.size() < kHeaderBytes || std::memcmp(image.data(), kMagic, 4) != 0) {
+    throw H5LiteError(H5LiteError::Kind::Format, "h5lite: bad magic in " + path);
   }
-  const uint32_t version = read_pod<uint32_t>(f);
-  if (version != kVersion) throw std::runtime_error("h5lite: unsupported version");
-  const uint32_t count = read_pod<uint32_t>(f);
+  uint32_t version;
+  std::memcpy(&version, image.data() + 4, sizeof(version));
+  if (version < 1 || version > kVersion) {
+    throw H5LiteError(H5LiteError::Kind::Format, "h5lite: unsupported version in " + path);
+  }
+
+  size_t body_end = image.size();
+  bool crc_ok = true;
+  if (version >= 2) {
+    if (image.size() < kHeaderBytes + sizeof(uint32_t)) {
+      throw H5LiteError(H5LiteError::Kind::Truncated, "h5lite: truncated file: " + path);
+    }
+    body_end -= sizeof(uint32_t);
+    uint32_t stored;
+    std::memcpy(&stored, image.data() + body_end, sizeof(stored));
+    crc_ok = stored == crc32(image.data() + kHeaderBytes, body_end - kHeaderBytes);
+  }
+
+  Reader r{image.data(), body_end, kHeaderBytes, path};
+  const uint32_t count = r.pod<uint32_t>();
   H5LiteFile out;
   for (uint32_t i = 0; i < count; ++i) {
-    const uint32_t name_len = read_pod<uint32_t>(f);
+    const uint32_t name_len = r.pod<uint32_t>();
     std::string name(name_len, '\0');
-    f.read(name.data(), name_len);
-    const uint8_t dtype = read_pod<uint8_t>(f);
-    const uint32_t rank = read_pod<uint32_t>(f);
+    r.bytes(name.data(), name_len);
+    const uint8_t dtype = r.pod<uint8_t>();
+    const uint32_t rank = r.pod<uint32_t>();
     Dataset ds;
-    int64_t numel = 1;
-    for (uint32_t r = 0; r < rank; ++r) {
-      ds.shape.push_back(read_pod<int64_t>(f));
-      numel *= ds.shape.back();
+    uint64_t numel = 1;
+    for (uint32_t k = 0; k < rank; ++k) {
+      const int64_t d = r.pod<int64_t>();
+      if (d < 0) {
+        throw H5LiteError(H5LiteError::Kind::Format, "h5lite: negative dataset size in " + path);
+      }
+      ds.shape.push_back(d);
+      if (d != 0 && numel > UINT64_MAX / static_cast<uint64_t>(d)) {
+        throw H5LiteError(H5LiteError::Kind::Truncated,
+                          "h5lite: dataset larger than file: " + path);
+      }
+      numel *= static_cast<uint64_t>(d);
     }
-    if (numel < 0) throw std::runtime_error("h5lite: negative dataset size");
+    // Bound the allocation by the bytes actually left in the file, so a
+    // corrupted shape reports as damage instead of a multi-exabyte alloc.
+    const size_t elem = dtype == 0 ? sizeof(float) : sizeof(int64_t);
+    if (numel > (r.size - r.pos) / elem) {
+      throw H5LiteError(H5LiteError::Kind::Truncated, "h5lite: truncated dataset " + name +
+                                                          " in " + path);
+    }
     if (dtype == 0) {
       std::vector<float> v(static_cast<size_t>(numel));
-      f.read(reinterpret_cast<char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(float)));
+      r.bytes(v.data(), v.size() * sizeof(float));
       ds.data = std::move(v);
     } else {
       std::vector<int64_t> v(static_cast<size_t>(numel));
-      f.read(reinterpret_cast<char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+      r.bytes(v.data(), v.size() * sizeof(int64_t));
       ds.data = std::move(v);
     }
-    if (!f) throw std::runtime_error("h5lite: truncated dataset " + name);
     out.datasets_[name] = std::move(ds);
   }
+  // A truncated tail surfaces from the Reader as Kind::Truncated above; a
+  // file that parses cleanly but fails the checksum is genuine bit damage.
+  if (!crc_ok) throw H5LiteError(H5LiteError::Kind::Crc, "h5lite: CRC mismatch in " + path);
   return out;
 }
 

@@ -3,16 +3,40 @@
 // float32 or int64 arrays with explicit shapes; the layout mirrors what
 // ConveyorLC's CDT3Docking emits (identifiers + scores per pose) so
 // downstream tooling can consume Fusion predictions and docking output
-// interchangeably.
+// interchangeably. Version 2 appends a whole-file CRC32 so torn or
+// bit-rotted shards are detected at load time instead of silently feeding
+// garbage into downstream aggregation.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <variant>
 #include <vector>
 
 namespace df::io {
+
+/// IEEE CRC-32 (zlib-compatible). Pass the previous return value as `crc`
+/// to checksum data incrementally; start from 0.
+uint32_t crc32(const void* data, size_t len, uint32_t crc = 0);
+
+/// Typed I/O failure so callers (e.g. the sharded-result reader) can report
+/// *what kind* of damage a file has rather than string-matching messages.
+class H5LiteError : public std::runtime_error {
+ public:
+  enum class Kind {
+    Open,       // file missing / unreadable / unwritable
+    Format,     // bad magic or unsupported version
+    Truncated,  // file ends before the datasets it promises
+    Crc,        // payload bytes do not match the stored checksum
+  };
+  H5LiteError(Kind kind, const std::string& msg) : std::runtime_error(msg), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 struct Dataset {
   std::vector<int64_t> shape;
@@ -34,8 +58,11 @@ class H5LiteFile {
   const Dataset& get(const std::string& name) const;
   const std::map<std::string, Dataset>& datasets() const { return datasets_; }
 
-  /// Serialize to disk; throws std::runtime_error on I/O failure.
+  /// Serialize to disk; throws H5LiteError on I/O failure.
   void save(const std::string& path) const;
+  /// Write to `path + ".tmp"` then rename, so a crash mid-write never
+  /// leaves a half-written file at `path` (checkpoints rely on this).
+  void save_atomic(const std::string& path) const;
   static H5LiteFile load(const std::string& path);
 
  private:

@@ -15,7 +15,9 @@ void save_checkpoint(Regressor& model, const std::string& path) {
     std::vector<float> values(p.value.flat().begin(), p.value.flat().end());
     f.put_floats("p" + std::to_string(i), p.value.shape(), std::move(values));
   }
-  f.save(path);
+  // Atomic write: a rank killed mid-checkpoint must never leave a torn
+  // weight file where the resume path expects a valid one.
+  f.save_atomic(path);
 }
 
 void load_checkpoint(Regressor& model, const std::string& path) {

@@ -2,16 +2,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <limits>
+#include <memory>
 #include <thread>
 
 #include "core/parallel.h"
 #include "core/threadpool.h"
 #include "io/log.h"
+#include "screen/checkpoint.h"
+#include "screen/plan.h"
+#include "screen/writer.h"
 
 namespace df::screen {
 
+namespace fs = std::filesystem;
+
 namespace {
+constexpr uint64_t kAssayStreamTag = 0x4153534159ULL;  // "ASSAY"
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
@@ -21,6 +30,12 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
                                       const ModelFactory& make_model) {
   CampaignReport report;
   core::Rng rng(cfg_.seed);
+
+  if (!cfg_.checkpoint_path.empty() && cfg_.output_prefix.empty()) {
+    throw std::invalid_argument(
+        "campaign: checkpoint_path requires output_prefix — completed units are "
+        "recovered from the streamed shards on resume");
+  }
 
   // One worker pool for the whole campaign: fusion scoring jobs run their
   // ranks on it, and while it is installed as the compute pool the numeric
@@ -49,6 +64,8 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
   std::vector<std::vector<float>> ampl_scores(targets_.size());
 
   // --- docking stage (ConveyorLC CDT2-4) ---
+  // Deterministic given the campaign seed, so a resumed process simply
+  // re-derives the pose list instead of persisting it.
   auto t0 = std::chrono::steady_clock::now();
   dock::ConveyorLC pipeline(cfg_.pipeline);
   std::vector<dock::ReceptorModel> receptors;
@@ -104,33 +121,205 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
     }
   }
 
-  // --- fusion scoring stage: fault-tolerant jobs over pose chunks ---
-  t0 = std::chrono::steady_clock::now();
+  // --- rank plan: the §4.3 schedule of work units over the cluster ---
+  const RankPlan plan = RankPlan::build(work.size(), cfg_.poses_per_job, cfg_.job, cfg_.cluster);
+  report.units_total = static_cast<int>(plan.units.size());
+  const uint64_t lib_fp = data::library_fingerprint(compounds);
+
+  std::vector<int64_t> status(plan.units.size(), static_cast<int64_t>(UnitStatus::Pending));
+  std::vector<int64_t> attempts(plan.units.size(), 0);
   std::vector<float> fusion_pred(work.size(), 0.0f);
-  for (size_t lo = 0; lo < work.size(); lo += static_cast<size_t>(cfg_.poses_per_job)) {
-    const size_t hi = std::min(work.size(), lo + static_cast<size_t>(cfg_.poses_per_job));
-    std::vector<PoseWorkItem> chunk(work.begin() + static_cast<long>(lo),
-                                    work.begin() + static_cast<long>(hi));
-    JobConfig jc = cfg_.job;
-    jc.pool = &pool;
+
+  const bool streaming = !cfg_.output_prefix.empty();
+  const int num_shards = cfg_.num_shards > 0 ? cfg_.num_shards : plan.ranks_per_job;
+
+  // --- resume: recover completed units from checkpoint + shards ---
+  const bool resuming = !cfg_.checkpoint_path.empty() && fs::exists(cfg_.checkpoint_path);
+  if (resuming) {
+    const CampaignCheckpoint ck = load_campaign_checkpoint(cfg_.checkpoint_path);
+    if (ck.campaign_seed != cfg_.seed || ck.library_fingerprint != lib_fp ||
+        ck.total_poses != static_cast<int64_t>(work.size()) ||
+        ck.units() != static_cast<int64_t>(plan.units.size()) ||
+        ck.poses_per_job != cfg_.poses_per_job || ck.nodes != cfg_.job.nodes ||
+        ck.gpus_per_node != cfg_.job.gpus_per_node || ck.num_shards != num_shards) {
+      throw std::runtime_error(
+          "campaign: checkpoint does not match this campaign (seed, library, plan or "
+          "job geometry changed): " + cfg_.checkpoint_path);
+    }
+    status = ck.unit_status;
+    attempts = ck.unit_attempts;
+    // Units the dead process had in flight restart from attempt 0 on their
+    // original streams; their partial attempt history replays identically.
+    for (size_t u = 0; u < status.size(); ++u) {
+      if (status[u] == static_cast<int64_t>(UnitStatus::Pending)) attempts[u] = 0;
+    }
+    // Reconcile shards with the checkpoint: drop torn tails and any block
+    // the checkpoint does not vouch for (written after the last save).
+    for (int s = 0; s < num_shards; ++s) {
+      const std::string path = shard_stream_path(cfg_.output_prefix, s);
+      if (!fs::exists(path)) continue;
+      compact_shard_stream(path, [&](uint64_t unit) {
+        return unit < status.size() && status[unit] == static_cast<int64_t>(UnitStatus::Done);
+      });
+    }
+    // Recover predictions for vouched-for units; anything missing re-runs.
+    std::vector<bool> recovered(plan.units.size(), false);
+    for (int s = 0; s < num_shards; ++s) {
+      const ShardScan scan = scan_shard_stream(shard_stream_path(cfg_.output_prefix, s));
+      for (const ShardBlock& b : scan.blocks) {
+        if (b.unit_id >= plan.units.size()) continue;
+        const WorkUnit& unit = plan.units[b.unit_id];
+        if (b.rows() != unit.poses()) continue;  // malformed: force re-run
+        std::copy(b.predictions.begin(), b.predictions.end(),
+                  fusion_pred.begin() + static_cast<long>(unit.pose_begin));
+        recovered[b.unit_id] = true;
+      }
+    }
+    for (size_t u = 0; u < status.size(); ++u) {
+      if (status[u] == static_cast<int64_t>(UnitStatus::Done) && !recovered[u]) {
+        io::log_warn("campaign resume: unit " + std::to_string(u) +
+                     " lost its shard block; re-running");
+        status[u] = static_cast<int64_t>(UnitStatus::Pending);
+        attempts[u] = 0;
+      }
+      if (status[u] != static_cast<int64_t>(UnitStatus::Pending)) ++report.units_resumed;
+    }
+  } else if (streaming) {
+    // Fresh start: clear any stale shards so old blocks cannot leak into
+    // this campaign's output.
+    for (int s = 0; s < num_shards; ++s) {
+      std::error_code ec;
+      fs::remove(shard_stream_path(cfg_.output_prefix, s), ec);
+    }
+    std::error_code ec;
+    fs::remove(shard_manifest_path(cfg_.output_prefix), ec);
+  }
+
+  // --- fusion scoring stage: fault-tolerant jobs over the plan ---
+  t0 = std::chrono::steady_clock::now();
+  StochasticFaultInjector default_injector;
+  FaultInjector* injector = cfg_.fault_injector;
+  if (injector == nullptr && cfg_.job.inject_failures) injector = &default_injector;
+
+  std::vector<std::unique_ptr<ShardStream>> streams(static_cast<size_t>(num_shards));
+  const auto stream_for = [&](uint32_t unit_id) -> ShardStream& {
+    const size_t s = unit_id % static_cast<size_t>(num_shards);
+    if (!streams[s]) {
+      streams[s] = std::make_unique<ShardStream>(shard_stream_path(cfg_.output_prefix,
+                                                                   static_cast<int>(s)));
+    }
+    return *streams[s];
+  };
+
+  int64_t attempts_this_run = 0;
+  int completed_since_ckpt = 0;
+  ShardStream* last_write = nullptr;
+  const auto save_ckpt = [&] {
+    CampaignCheckpoint ck;
+    ck.campaign_seed = cfg_.seed;
+    ck.library_fingerprint = lib_fp;
+    ck.total_poses = static_cast<int64_t>(work.size());
+    ck.poses_per_job = cfg_.poses_per_job;
+    ck.nodes = cfg_.job.nodes;
+    ck.gpus_per_node = cfg_.job.gpus_per_node;
+    ck.num_shards = num_shards;
+    ck.unit_status = status;
+    ck.unit_attempts = attempts;
+    save_campaign_checkpoint(ck, cfg_.checkpoint_path);
+    completed_since_ckpt = 0;
+    ++report.checkpoints_written;
+  };
+  const auto kill_check = [&] {
+    if (cfg_.kill_after_attempts < 0 || attempts_this_run < cfg_.kill_after_attempts) return;
+    if (cfg_.kill_mid_write && last_write != nullptr) {
+      // Die with a half-appended block on disk: the torn tail must be
+      // detected and discarded by the resume scan.
+      last_write->close();
+      tear_shard_tail(last_write->path(), 6);
+    }
+    throw CampaignKilled("campaign killed after " + std::to_string(attempts_this_run) +
+                         " job attempts (simulated)");
+  };
+
+  for (const WorkUnit& unit : plan.units) {
+    if (status[unit.id] != static_cast<int64_t>(UnitStatus::Pending)) continue;
+    const std::vector<PoseWorkItem> chunk(work.begin() + static_cast<long>(unit.pose_begin),
+                                          work.begin() + static_cast<long>(unit.pose_end));
     for (int attempt = 0; attempt <= cfg_.max_job_retries; ++attempt) {
-      jc.seed = cfg_.seed + lo * 31 + static_cast<uint64_t>(attempt) * 7;
+      JobConfig jc = cfg_.job;
+      jc.pool = &pool;
+      jc.seed = unit_seed(cfg_.seed, unit.id, attempt);
+      if (injector != nullptr) {
+        jc.inject_failures = false;
+        jc.doomed_rank = injector->doomed_rank(cfg_.seed, unit.id, attempt, jc.nodes, unit.ranks);
+      }
       FusionScoringJob job(jc);
-      JobReport jr = job.run(chunk, make_model);
-      ++report.jobs_run;
+      const JobReport jr = job.run(chunk, make_model);
+      ++attempts[unit.id];
+      ++attempts_this_run;
       if (jr.failed) {
-        ++report.jobs_failed;
+        kill_check();
         continue;  // resubmit: "another job takes its place"
       }
       // Ranks take contiguous slices of the chunk and the allgather
       // concatenates them in rank order, so results arrive in chunk order.
-      for (size_t i = 0; i < jr.predictions.size(); ++i) {
-        fusion_pred[lo + i] = jr.predictions[i];
+      std::copy(jr.predictions.begin(), jr.predictions.end(),
+                fusion_pred.begin() + static_cast<long>(unit.pose_begin));
+      if (streaming) {
+        ShardBlock block;
+        block.unit_id = unit.id;
+        block.compound_ids = jr.compound_ids;
+        block.target_ids = jr.target_ids;
+        block.pose_ids = jr.pose_ids;
+        block.predictions = jr.predictions;
+        ShardStream& stream = stream_for(unit.id);
+        stream.append(block);
+        last_write = &stream;
       }
+      status[unit.id] = static_cast<int64_t>(UnitStatus::Done);
+      ++completed_since_ckpt;
+      if (!cfg_.checkpoint_path.empty() && completed_since_ckpt >= cfg_.checkpoint_every_jobs) {
+        save_ckpt();
+      }
+      kill_check();
       break;
+    }
+    if (status[unit.id] == static_cast<int64_t>(UnitStatus::Pending)) {
+      status[unit.id] = static_cast<int64_t>(UnitStatus::Exhausted);
+      ++completed_since_ckpt;
+      io::log_warn("campaign: unit " + std::to_string(unit.id) + " exhausted its " +
+                   std::to_string(cfg_.max_job_retries) + " retries; poses unscored");
     }
   }
   report.fusion_seconds = seconds_since(t0);
+
+  // --- finalize durable state ---
+  if (!cfg_.checkpoint_path.empty()) save_ckpt();
+  if (streaming) {
+    for (auto& s : streams) {
+      if (s) s->close();
+    }
+    // Open every shard once so short campaigns still produce the full shard
+    // set the manifest promises.
+    for (int s = 0; s < num_shards; ++s) {
+      const std::string path = shard_stream_path(cfg_.output_prefix, s);
+      if (!fs::exists(path)) ShardStream(path).close();
+      report.shard_files.push_back(path);
+    }
+    write_shard_manifest(cfg_.output_prefix, num_shards);
+  }
+
+  // Job counters derive from the per-unit attempt cursors, so a resumed
+  // campaign reports the same totals as an uninterrupted one.
+  for (size_t u = 0; u < plan.units.size(); ++u) {
+    report.jobs_run += static_cast<int>(attempts[u]);
+    if (status[u] == static_cast<int64_t>(UnitStatus::Done)) {
+      report.jobs_failed += static_cast<int>(attempts[u]) - 1;
+    } else if (status[u] == static_cast<int64_t>(UnitStatus::Exhausted)) {
+      report.jobs_failed += static_cast<int>(attempts[u]);
+      ++report.units_exhausted;
+    }
+  }
 
   // --- aggregation: strongest prediction across poses per compound/site ---
   std::map<std::pair<size_t, int>, CompoundScreenResult> agg;
@@ -161,10 +350,16 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
   }
 
   // --- simulated experimental prosecution ---
+  // Assay noise streams key on (compound, target), not on how many draws
+  // earlier stages consumed — the readouts survive kill/resume and thread
+  // count changes bit-for-bit.
   for (auto& [key, r] : agg) {
     const data::Target& t = targets_[static_cast<size_t>(r.target_index)];
+    core::Rng assay_rng(core::derive_stream(
+        cfg_.seed, kAssayStreamTag,
+        key.first * targets_.size() + static_cast<size_t>(key.second)));
     r.percent_inhibition =
-        data::percent_inhibition(r.true_pk, t.assay_concentration_uM, rng, cfg_.assay);
+        data::percent_inhibition(r.true_pk, t.assay_concentration_uM, assay_rng, cfg_.assay);
     report.results.push_back(std::move(r));
   }
   return report;

@@ -6,9 +6,17 @@
 // strongest prediction across poses per binding site (max for Fusion, min
 // for Vina/MM-GBSA). The assay simulator then produces the experimental
 // percent-inhibition values used by Figures 5/6 and Table 8.
+//
+// The driver is a RankPlan walk: the pose list is partitioned into work
+// units keyed by stable ids, every stochastic decision (job scoring
+// streams, fault injection, assay noise) derives from (seed, stable id),
+// finished units stream to per-rank CRC-framed shards, and a compact
+// checkpoint written every K completed jobs makes the campaign killable at
+// any instant and resumable to the bit-identical report.
 #pragma once
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +25,7 @@
 #include "data/target.h"
 #include "dock/conveyorlc.h"
 #include "dock/mmgbsa.h"
+#include "screen/cluster.h"
 #include "screen/job.h"
 
 namespace df::screen {
@@ -41,6 +50,23 @@ struct CampaignConfig {
   int max_job_retries = 4;
   int threads = 0;                       // shared worker pool size; 0 = hardware concurrency
   uint64_t seed = 2021;
+
+  // --- multi-rank / fault-tolerance layer ---
+  ClusterConfig cluster;                 // geometry for the RankPlan schedule
+  FaultInjector* fault_injector = nullptr;  // not owned; nullptr + job.inject_failures
+                                            // = default §4.3 stochastic injector
+  std::string output_prefix;             // non-empty = stream finished units to
+                                         // <prefix>.rankN.dfsh shards + manifest
+  int num_shards = 0;                    // 0 = one shard per job rank
+  std::string checkpoint_path;           // non-empty = checkpoint/resume enabled
+                                         // (requires output_prefix)
+  int checkpoint_every_jobs = 4;         // K completed units per checkpoint
+
+  // --- deterministic kill harness (tests / examples) ---
+  int64_t kill_after_attempts = -1;      // >=0: throw CampaignKilled once this
+                                         // many job attempts ran in this process
+  bool kill_mid_write = false;           // tear the last shard block first, as
+                                         // if the process died mid-append
 };
 
 struct CampaignReport {
@@ -52,6 +78,18 @@ struct CampaignReport {
   double mmgbsa_seconds = 0;
   double fusion_seconds = 0;
   int poses_generated = 0;
+  // --- fault-tolerance layer ---
+  int units_total = 0;
+  int units_resumed = 0;                 // recovered from checkpoint + shards
+  int units_exhausted = 0;               // every retry failed
+  int checkpoints_written = 0;
+  std::vector<std::string> shard_files;
+};
+
+/// Thrown by the kill harness to simulate the driver process dying; on-disk
+/// checkpoint and shards stay behind for the next run to resume from.
+struct CampaignKilled : std::runtime_error {
+  explicit CampaignKilled(const std::string& msg) : std::runtime_error(msg) {}
 };
 
 class ScreeningCampaign {
@@ -61,7 +99,11 @@ class ScreeningCampaign {
 
   /// Screen `compounds` against every target. `make_model` builds the
   /// fusion scorer per rank. The AMPL surrogate is fitted per target on the
-  /// MM/GBSA-rescored poses encountered during the run.
+  /// MM/GBSA-rescored poses encountered during the run. If
+  /// `checkpoint_path` names an existing checkpoint, the campaign resumes:
+  /// completed units are recovered from the shards, everything else re-runs
+  /// on its original RNG streams, and the returned report is bit-identical
+  /// to an uninterrupted run (timing fields aside).
   CampaignReport run(const std::vector<data::LibraryCompound>& compounds,
                      const ModelFactory& make_model);
 

@@ -1,0 +1,53 @@
+#include "screen/checkpoint.h"
+
+#include <stdexcept>
+
+#include "io/h5lite.h"
+
+namespace df::screen {
+
+namespace {
+constexpr int64_t kCheckpointSchema = 1;
+}  // namespace
+
+void save_campaign_checkpoint(const CampaignCheckpoint& ck, const std::string& path) {
+  if (ck.unit_status.size() != ck.unit_attempts.size()) {
+    throw std::invalid_argument("campaign checkpoint: status/attempts size mismatch");
+  }
+  io::H5LiteFile f;
+  f.put_ints("schema", {1}, {kCheckpointSchema});
+  f.put_ints("campaign_seed", {1}, {static_cast<int64_t>(ck.campaign_seed)});
+  f.put_ints("library_fingerprint", {1}, {static_cast<int64_t>(ck.library_fingerprint)});
+  f.put_ints("total_poses", {1}, {ck.total_poses});
+  f.put_ints("geometry", {4}, {ck.poses_per_job, ck.nodes, ck.gpus_per_node, ck.num_shards});
+  f.put_ints("unit_status", {ck.units()}, ck.unit_status);
+  f.put_ints("unit_attempts", {ck.units()}, ck.unit_attempts);
+  f.save_atomic(path);
+}
+
+CampaignCheckpoint load_campaign_checkpoint(const std::string& path) {
+  const io::H5LiteFile f = io::H5LiteFile::load(path);
+  if (!f.has("schema") || f.get("schema").ints().at(0) != kCheckpointSchema) {
+    throw std::runtime_error("campaign checkpoint: unsupported schema in " + path);
+  }
+  CampaignCheckpoint ck;
+  ck.campaign_seed = static_cast<uint64_t>(f.get("campaign_seed").ints().at(0));
+  ck.library_fingerprint = static_cast<uint64_t>(f.get("library_fingerprint").ints().at(0));
+  ck.total_poses = f.get("total_poses").ints().at(0);
+  const auto& geom = f.get("geometry").ints();
+  if (geom.size() != 4) {
+    throw std::runtime_error("campaign checkpoint: malformed geometry in " + path);
+  }
+  ck.poses_per_job = geom[0];
+  ck.nodes = geom[1];
+  ck.gpus_per_node = geom[2];
+  ck.num_shards = geom[3];
+  ck.unit_status = f.get("unit_status").ints();
+  ck.unit_attempts = f.get("unit_attempts").ints();
+  if (ck.unit_status.size() != ck.unit_attempts.size()) {
+    throw std::runtime_error("campaign checkpoint: status/attempts size mismatch in " + path);
+  }
+  return ck;
+}
+
+}  // namespace df::screen

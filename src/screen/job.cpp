@@ -25,8 +25,11 @@ JobReport FusionScoringJob::run(const std::vector<PoseWorkItem>& items,
   core::Rng job_rng(cfg_.seed);
 
   // Failure injection: decide up-front which rank (if any) dies mid-eval.
+  // A campaign-supplied verdict (doomed_rank) wins over local sampling.
   int doomed_rank = -1;
-  if (cfg_.inject_failures && job_rng.bernoulli(job_failure_probability(cfg_.nodes))) {
+  if (cfg_.doomed_rank.has_value()) {
+    doomed_rank = *cfg_.doomed_rank;
+  } else if (cfg_.inject_failures && job_rng.bernoulli(job_failure_probability(cfg_.nodes))) {
     doomed_rank = static_cast<int>(job_rng.randint(0, ranks - 1));
   }
 

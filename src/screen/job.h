@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ struct JobConfig {
   int loaders_per_rank = 12;       // recorded; throughput model consumes it
   uint64_t seed = 99;
   bool inject_failures = false;    // sample §4.3 failure probabilities
+  // When set, the campaign's FaultInjector has already decided this job's
+  // fate: >= 0 kills that rank mid-eval, -1 runs clean. Overrides
+  // inject_failures, keeping all fault randomness keyed on stable work-unit
+  // ids instead of per-job engine state.
+  std::optional<int> doomed_rank;
   int poses_per_batch = 32;        // poses per model forward inside a rank
   core::ThreadPool* pool = nullptr;  // shared worker pool (not owned); ranks
                                      // run as pool jobs when set, as raw

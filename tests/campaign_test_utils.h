@@ -1,0 +1,67 @@
+// Shared helpers for the campaign determinism / resume test suites: a tiny
+// fast campaign configuration, a deterministic SG-CNN factory, and the
+// bitwise report comparison that "resumed == uninterrupted" is defined by.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "models/sgcnn.h"
+#include "screen/campaign.h"
+
+namespace df::screen::testutil {
+
+inline CampaignConfig tiny_campaign() {
+  CampaignConfig cfg;
+  cfg.job.nodes = 1;
+  cfg.job.gpus_per_node = 2;
+  cfg.job.voxel.grid_dim = 8;
+  cfg.poses_per_job = 4;
+  cfg.pipeline.docking.num_runs = 3;
+  cfg.pipeline.docking.steps_per_run = 25;
+  cfg.pipeline.docking.max_poses = 3;
+  cfg.pipeline.rescore_top_n = 1;
+  return cfg;
+}
+
+inline ModelFactory tiny_sg_factory() {
+  return [] {
+    core::Rng rng(31);
+    models::SgcnnConfig cfg;
+    cfg.covalent_gather_width = 8;
+    cfg.noncovalent_gather_width = 12;
+    cfg.covalent_k = 2;
+    cfg.noncovalent_k = 2;
+    return std::make_unique<models::Sgcnn>(cfg, rng);
+  };
+}
+
+/// The deterministic subset of a CampaignReport must match bit-for-bit;
+/// timing fields and bookkeeping like units_resumed / checkpoints_written
+/// legitimately differ between an uninterrupted and a resumed run.
+inline void expect_reports_bitwise_equal(const CampaignReport& a, const CampaignReport& b) {
+  EXPECT_EQ(a.jobs_run, b.jobs_run);
+  EXPECT_EQ(a.jobs_failed, b.jobs_failed);
+  EXPECT_EQ(a.compounds_rejected, b.compounds_rejected);
+  EXPECT_EQ(a.poses_generated, b.poses_generated);
+  EXPECT_EQ(a.units_total, b.units_total);
+  EXPECT_EQ(a.units_exhausted, b.units_exhausted);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    const CompoundScreenResult& x = a.results[i];
+    const CompoundScreenResult& y = b.results[i];
+    EXPECT_EQ(x.compound_id, y.compound_id);
+    EXPECT_EQ(x.target_index, y.target_index);
+    EXPECT_EQ(x.poses, y.poses);
+    // EXPECT_EQ on floats is exact equality — bitwise for finite values.
+    EXPECT_EQ(x.fusion_pk, y.fusion_pk) << "compound " << x.compound_id;
+    EXPECT_EQ(x.vina_score, y.vina_score);
+    EXPECT_EQ(x.mmgbsa_score, y.mmgbsa_score);
+    EXPECT_EQ(x.ampl_mmgbsa_score, y.ampl_mmgbsa_score);
+    EXPECT_EQ(x.true_pk, y.true_pk);
+    EXPECT_EQ(x.percent_inhibition, y.percent_inhibition);
+  }
+}
+
+}  // namespace df::screen::testutil
