@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -90,6 +91,23 @@ inline models::FusionConfig bench_fusion_config(models::FusionKind kind) {
     cfg.dropout3 = 0.055f;
   }
   return cfg;
+}
+
+// ---- machine-readable output ----
+
+/// Parse the shared `--json[=PATH]` convention (docs/PERF.md): returns
+/// `default_path` for bare `--json`, the given path for `--json=PATH`, and
+/// empty when the flag is absent.
+inline std::string json_flag_path(int argc, char** argv, const char* default_path) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      path = default_path;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    }
+  }
+  return path;
 }
 
 // ---- table printing ----

@@ -10,6 +10,7 @@
 #include "io/csv.h"
 #include "screen/job.h"
 #include "screen/scale_model.h"
+#include "serve/service.h"
 
 using namespace df;
 using namespace df::bench;
@@ -64,21 +65,29 @@ int main() {
     item.pocket = &pocket;
     items.push_back(std::move(item));
   }
-  const screen::ModelFactory factory = [] {
+  serve::ModelRegistry registry;
+  chem::VoxelConfig voxel;
+  voxel.grid_dim = kGridDim;
+  serve::add_regressor(registry, "sgcnn", [] {
     core::Rng mrng(9);
     return std::make_unique<models::Sgcnn>(bench_sgcnn_config(), mrng);
-  };
+  }, voxel);
   std::printf("measured mini-jobs (240 poses, this machine):\n");
   std::printf("%-8s %-8s %12s %14s\n", "ranks", "batch", "eval (s)", "poses/s");
   print_rule(46);
   for (int ranks : {1, 2, 4}) {
     for (int batch : {12, 56}) {
+      // One service per shape: worker count tracks the rank count, so the
+      // scaling trend still measures compute, now on the service side.
+      serve::ServiceConfig sc;
+      sc.workers = ranks;
+      sc.poses_per_batch = batch;
+      serve::ScoringService service(registry, sc);
       screen::JobConfig jc;
       jc.nodes = 1;
       jc.gpus_per_node = ranks;
       jc.batch_size_per_rank = batch;
-      jc.voxel.grid_dim = kGridDim;
-      const screen::JobReport r = screen::FusionScoringJob(jc).run(items, factory);
+      const screen::JobReport r = screen::FusionScoringJob(jc).run(items, service, "sgcnn");
       std::printf("%-8d %-8d %12.2f %14.1f\n", ranks, batch, r.eval_seconds, r.poses_per_second);
     }
   }

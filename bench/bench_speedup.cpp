@@ -30,6 +30,7 @@
 #include "dock/conveyorlc.h"
 #include "nn/conv3d.h"
 #include "screen/job.h"
+#include "serve/service.h"
 
 namespace {
 
@@ -275,21 +276,24 @@ int emit_json(const std::string& path) {
       item.pocket = &pocket;
       items.push_back(std::move(item));
     }
-    const screen::ModelFactory factory = [] {
+    serve::ModelRegistry registry;
+    chem::VoxelConfig voxel;
+    voxel.grid_dim = kGridDim;
+    serve::add_regressor(registry, "cnn3d", [] {
       core::Rng mrng(9);
       return std::make_unique<models::Cnn3d>(bench_cnn3d_config(), mrng);
-    };
+    }, voxel);
     std::fprintf(out, "  \"fusion_job\": [\n");
     const size_t thread_counts[] = {1, 2, 4};
     for (size_t ti = 0; ti < 3; ++ti) {
       const size_t t = thread_counts[ti];
-      core::ThreadPool pool(t);
+      serve::ServiceConfig sc;
+      sc.workers = static_cast<int>(t);
+      serve::ScoringService service(registry, sc);
       screen::JobConfig jc;
       jc.nodes = 1;
       jc.gpus_per_node = static_cast<int>(t);
-      jc.voxel.grid_dim = kGridDim;
-      jc.pool = &pool;
-      const screen::JobReport r = screen::FusionScoringJob(jc).run(items, factory);
+      const screen::JobReport r = screen::FusionScoringJob(jc).run(items, service, "cnn3d");
       std::fprintf(out,
                    "    {\"threads\": %zu, \"workload\": \"poses%d_batch%d_cnn3d\", "
                    "\"poses_per_second\": %.1f}%s\n",
@@ -307,10 +311,8 @@ int emit_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return emit_json("BENCH_speedup.json");
-    if (std::strncmp(argv[i], "--json=", 7) == 0) return emit_json(argv[i] + 7);
-  }
+  const std::string json_path = df::bench::json_flag_path(argc, argv, "BENCH_speedup.json");
+  if (!json_path.empty()) return emit_json(json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

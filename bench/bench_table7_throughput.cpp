@@ -1,21 +1,33 @@
 // Regenerates paper Table 7: throughput of a single Fusion scoring job and
 // of the 125-parallel-job peak. Two layers of evidence:
 //   1. a REAL mini-job run through the screening harness (measured
-//      startup/eval/output phases and per-rank pose rate on this machine);
+//      startup/eval/output phases and per-rank pose rate on this machine),
+//      scored through the shared ScoringService;
 //   2. the calibrated throughput model at paper scale (2M poses, 4 nodes,
 //      batch 56; peak = 125 jobs / 500 nodes), with paper-default phase
 //      constants, reproducing Table 7's rows.
+//
+// Run modes:
+//   bench_table7_throughput                — human-readable table
+//   bench_table7_throughput --json[=PATH]  — also write the measurements to
+//                                            PATH (default
+//                                            BENCH_table7_throughput.json)
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_common.h"
 #include "chem/conformer.h"
 #include "screen/job.h"
 #include "screen/scale_model.h"
+#include "serve/service.h"
 
 using namespace df;
 using namespace df::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = json_flag_path(argc, argv, "BENCH_table7_throughput.json");
+
   print_header("Table 7 — Fusion screening throughput (single job vs peak)");
 
   // --- measured mini-job ---
@@ -37,17 +49,24 @@ int main() {
 
   screen::JobConfig jc;
   jc.nodes = 1;
-  jc.gpus_per_node = 4;  // 4 worker threads = 4 "GPU ranks"
+  jc.gpus_per_node = 4;  // 4 rank clients = 4 "GPU ranks"
   jc.batch_size_per_rank = 56;
-  jc.voxel.grid_dim = kGridDim;
-  screen::FusionScoringJob job(jc);
-  const screen::ModelFactory factory = [] {
+
+  serve::ModelRegistry registry;
+  chem::VoxelConfig voxel;
+  voxel.grid_dim = kGridDim;
+  serve::add_regressor(registry, "sgcnn", [] {
     core::Rng mrng(9);
     return std::make_unique<models::Sgcnn>(bench_sgcnn_config(), mrng);
-  };
+  }, voxel);
+  serve::ServiceConfig sc;
+  sc.workers = jc.nodes * jc.gpus_per_node;  // one replica worker per rank
+  serve::ScoringService service(registry, sc);
+
+  screen::FusionScoringJob job(jc);
   std::printf("running a real mini-job: %d poses, %d ranks...\n", n_poses,
               jc.nodes * jc.gpus_per_node);
-  const screen::JobReport r = job.run(items, factory);
+  const screen::JobReport r = job.run(items, service, "sgcnn");
   const double per_rank = r.poses_per_second / (jc.nodes * jc.gpus_per_node);
   std::printf("\n%-28s %12s\n", "Metric (measured mini-job)", "Value");
   print_rule(44);
@@ -83,5 +102,31 @@ int main() {
               "=> Fusion %.1fx faster than Vina, %.0fx faster than MM/GBSA\n"
               "(paper: ~27 poses/s/node, 2.7x and 403x)\n",
               fusion_per_node, fusion_per_node / 10.0, fusion_per_node / 0.067);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_table7_throughput: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"schema\": \"bench_table7_throughput.v1\",\n"
+                 "  \"measured_mini_job\": {\"poses\": %d, \"ranks\": %d, "
+                 "\"startup_s\": %.4f, \"eval_s\": %.4f, \"output_s\": %.4f, "
+                 "\"poses_per_second\": %.1f, \"poses_per_second_per_rank\": %.2f},\n"
+                 "  \"paper_scale_model\": {\"single_job\": {\"startup_min\": %.1f, "
+                 "\"eval_min\": %.1f, \"output_min\": %.1f, \"poses_per_second\": %.0f}, "
+                 "\"peak_125_jobs\": {\"poses_per_second\": %.0f, \"poses_per_hour\": %.0f, "
+                 "\"compounds_per_hour\": %.0f}}\n"
+                 "}\n",
+                 n_poses, jc.nodes * jc.gpus_per_node, r.startup_seconds, r.eval_seconds,
+                 r.output_seconds, r.poses_per_second, per_rank, single.startup_minutes,
+                 single.eval_minutes, single.output_minutes, single.poses_per_second,
+                 peak.poses_per_second, peak.poses_per_hour, peak.compounds_per_hour);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

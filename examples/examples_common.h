@@ -1,0 +1,59 @@
+// Shared fixtures for the examples: the deterministic demo SG-CNN scorer,
+// the campaign-config boilerplate the screening demos used to duplicate,
+// and the registry/service wiring that turns either into a running
+// ScoringService.
+#pragma once
+
+#include <memory>
+
+#include "models/sgcnn.h"
+#include "screen/campaign.h"
+#include "serve/service.h"
+
+namespace df::examples {
+
+/// Untrained-but-deterministic SG-CNN: same seed -> identical weights on
+/// every replica, so demo screens are reproducible. Swap in a trained
+/// FusionModel factory (see quickstart) for real use.
+inline models::RegressorFactory demo_sgcnn_factory() {
+  return [] {
+    core::Rng rng(99);
+    models::SgcnnConfig cfg;
+    cfg.covalent_gather_width = 12;
+    cfg.noncovalent_gather_width = 24;
+    return std::make_unique<models::Sgcnn>(cfg, rng);
+  };
+}
+
+/// Campaign boilerplate shared by the screening demos: small voxel grid and
+/// short docking runs so the examples finish in seconds.
+inline screen::CampaignConfig demo_campaign_config() {
+  screen::CampaignConfig cfg;
+  cfg.job.voxel.grid_dim = 8;
+  cfg.pipeline.docking.num_runs = 4;
+  cfg.pipeline.docking.steps_per_run = 40;
+  cfg.pipeline.docking.max_poses = 3;
+  cfg.pipeline.rescore_top_n = 1;
+  return cfg;
+}
+
+/// Registry holding the demo SG-CNN under "sgcnn", featurized the way the
+/// campaign's job config says.
+inline serve::ModelRegistry demo_registry(const screen::CampaignConfig& cfg) {
+  serve::ModelRegistry reg;
+  serve::add_regressor(reg, "sgcnn", demo_sgcnn_factory(), cfg.job.voxel, cfg.job.graph);
+  return reg;
+}
+
+/// Ordered-stream service config matching a campaign config — the mode that
+/// preserves the campaign's bit-reproducibility guarantees.
+inline serve::ServiceConfig demo_service_config(const screen::CampaignConfig& cfg,
+                                                int workers = 2) {
+  serve::ServiceConfig sc;
+  sc.workers = workers;
+  sc.poses_per_batch = cfg.job.poses_per_batch;
+  sc.ordered_stream = true;
+  return sc;
+}
+
+}  // namespace df::examples

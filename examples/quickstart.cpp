@@ -1,7 +1,8 @@
 // Quickstart: the smallest end-to-end use of the deepfusion public API.
 //   1. generate a synthetic PDBbind-style corpus,
 //   2. train the two heads and a Coherent Fusion model,
-//   3. predict the binding affinity of a new complex.
+//   3. serve the trained model from a ScoringService and predict the
+//      binding affinity of a new complex through it.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -9,6 +10,7 @@
 #include "data/splits.h"
 #include "models/fusion.h"
 #include "models/trainer.h"
+#include "serve/service.h"
 #include "stats/metrics.h"
 
 using namespace df;
@@ -69,15 +71,45 @@ int main() {
   tc.lr = 1e-4f;
   models::train_model(fusion, train, val, tc);
 
-  // --- 3. evaluate on the held-out core set and predict one complex ---
+  // --- 3. evaluate on the held-out core set ---
   const std::vector<float> preds = models::evaluate(fusion, core);
   const std::vector<float> labels = models::labels_of(core);
   std::printf("\ncore-set RMSE=%.3f  Pearson=%.3f\n", stats::rmse(preds, labels),
               stats::pearson(preds, labels));
 
-  core::Rng frng(0);
-  const data::Sample probe = core.get(0, frng);
-  std::printf("single prediction: predicted pK=%.2f, experimental pK=%.2f\n",
-              fusion.predict(probe), probe.label);
+  // --- 4. serve the trained model: register a replica factory that clones
+  // the trained weights, stand up a ScoringService, and score a held-out
+  // complex through the public submit() API.
+  serve::ModelRegistry registry;
+  const models::RegressorFactory trained_fusion = [&] {
+    core::Rng rrng(123);
+    auto rcnn = std::make_shared<models::Cnn3d>(cnn_cfg, rrng);
+    auto rsg = std::make_shared<models::Sgcnn>(sg_cfg, rrng);
+    auto replica = std::make_unique<models::FusionModel>(fcfg, rcnn, rsg, rrng);
+    models::copy_parameters(*replica, fusion);
+    return replica;
+  };
+  chem::VoxelConfig voxel = dcfg.voxel;
+  serve::add_regressor(registry, "fusion", trained_fusion, voxel);
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  serve::ScoringService service(registry, sc);
+
+  const data::ComplexRecord& probe =
+      records[static_cast<size_t>(data::SyntheticPdbbind::core_indices(records)[0])];
+  serve::ScoreRequest req;
+  req.scorer = "fusion";
+  serve::PoseInput pose;
+  pose.ligand = probe.ligand;
+  pose.pocket = &probe.pocket;
+  pose.site_center = probe.site_center;
+  req.poses.push_back(std::move(pose));
+  const serve::ScoreResponse resp = service.score(std::move(req));
+  if (resp.error != serve::ScoreError::kNone) {
+    std::printf("service error: %s\n", resp.message.c_str());
+    return 1;
+  }
+  std::printf("served prediction for %s: predicted pK=%.2f, experimental pK=%.2f\n",
+              probe.id.c_str(), resp.scores[0], probe.pk);
   return 0;
 }

@@ -10,35 +10,19 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "models/sgcnn.h"
-#include "screen/campaign.h"
+#include "examples_common.h"
 #include "screen/writer.h"
 
 using namespace df;
 
 namespace {
 
-screen::ModelFactory sg_factory() {
-  return [] {
-    core::Rng mrng(99);
-    models::SgcnnConfig mc;
-    mc.covalent_gather_width = 12;
-    mc.noncovalent_gather_width = 24;
-    return std::make_unique<models::Sgcnn>(mc, mrng);
-  };
-}
-
 screen::CampaignConfig base_config(const std::string& dir) {
-  screen::CampaignConfig cfg;
+  screen::CampaignConfig cfg = examples::demo_campaign_config();
   cfg.job.nodes = 8;  // wide jobs: ~20% die per attempt (§4.3)
   cfg.job.gpus_per_node = 1;
-  cfg.job.voxel.grid_dim = 8;
   cfg.job.inject_failures = true;
   cfg.poses_per_job = 12;
-  cfg.pipeline.docking.num_runs = 4;
-  cfg.pipeline.docking.steps_per_run = 40;
-  cfg.pipeline.docking.max_poses = 3;
-  cfg.pipeline.rescore_top_n = 1;
   cfg.output_prefix = dir + "/screen";
   cfg.checkpoint_path = dir + "/campaign.ckpt";
   cfg.checkpoint_every_jobs = 2;
@@ -66,11 +50,17 @@ int main() {
       data::generate_library(data::default_library(data::LibrarySource::Enamine, 10), rng);
   std::printf("library: %zu compounds, %zu targets\n\n", compounds.size(), targets.size());
 
-  // --- reference: uninterrupted run in its own directory ---
+  // One ScoringService outlives all three campaign runs below — warm
+  // replicas carry over, and ordered-stream mode keeps every run on
+  // identical floating-point paths regardless of service worker count.
   auto ref_cfg = base_config(dir + "/ref");
+  const serve::ModelRegistry registry = examples::demo_registry(ref_cfg);
+  serve::ScoringService service(registry, examples::demo_service_config(ref_cfg));
+
+  // --- reference: uninterrupted run in its own directory ---
   std::filesystem::create_directories(dir + "/ref");
   const auto reference =
-      screen::ScreeningCampaign(ref_cfg, targets).run(compounds, sg_factory());
+      screen::ScreeningCampaign(ref_cfg, targets).run(compounds, service, "sgcnn");
   print_summary("uninterrupted", reference);
 
   // --- killed run: dies mid-shard-write halfway through its job attempts ---
@@ -79,7 +69,7 @@ int main() {
   cfg.kill_after_attempts = reference.jobs_run / 2;
   cfg.kill_mid_write = true;
   try {
-    screen::ScreeningCampaign(cfg, targets).run(compounds, sg_factory());
+    screen::ScreeningCampaign(cfg, targets).run(compounds, service, "sgcnn");
     std::printf("ERROR: kill switch never fired\n");
     return 1;
   } catch (const screen::CampaignKilled& e) {
@@ -89,7 +79,8 @@ int main() {
   // --- resume: a fresh "process" picks up checkpoint + shards ---
   cfg.kill_after_attempts = -1;
   cfg.kill_mid_write = false;
-  const auto resumed = screen::ScreeningCampaign(cfg, targets).run(compounds, sg_factory());
+  const auto resumed =
+      screen::ScreeningCampaign(cfg, targets).run(compounds, service, "sgcnn");
   print_summary("resumed", resumed);
 
   // --- verify: bit-identical results, healthy manifest ---

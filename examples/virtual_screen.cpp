@@ -2,16 +2,15 @@
 // paper's §4-5 workflow end to end. Compounds from a ZINC-like library are
 // prepared (salt stripping, pH-7 protonation), docked against the four
 // binding sites with the ConveyorLC-equivalent pipeline, scored by the
-// Fusion model in fault-tolerant multi-rank jobs, and ranked; the top
-// candidates are "sent to the lab" (assay simulator) and the hit rate is
-// reported.
+// shared ScoringService in fault-tolerant multi-rank jobs, and ranked; the
+// top candidates are "sent to the lab" (assay simulator) and the hit rate
+// is reported.
 //
 // Build & run:  ./build/examples/virtual_screen
 #include <algorithm>
 #include <cstdio>
 
-#include "models/sgcnn.h"
-#include "screen/campaign.h"
+#include "examples_common.h"
 
 using namespace df;
 
@@ -29,29 +28,19 @@ int main() {
   std::printf("library: %zu compounds from %s\n\n", compounds.size(),
               data::library_name(compounds.front().source));
 
-  screen::CampaignConfig cfg;
+  screen::CampaignConfig cfg = examples::demo_campaign_config();
   cfg.job.nodes = 1;
   cfg.job.gpus_per_node = 4;
-  cfg.job.voxel.grid_dim = 8;
   cfg.job.inject_failures = true;  // exercise the fault-tolerant path
   cfg.poses_per_job = 128;
-  cfg.pipeline.docking.num_runs = 4;
-  cfg.pipeline.docking.steps_per_run = 40;
-  cfg.pipeline.docking.max_poses = 3;
-  cfg.pipeline.rescore_top_n = 1;
 
-  // Scoring model: an untrained-but-deterministic SG-CNN keeps this example
-  // fast; swap in a trained FusionModel (see quickstart) for real use.
-  const screen::ModelFactory factory = [] {
-    core::Rng mrng(99);
-    models::SgcnnConfig mc;
-    mc.covalent_gather_width = 12;
-    mc.noncovalent_gather_width = 24;
-    return std::make_unique<models::Sgcnn>(mc, mrng);
-  };
+  // Scoring backend: the demo SG-CNN registered as "sgcnn" behind an
+  // ordered-stream ScoringService; the campaign is just one client of it.
+  const serve::ModelRegistry registry = examples::demo_registry(cfg);
+  serve::ScoringService service(registry, examples::demo_service_config(cfg, /*workers=*/4));
 
   screen::ScreeningCampaign campaign(cfg, targets);
-  const screen::CampaignReport report = campaign.run(compounds, factory);
+  const screen::CampaignReport report = campaign.run(compounds, service, "sgcnn");
 
   std::printf("pipeline: %d poses docked, %d rejected compounds, %d jobs (%d failed+retried)\n",
               report.poses_generated, report.compounds_rejected, report.jobs_run,

@@ -8,13 +8,20 @@ namespace df::core {
 
 namespace {
 std::atomic<ThreadPool*> g_compute_pool{nullptr};
+thread_local bool t_serial_compute = false;
 }  // namespace
 
 void set_compute_thread_pool(ThreadPool* pool) { g_compute_pool.store(pool); }
 
 ThreadPool* compute_thread_pool() { return g_compute_pool.load(); }
 
-bool in_pool_worker() { return ThreadPool::this_thread_is_worker(); }
+bool in_pool_worker() { return ThreadPool::this_thread_is_worker() || t_serial_compute; }
+
+SerialComputeScope::SerialComputeScope() : previous_(t_serial_compute) {
+  t_serial_compute = true;
+}
+
+SerialComputeScope::~SerialComputeScope() { t_serial_compute = previous_; }
 
 ComputePoolGuard::ComputePoolGuard(ThreadPool* pool) : previous_(g_compute_pool.exchange(pool)) {}
 

@@ -18,8 +18,27 @@ class ThreadPool;
 void set_compute_thread_pool(ThreadPool* pool);
 ThreadPool* compute_thread_pool();
 
-/// True when the calling thread is a ThreadPool worker (any pool).
+/// True when the calling thread must not fan work out to the shared pool:
+/// either it is a ThreadPool worker (any pool), or it is inside a
+/// SerialComputeScope.
 bool in_pool_worker();
+
+/// Marks the current thread serial-compute for its lifetime: numeric kernels
+/// treat it like a pool worker and never submit to the shared compute pool.
+/// Threads that are peers of the pool rather than owners of it — e.g. a
+/// ScoringService worker scoring batches while campaign ranks block on the
+/// pool — install this so they cannot contend for wait_idle() (the pool
+/// assumes one logical submitter) or deadlock against blocked pool workers.
+class SerialComputeScope {
+ public:
+  SerialComputeScope();
+  ~SerialComputeScope();
+  SerialComputeScope(const SerialComputeScope&) = delete;
+  SerialComputeScope& operator=(const SerialComputeScope&) = delete;
+
+ private:
+  bool previous_;
+};
 
 /// RAII installer for scoped pool sharing (campaign/bench entry points).
 class ComputePoolGuard {

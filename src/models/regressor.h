@@ -5,6 +5,8 @@
 // Fusion converged to batch size 1).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,15 @@
 
 namespace df::models {
 
+// Replica contract: the eval path is NOT const and NOT thread-safe. Even in
+// eval mode, predict()/predict_batch() route through the layer stack's
+// forward(), which rewrites per-layer activation caches in place — two
+// threads sharing one instance corrupt each other's forwards. Every
+// concurrent consumer therefore owns a private replica built from a
+// RegressorFactory (one per worker); serve::ScoringService enforces this
+// with one lazily-built replica per worker thread plus a re-entrancy guard
+// in serve::RegressorScorer that throws if two threads ever enter the same
+// replica.
 class Regressor {
  public:
   virtual ~Regressor() = default;
@@ -21,7 +32,8 @@ class Regressor {
   virtual float forward_train(const data::Sample& s) = 0;
   /// Backward for the most recent forward_train with dLoss/dPrediction.
   virtual void backward(float grad_pred) = 0;
-  /// Eval-mode prediction (no caching, dropout off, running BN stats).
+  /// Eval-mode prediction (dropout off, running BN stats). Mutates layer
+  /// caches — see the replica contract above.
   virtual float predict(const data::Sample& s) = 0;
   /// Eval-mode prediction for a batch of poses. Models whose trunks accept
   /// a batch dimension override this to run one forward per batch instead
@@ -47,5 +59,11 @@ class Regressor {
     return n;
   }
 };
+
+/// Builds one private model replica per concurrent consumer (see the replica
+/// contract above). Factories must be deterministic — same weights on every
+/// call — and safe to invoke from any thread; the serving layer serializes
+/// invocations but relies on call-order independence for reproducibility.
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
 
 }  // namespace df::models

@@ -13,6 +13,7 @@
 #include "screen/checkpoint.h"
 #include "screen/plan.h"
 #include "screen/writer.h"
+#include "serve/service.h"
 
 namespace df::screen {
 
@@ -28,9 +29,30 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& compounds,
                                       const ModelFactory& make_model) {
+  // ModelFactory-era compatibility: wrap the factory as the single scorer of
+  // a private ordered-stream service shaped by this campaign's config.
+  serve::ModelRegistry registry;
+  serve::add_regressor(registry, "campaign", make_model, cfg_.job.voxel, cfg_.job.graph);
+  serve::ServiceConfig sc;
+  const unsigned hw = std::thread::hardware_concurrency();
+  sc.workers = cfg_.threads > 0 ? cfg_.threads : static_cast<int>(hw != 0 ? hw : 1);
+  sc.poses_per_batch = cfg_.job.poses_per_batch;
+  sc.ordered_stream = true;
+  serve::ScoringService service(registry, sc);
+  return run(compounds, service, "campaign");
+}
+
+CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& compounds,
+                                      serve::ScoringService& service,
+                                      const std::string& scorer) {
   CampaignReport report;
   core::Rng rng(cfg_.seed);
 
+  if (!service.config().ordered_stream) {
+    io::log_warn(
+        "campaign: scoring service is not in ordered-stream mode; reports may "
+        "not be bit-reproducible across worker counts or resumes");
+  }
   if (!cfg_.checkpoint_path.empty() && cfg_.output_prefix.empty()) {
     throw std::invalid_argument(
         "campaign: checkpoint_path requires output_prefix — completed units are "
@@ -141,10 +163,11 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
         ck.total_poses != static_cast<int64_t>(work.size()) ||
         ck.units() != static_cast<int64_t>(plan.units.size()) ||
         ck.poses_per_job != cfg_.poses_per_job || ck.nodes != cfg_.job.nodes ||
-        ck.gpus_per_node != cfg_.job.gpus_per_node || ck.num_shards != num_shards) {
+        ck.gpus_per_node != cfg_.job.gpus_per_node || ck.num_shards != num_shards ||
+        ck.scoring_batch != service.config().poses_per_batch) {
       throw std::runtime_error(
-          "campaign: checkpoint does not match this campaign (seed, library, plan or "
-          "job geometry changed): " + cfg_.checkpoint_path);
+          "campaign: checkpoint does not match this campaign (seed, library, plan, "
+          "job geometry or scoring batch size changed): " + cfg_.checkpoint_path);
     }
     status = ck.unit_status;
     attempts = ck.unit_attempts;
@@ -223,6 +246,7 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
     ck.nodes = cfg_.job.nodes;
     ck.gpus_per_node = cfg_.job.gpus_per_node;
     ck.num_shards = num_shards;
+    ck.scoring_batch = service.config().poses_per_batch;
     ck.unit_status = status;
     ck.unit_attempts = attempts;
     save_campaign_checkpoint(ck, cfg_.checkpoint_path);
@@ -254,7 +278,7 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
         jc.doomed_rank = injector->doomed_rank(cfg_.seed, unit.id, attempt, jc.nodes, unit.ranks);
       }
       FusionScoringJob job(jc);
-      const JobReport jr = job.run(chunk, make_model);
+      const JobReport jr = job.run(chunk, service, scorer);
       ++attempts[unit.id];
       ++attempts_this_run;
       if (jr.failed) {

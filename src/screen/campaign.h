@@ -1,7 +1,8 @@
 // End-to-end screening campaign (paper §4-§5): a compound library is docked
 // against the four SARS-CoV-2 sites with the ConveyorLC-equivalent
-// pipeline, docked poses are scored by the Fusion model in fault-tolerant
-// jobs (failed jobs are resubmitted — "another job takes its place"), and
+// pipeline, docked poses are scored through the shared serve::ScoringService
+// in fault-tolerant jobs (failed jobs are resubmitted — "another job takes
+// its place"), and
 // per-compound predictions are aggregated by the paper's rule: the
 // strongest prediction across poses per binding site (max for Fusion, min
 // for Vina/MM-GBSA). The assay simulator then produces the experimental
@@ -27,6 +28,10 @@
 #include "dock/mmgbsa.h"
 #include "screen/cluster.h"
 #include "screen/job.h"
+
+namespace df::serve {
+class ScoringService;
+}
 
 namespace df::screen {
 
@@ -97,13 +102,27 @@ class ScreeningCampaign {
   ScreeningCampaign(CampaignConfig cfg, std::vector<data::Target> targets)
       : cfg_(std::move(cfg)), targets_(std::move(targets)) {}
 
-  /// Screen `compounds` against every target. `make_model` builds the
-  /// fusion scorer per rank. The AMPL surrogate is fitted per target on the
-  /// MM/GBSA-rescored poses encountered during the run. If
-  /// `checkpoint_path` names an existing checkpoint, the campaign resumes:
-  /// completed units are recovered from the shards, everything else re-runs
-  /// on its original RNG streams, and the returned report is bit-identical
-  /// to an uninterrupted run (timing fields aside).
+  /// Screen `compounds` against every target, scoring poses through
+  /// `service` with the named scorer — the campaign is one client among
+  /// possibly many of a shared ScoringService. The AMPL surrogate is fitted
+  /// per target on the MM/GBSA-rescored poses encountered during the run.
+  /// If `checkpoint_path` names an existing checkpoint, the campaign
+  /// resumes: completed units are recovered from the shards, everything
+  /// else re-runs on its original RNG streams, and the returned report is
+  /// bit-identical to an uninterrupted run (timing fields aside).
+  ///
+  /// Determinism contract: those bit-identical guarantees (and the
+  /// determinism/resume pins of PR 2) additionally require the service to
+  /// run in ordered-stream mode with a deterministic scorer factory; a
+  /// non-ordered service is accepted but logged, and reports may then vary
+  /// at the floating-point-bit level with batching.
+  CampaignReport run(const std::vector<data::LibraryCompound>& compounds,
+                     serve::ScoringService& service, const std::string& scorer);
+
+  /// Compatibility path for ModelFactory-era callers: registers
+  /// `make_model` as the one scorer of a private, ordered-stream
+  /// ScoringService (workers = `threads`, micro-batch = job.poses_per_batch,
+  /// featurization from job.voxel/job.graph) and runs through it.
   CampaignReport run(const std::vector<data::LibraryCompound>& compounds,
                      const ModelFactory& make_model);
 

@@ -7,7 +7,7 @@
 namespace df::screen {
 
 namespace {
-constexpr int64_t kCheckpointSchema = 1;
+constexpr int64_t kCheckpointSchema = 2;  // v2: + scoring_batch in geometry
 }  // namespace
 
 void save_campaign_checkpoint(const CampaignCheckpoint& ck, const std::string& path) {
@@ -19,7 +19,8 @@ void save_campaign_checkpoint(const CampaignCheckpoint& ck, const std::string& p
   f.put_ints("campaign_seed", {1}, {static_cast<int64_t>(ck.campaign_seed)});
   f.put_ints("library_fingerprint", {1}, {static_cast<int64_t>(ck.library_fingerprint)});
   f.put_ints("total_poses", {1}, {ck.total_poses});
-  f.put_ints("geometry", {4}, {ck.poses_per_job, ck.nodes, ck.gpus_per_node, ck.num_shards});
+  f.put_ints("geometry", {5},
+             {ck.poses_per_job, ck.nodes, ck.gpus_per_node, ck.num_shards, ck.scoring_batch});
   f.put_ints("unit_status", {ck.units()}, ck.unit_status);
   f.put_ints("unit_attempts", {ck.units()}, ck.unit_attempts);
   f.save_atomic(path);
@@ -35,13 +36,14 @@ CampaignCheckpoint load_campaign_checkpoint(const std::string& path) {
   ck.library_fingerprint = static_cast<uint64_t>(f.get("library_fingerprint").ints().at(0));
   ck.total_poses = f.get("total_poses").ints().at(0);
   const auto& geom = f.get("geometry").ints();
-  if (geom.size() != 4) {
+  if (geom.size() != 5) {
     throw std::runtime_error("campaign checkpoint: malformed geometry in " + path);
   }
   ck.poses_per_job = geom[0];
   ck.nodes = geom[1];
   ck.gpus_per_node = geom[2];
   ck.num_shards = geom[3];
+  ck.scoring_batch = geom[4];
   ck.unit_status = f.get("unit_status").ints();
   ck.unit_attempts = f.get("unit_attempts").ints();
   if (ck.unit_status.size() != ck.unit_attempts.size()) {

@@ -32,6 +32,12 @@ struct CampaignCheckpoint {
   int64_t nodes = 0;
   int64_t gpus_per_node = 0;
   int64_t num_shards = 0;
+  // Scoring-service micro-batch size (ordered-stream chunk boundaries).
+  // Batch composition feeds floating-point summation order, so resuming
+  // under a different batch size would mix old-boundary bits (recovered
+  // from shards) with new-boundary bits (re-run units) — rejected like the
+  // rest of the geometry.
+  int64_t scoring_batch = 0;
   std::vector<int64_t> unit_status;    // UnitStatus per work unit
   std::vector<int64_t> unit_attempts;  // job attempts consumed per unit
 

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "core/rng.h"
 #include "core/threadpool.h"
 #include "io/log.h"
 #include "screen/writer.h"
+#include "serve/service.h"
 
 namespace df::screen {
 
@@ -19,7 +22,8 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 JobReport FusionScoringJob::run(const std::vector<PoseWorkItem>& items,
-                                const ModelFactory& make_model) const {
+                                serve::ScoringService& service,
+                                const std::string& scorer) const {
   JobReport report;
   const int ranks = cfg_.nodes * cfg_.gpus_per_node;
   core::Rng job_rng(cfg_.seed);
@@ -33,20 +37,15 @@ JobReport FusionScoringJob::run(const std::vector<PoseWorkItem>& items,
     doomed_rank = static_cast<int>(job_rng.randint(0, ranks - 1));
   }
 
-  // --- startup phase: construct per-rank models + featurizers (the
-  // paper's 20 minutes of module loading and model placement).
+  // --- startup phase: make sure every service worker holds a replica of the
+  // scorer (the paper's 20 minutes of module loading and model placement —
+  // paid once per service, not once per job).
   auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::unique_ptr<models::Regressor>> rank_models;
-  rank_models.reserve(static_cast<size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) {
-    rank_models.push_back(make_model());
-    rank_models.back()->set_training(false);
-  }
-  const chem::Voxelizer voxelizer(cfg_.voxel);
-  const chem::GraphFeaturizer featurizer(cfg_.graph);
+  service.warmup(scorer);
   report.startup_seconds = seconds_since(t0);
 
-  // --- evaluation phase: each rank scores its contiguous slice in batches.
+  // --- evaluation phase: each rank streams its contiguous slice to the
+  // service and awaits the scores.
   t0 = std::chrono::steady_clock::now();
   struct RankOutput {
     std::vector<int64_t> compound, target, pose;
@@ -54,59 +53,68 @@ JobReport FusionScoringJob::run(const std::vector<PoseWorkItem>& items,
     bool died = false;
   };
   std::vector<RankOutput> per_rank(static_cast<size_t>(ranks));
-  const size_t batch_cap = static_cast<size_t>(std::max(1, cfg_.poses_per_batch));
   const auto run_rank = [&](int r) {
     RankOutput& out = per_rank[static_cast<size_t>(r)];
+    // A doomed rank takes its whole share down with it — node failures don't
+    // care how much work was assigned, and a failed job flushes nothing.
+    if (r == doomed_rank) {
+      out.died = true;
+      return;
+    }
     const size_t n = items.size();
     const size_t lo = n * static_cast<size_t>(r) / static_cast<size_t>(ranks);
     const size_t hi = n * static_cast<size_t>(r + 1) / static_cast<size_t>(ranks);
-    models::Regressor& model = *rank_models[static_cast<size_t>(r)];
-    // A doomed rank dies halfway through its share (immediately if the
-    // share is empty or a single pose — node failures don't care how much
-    // work was assigned).
-    const size_t die_at = (hi - lo) / 2;
-    // Featurize into a pose batch and score `poses_per_batch` poses per
-    // model forward — the conv/dense trunks amortize one gemm per batch.
-    std::vector<data::Sample> batch;
-    batch.reserve(std::min(batch_cap, hi - lo));
-    const auto flush = [&] {
-      if (batch.empty()) return;
-      std::vector<const data::Sample*> ptrs;
-      ptrs.reserve(batch.size());
-      for (const data::Sample& s : batch) ptrs.push_back(&s);
-      const std::vector<float> preds = model.predict_batch(ptrs);
-      out.pred.insert(out.pred.end(), preds.begin(), preds.end());
-      batch.clear();
-    };
+    if (lo == hi) return;
+    serve::ScoreRequest req;
+    req.scorer = scorer;
+    req.client = "rank" + std::to_string(r);
+    req.poses.reserve(hi - lo);
     for (size_t i = lo; i < hi; ++i) {
-      if (r == doomed_rank && (i - lo) == die_at) {
-        out.died = true;
-        return;
-      }
       const PoseWorkItem& item = items[i];
-      data::Sample s;
-      s.voxel = voxelizer.voxelize(item.ligand, *item.pocket, item.site_center);
-      s.graph = featurizer.featurize(item.ligand, *item.pocket);
-      s.label = 0.0f;
+      serve::PoseInput pose;
+      pose.ligand = item.ligand;
+      pose.pocket = item.pocket;
+      pose.site_center = item.site_center;
+      req.poses.push_back(std::move(pose));
       out.compound.push_back(item.compound_id);
       out.target.push_back(item.target_id);
       out.pose.push_back(item.pose_id);
-      batch.push_back(std::move(s));
-      if (batch.size() >= batch_cap) flush();
     }
-    flush();
-    if (r == doomed_rank && lo == hi) out.died = true;  // empty-share rank still dies
+    serve::ScoreResponse resp = service.submit(std::move(req)).get();
+    if (resp.error != serve::ScoreError::kNone) {
+      throw std::runtime_error("scoring service error (" +
+                               std::string(serve::score_error_name(resp.error)) +
+                               ") for rank " + std::to_string(r) + ": " + resp.message);
+    }
+    out.pred = std::move(resp.scores);
   };
   if (cfg_.pool != nullptr) {
-    // Shared pool: ranks become pool jobs; a rank that throws surfaces at
-    // the wait_idle join instead of taking the process down.
+    // Shared pool: rank clients become pool jobs; a rank that throws
+    // surfaces at the wait_idle join instead of taking the process down.
+    // Ranks block on service futures, but service workers are independent
+    // threads, so a full pool still makes progress.
     for (int r = 0; r < ranks; ++r) cfg_.pool->submit([&run_rank, r] { run_rank(r); });
     cfg_.pool->wait_idle();
   } else {
+    // Raw threads: capture the first rank exception and rethrow at the
+    // join, mirroring the pool path — an uncaught throw in a std::thread
+    // would terminate the process.
+    std::mutex error_mu;
+    std::exception_ptr first_error;
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(ranks));
-    for (int r = 0; r < ranks; ++r) threads.emplace_back([&run_rank, r] { run_rank(r); });
+    for (int r = 0; r < ranks; ++r) {
+      threads.emplace_back([&run_rank, &error_mu, &first_error, r] {
+        try {
+          run_rank(r);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
     for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
   report.eval_seconds = seconds_since(t0);
 

@@ -1,25 +1,28 @@
 // One Fusion scoring job (paper Fig. 3): a fixed set of poses is divided
-// across ranks (nodes x GPUs, one worker thread per rank here); each rank
-// featurizes and scores its subset in batches, results are allgathered and
-// written in parallel. Failure injection reproduces the §4.3 instability,
-// and — like the real pipeline — a failed job writes nothing (results are
-// only flushed after scoring completes), so reruns are idempotent.
+// across ranks (nodes x GPUs, one client per rank here); each rank streams
+// its subset to the shared serve::ScoringService, which featurizes and
+// scores it in micro-batches on per-worker model replicas. Results are
+// allgathered and written in parallel. Failure injection reproduces the
+// §4.3 instability, and — like the real pipeline — a failed job writes
+// nothing (results are only flushed after scoring completes), so reruns are
+// idempotent.
 #pragma once
 
-#include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "chem/graph_featurizer.h"
 #include "chem/voxelizer.h"
-#include "data/dataset.h"
 #include "models/regressor.h"
 #include "screen/cluster.h"
 
 namespace df::core {
 class ThreadPool;
+}
+
+namespace df::serve {
+class ScoringService;
 }
 
 namespace df::screen {
@@ -36,7 +39,7 @@ struct PoseWorkItem {
 struct JobConfig {
   int nodes = 4;
   int gpus_per_node = 4;           // ranks = nodes * gpus_per_node
-  int batch_size_per_rank = 56;
+  int batch_size_per_rank = 56;    // recorded; throughput model consumes it
   int loaders_per_rank = 12;       // recorded; throughput model consumes it
   uint64_t seed = 99;
   bool inject_failures = false;    // sample §4.3 failure probabilities
@@ -45,11 +48,12 @@ struct JobConfig {
   // inject_failures, keeping all fault randomness keyed on stable work-unit
   // ids instead of per-job engine state.
   std::optional<int> doomed_rank;
-  int poses_per_batch = 32;        // poses per model forward inside a rank
-  core::ThreadPool* pool = nullptr;  // shared worker pool (not owned); ranks
-                                     // run as pool jobs when set, as raw
-                                     // std::threads otherwise
-  chem::VoxelConfig voxel;
+  int poses_per_batch = 32;        // service micro-batch size built from this
+                                   // config (campaign compat path)
+  core::ThreadPool* pool = nullptr;  // shared worker pool (not owned); rank
+                                     // clients run as pool jobs when set, as
+                                     // raw std::threads otherwise
+  chem::VoxelConfig voxel;         // featurization of the compat-path scorer
   chem::GraphFeaturizerConfig graph;
   std::string output_prefix;       // empty = don't write files
 };
@@ -58,7 +62,8 @@ struct JobReport {
   bool failed = false;
   int failed_rank = -1;
   int poses_scored = 0;
-  double startup_seconds = 0;
+  double startup_seconds = 0;      // service warmup (replica construction);
+                                   // ~0 once the service is warm
   double eval_seconds = 0;
   double output_seconds = 0;
   double poses_per_second = 0;     // eval-phase rate
@@ -70,15 +75,23 @@ struct JobReport {
   std::vector<std::string> output_files;
 };
 
-/// Builds one model instance per rank (ranks run concurrently and models
-/// carry forward caches, so they cannot be shared).
-using ModelFactory = std::function<std::unique_ptr<models::Regressor>()>;
+/// Per-replica model builder — the legacy name for models::RegressorFactory,
+/// kept for the campaign's compatibility overload (serve::add_regressor is
+/// the registry-native way to plug one in).
+using ModelFactory = models::RegressorFactory;
 
 class FusionScoringJob {
  public:
   explicit FusionScoringJob(JobConfig cfg) : cfg_(std::move(cfg)) {}
 
-  JobReport run(const std::vector<PoseWorkItem>& items, const ModelFactory& make_model) const;
+  /// Score `items` through `service` with the named scorer. The job is a
+  /// client: ranks submit contiguous pose slices and await their futures;
+  /// the service owns featurization, batching and model replicas. A service
+  /// in ordered-stream mode makes the predictions bit-reproducible at any
+  /// service worker count. Service-side typed errors (unknown scorer,
+  /// shutdown, scorer failure) surface as std::runtime_error.
+  JobReport run(const std::vector<PoseWorkItem>& items, serve::ScoringService& service,
+                const std::string& scorer) const;
 
   const JobConfig& config() const { return cfg_; }
 

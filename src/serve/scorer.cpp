@@ -1,0 +1,77 @@
+#include "serve/scorer.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dock/scoring.h"
+
+namespace df::serve {
+
+ReplicaGuard::ReplicaGuard(std::atomic<bool>& busy) : busy_(busy) {
+  if (busy_.exchange(true, std::memory_order_acquire)) {
+    throw std::logic_error(
+        "scorer replica entered concurrently — replicas are single-threaded; "
+        "build one per worker (see models/regressor.h replica contract)");
+  }
+}
+
+ReplicaGuard::~ReplicaGuard() { busy_.store(false, std::memory_order_release); }
+
+namespace {
+
+/// The built-in backends all dereference the borrowed pocket; turn a
+/// client's forgotten pointer into the service's typed kScorerFailure
+/// instead of a process-killing segfault.
+const std::vector<chem::Atom>& pocket_of(const PoseInput& pose, const std::string& scorer) {
+  if (pose.pocket == nullptr) {
+    throw std::invalid_argument("scorer '" + scorer + "': pose has a null pocket pointer");
+  }
+  return *pose.pocket;
+}
+
+}  // namespace
+
+RegressorScorer::RegressorScorer(std::string name, std::unique_ptr<models::Regressor> model,
+                                 const chem::VoxelConfig& voxel,
+                                 const chem::GraphFeaturizerConfig& graph)
+    : name_(std::move(name)), model_(std::move(model)), voxelizer_(voxel), featurizer_(graph) {
+  model_->set_training(false);
+}
+
+std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& poses) {
+  ReplicaGuard guard(busy_);
+  std::vector<data::Sample> batch;
+  batch.reserve(poses.size());
+  for (const PoseInput* p : poses) {
+    const std::vector<chem::Atom>& pocket = pocket_of(*p, name_);
+    data::Sample s;
+    s.voxel = voxelizer_.voxelize(p->ligand, pocket, p->site_center);
+    s.graph = featurizer_.featurize(p->ligand, pocket);
+    batch.push_back(std::move(s));
+  }
+  std::vector<const data::Sample*> ptrs;
+  ptrs.reserve(batch.size());
+  for (const data::Sample& s : batch) ptrs.push_back(&s);
+  return model_->predict_batch(ptrs);
+}
+
+std::vector<float> VinaPkScorer::score(const std::vector<const PoseInput*>& poses) {
+  std::vector<float> out;
+  out.reserve(poses.size());
+  for (const PoseInput* p : poses) {
+    out.push_back(
+        dock::score_to_pk(dock::vina_score(p->ligand, pocket_of(*p, "vina_pk"), weights_)));
+  }
+  return out;
+}
+
+std::vector<float> MmGbsaScorer::score(const std::vector<const PoseInput*>& poses) {
+  std::vector<float> out;
+  out.reserve(poses.size());
+  for (const PoseInput* p : poses) {
+    out.push_back(dock::mmgbsa_score(p->ligand, pocket_of(*p, "mmgbsa"), cfg_));
+  }
+  return out;
+}
+
+}  // namespace df::serve

@@ -1,0 +1,116 @@
+// Scorer — the unit of model serving. A Scorer turns a micro-batch of
+// docked poses into one score per pose; every backend the paper's pipeline
+// compares (Fusion / SG-CNN / 3D-CNN nets, the published-baseline CNNs,
+// Vina docking scores converted to pK, MM/GBSA rescoring) sits behind this
+// one interface so the ScoringService can serve them all uniformly.
+//
+// A Scorer instance is a *replica*: it may carry mutable state (featurizer
+// scratch, layer activation caches) and is only ever entered by one thread
+// at a time. The service builds one replica per worker from a
+// ModelRegistry factory; sharing a replica across threads is a bug, and
+// RegressorScorer turns that bug into a thrown error instead of silent
+// corruption.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chem/graph_featurizer.h"
+#include "chem/molecule.h"
+#include "chem/voxelizer.h"
+#include "core/vec3.h"
+#include "dock/mmgbsa.h"
+#include "models/regressor.h"
+
+namespace df::serve {
+
+/// One docked pose to score: a posed ligand conformer plus the (borrowed)
+/// receptor pocket it was docked into. The pocket pointer must outlive the
+/// request it rides in. Ownership is deliberately asymmetric: ligands are
+/// small and per-pose, so the request owns a copy and stays valid however
+/// long it queues; pockets are hundreds of atoms shared by thousands of
+/// poses of the same target, so they are borrowed.
+struct PoseInput {
+  chem::Molecule ligand;
+  const std::vector<chem::Atom>* pocket = nullptr;
+  core::Vec3 site_center;
+};
+
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Score a micro-batch, one result per pose in order. Called by exactly
+  /// one thread at a time (the replica contract); the batch may mix poses
+  /// from different clients.
+  virtual std::vector<float> score(const std::vector<const PoseInput*>& poses) = 0;
+};
+
+/// Throws std::logic_error when two threads enter the same replica
+/// concurrently — the enforcement half of the Regressor replica contract
+/// (models/regressor.h). Zero cost beyond one relaxed atomic flip per batch.
+class ReplicaGuard {
+ public:
+  explicit ReplicaGuard(std::atomic<bool>& busy);
+  ~ReplicaGuard();
+  ReplicaGuard(const ReplicaGuard&) = delete;
+  ReplicaGuard& operator=(const ReplicaGuard&) = delete;
+
+ private:
+  std::atomic<bool>& busy_;
+};
+
+/// Neural-net backend: featurizes each pose (voxel grid + spatial graph)
+/// and runs the model's batched eval path — the per-rank "featurize and
+/// score" loop of paper Fig. 3, packaged as a replica.
+class RegressorScorer : public Scorer {
+ public:
+  RegressorScorer(std::string name, std::unique_ptr<models::Regressor> model,
+                  const chem::VoxelConfig& voxel, const chem::GraphFeaturizerConfig& graph);
+
+  std::string name() const override { return name_; }
+  std::vector<float> score(const std::vector<const PoseInput*>& poses) override;
+
+ private:
+  std::string name_;
+  std::unique_ptr<models::Regressor> model_;
+  chem::Voxelizer voxelizer_;
+  chem::GraphFeaturizer featurizer_;
+  std::atomic<bool> busy_{false};
+};
+
+/// Empirical docking backend: Vina functional form converted to predicted
+/// pK — the cheap end of the paper's three-way cost comparison.
+class VinaPkScorer : public Scorer {
+ public:
+  explicit VinaPkScorer(dock::VinaWeights weights = {}) : weights_(weights) {}
+
+  std::string name() const override { return "vina_pk"; }
+  std::vector<float> score(const std::vector<const PoseInput*>& poses) override;
+
+ private:
+  dock::VinaWeights weights_;
+};
+
+/// Physics rescoring backend: single-point MM/GBSA per pose (kcal/mol,
+/// negative = better). Orders of magnitude slower than the nets — it lives
+/// under its own name so its poses never share (and thus stall) a Fusion
+/// micro-batch; the batcher dispatches ready batches of other scorers
+/// ahead of a partial MM/GBSA head. Worker time is still shared FIFO, so
+/// give sustained heavy rescoring traffic its own service instance.
+class MmGbsaScorer : public Scorer {
+ public:
+  explicit MmGbsaScorer(dock::MmGbsaConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string name() const override { return "mmgbsa"; }
+  std::vector<float> score(const std::vector<const PoseInput*>& poses) override;
+
+ private:
+  dock::MmGbsaConfig cfg_;
+};
+
+}  // namespace df::serve

@@ -1,0 +1,616 @@
+// ScoringService / ModelRegistry pins: batch scoring must equal per-pose
+// scoring for every model family, ordered-stream mode must be bitwise
+// deterministic at any worker count with any number of concurrent clients,
+// the bounded queue must apply backpressure (or fail fast, typed), and the
+// campaign must produce identical reports whether it builds its own service
+// (ModelFactory compatibility path) or runs as a client of an external one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "campaign_test_utils.h"
+#include "chem/conformer.h"
+#include "data/target.h"
+#include "models/cnn3d.h"
+#include "models/fusion.h"
+#include "models/sgcnn.h"
+#include "serve/service.h"
+
+namespace df {
+namespace {
+
+using core::Rng;
+
+constexpr float kTol = 1e-4f;
+
+// ---- fixtures -----------------------------------------------------------
+
+chem::VoxelConfig tiny_voxel() {
+  chem::VoxelConfig cfg;
+  cfg.grid_dim = 8;
+  return cfg;
+}
+
+models::Cnn3dConfig tiny_cnn_cfg() {
+  models::Cnn3dConfig cfg;
+  cfg.grid_dim = 8;
+  cfg.conv_filters1 = 4;
+  cfg.conv_filters2 = 8;
+  cfg.dense_nodes = 16;
+  return cfg;
+}
+
+models::SgcnnConfig tiny_sg_cfg() {
+  models::SgcnnConfig cfg;
+  cfg.covalent_k = 2;
+  cfg.noncovalent_k = 2;
+  cfg.covalent_gather_width = 8;
+  cfg.noncovalent_gather_width = 16;
+  return cfg;
+}
+
+std::vector<serve::PoseInput> make_poses(int n, const std::vector<chem::Atom>* pocket,
+                                         Rng& rng) {
+  std::vector<serve::PoseInput> poses;
+  poses.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    chem::Molecule lig = chem::generate_molecule({}, rng);
+    chem::embed_conformer(lig, rng);
+    lig.translate(core::Vec3{} - lig.centroid());
+    serve::PoseInput p;
+    p.ligand = std::move(lig);
+    p.pocket = pocket;
+    poses.push_back(std::move(p));
+  }
+  return poses;
+}
+
+/// The four model families of the paper, as tiny deterministic factories.
+std::vector<std::pair<std::string, models::RegressorFactory>> family_factories() {
+  return {
+      {"cnn3d",
+       [] {
+         Rng rng(41);
+         return std::make_unique<models::Cnn3d>(tiny_cnn_cfg(), rng);
+       }},
+      {"sgcnn",
+       [] {
+         Rng rng(42);
+         return std::make_unique<models::Sgcnn>(tiny_sg_cfg(), rng);
+       }},
+      {"fusion",
+       [] {
+         Rng rng(43);
+         auto cnn = std::make_shared<models::Cnn3d>(tiny_cnn_cfg(), rng);
+         auto sg = std::make_shared<models::Sgcnn>(tiny_sg_cfg(), rng);
+         models::FusionConfig fcfg;
+         fcfg.kind = models::FusionKind::Mid;
+         fcfg.model_specific_layers = true;
+         fcfg.fusion_nodes = 12;
+         return std::make_unique<models::FusionModel>(fcfg, cnn, sg, rng);
+       }},
+      {"late_fusion",
+       [] {
+         Rng rng(44);
+         auto cnn = std::make_shared<models::Cnn3d>(tiny_cnn_cfg(), rng);
+         auto sg = std::make_shared<models::Sgcnn>(tiny_sg_cfg(), rng);
+         return std::make_unique<models::LateFusion>(std::move(cnn), std::move(sg));
+       }},
+  };
+}
+
+serve::ModelRegistry family_registry() {
+  serve::ModelRegistry reg;
+  for (auto& [name, factory] : family_factories()) {
+    serve::add_regressor(reg, name, factory, tiny_voxel());
+  }
+  return reg;
+}
+
+// Test doubles: a scorer that blocks on an external gate (queue-shape
+// control) and one that always throws (typed-error path).
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+};
+
+class GatedScorer : public serve::Scorer {
+ public:
+  explicit GatedScorer(std::shared_ptr<Gate> gate) : gate_(std::move(gate)) {}
+  std::string name() const override { return "gated"; }
+  std::vector<float> score(const std::vector<const serve::PoseInput*>& poses) override {
+    gate_->wait();
+    return std::vector<float>(poses.size(), 1.0f);
+  }
+
+ private:
+  std::shared_ptr<Gate> gate_;
+};
+
+class ThrowingScorer : public serve::Scorer {
+ public:
+  std::string name() const override { return "throwing"; }
+  std::vector<float> score(const std::vector<const serve::PoseInput*>&) override {
+    throw std::runtime_error("boom: model exploded");
+  }
+};
+
+// ---- registry -----------------------------------------------------------
+
+TEST(Registry, RegisterMakeContainsNames) {
+  serve::ModelRegistry reg = family_registry();
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_TRUE(reg.contains("cnn3d"));
+  EXPECT_FALSE(reg.contains("vina_pk"));
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "cnn3d");  // sorted
+  auto scorer = reg.make("sgcnn");
+  ASSERT_NE(scorer, nullptr);
+  EXPECT_EQ(scorer->name(), "sgcnn");
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  serve::ModelRegistry reg;
+  reg.add("x", [] { return std::make_unique<serve::VinaPkScorer>(); });
+  EXPECT_THROW(reg.add("x", [] { return std::make_unique<serve::VinaPkScorer>(); }),
+               std::invalid_argument);
+}
+
+TEST(Registry, UnknownMakeThrows) {
+  serve::ModelRegistry reg;
+  EXPECT_THROW(reg.make("nope"), std::out_of_range);
+}
+
+TEST(Registry, DefaultRegistryServesEveryBackendFamily) {
+  Rng rng(9);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  serve::ModelRegistry reg = serve::default_registry(tiny_voxel());
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  serve::ScoringService service(reg, sc);
+  for (const std::string& name : reg.names()) {
+    serve::ScoreRequest req;
+    req.scorer = name;
+    req.poses = make_poses(2, &pocket, rng);
+    const serve::ScoreResponse resp = service.score(std::move(req));
+    ASSERT_EQ(resp.error, serve::ScoreError::kNone) << name << ": " << resp.message;
+    ASSERT_EQ(resp.scores.size(), 2u) << name;
+    for (float s : resp.scores) EXPECT_TRUE(std::isfinite(s)) << name;
+  }
+}
+
+// ---- batch ≡ per-pose ---------------------------------------------------
+
+TEST(BatchEquivalence, RandomizedBatchesMatchPerPoseForAllFamilies) {
+  Rng rng(31);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  const auto poses = make_poses(11, &pocket, rng);
+
+  const chem::Voxelizer voxelizer(tiny_voxel());
+  const chem::GraphFeaturizer featurizer{chem::GraphFeaturizerConfig{}};
+  std::vector<data::Sample> samples;
+  for (const auto& p : poses) {
+    data::Sample s;
+    s.voxel = voxelizer.voxelize(p.ligand, *p.pocket, p.site_center);
+    s.graph = featurizer.featurize(p.ligand, *p.pocket);
+    samples.push_back(std::move(s));
+  }
+
+  for (auto& [name, factory] : family_factories()) {
+    auto model = factory();
+    model->set_training(false);
+    std::vector<float> single;
+    for (const auto& s : samples) single.push_back(model->predict(s));
+    // Random partitions of the pose set, several rounds: every batch shape
+    // must reproduce the per-pose predictions.
+    for (int round = 0; round < 3; ++round) {
+      size_t i = 0;
+      while (i < samples.size()) {
+        const size_t width = 1 + rng.randint(0, 4);
+        const size_t end = std::min(samples.size(), i + width);
+        std::vector<const data::Sample*> batch;
+        for (size_t j = i; j < end; ++j) batch.push_back(&samples[j]);
+        const std::vector<float> preds = model->predict_batch(batch);
+        ASSERT_EQ(preds.size(), end - i);
+        for (size_t j = i; j < end; ++j) {
+          EXPECT_NEAR(preds[j - i], single[j], kTol)
+              << name << " pose " << j << " batch width " << (end - i);
+        }
+        i = end;
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, ServiceMatchesDirectScorer) {
+  Rng rng(32);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 3;
+  sc.poses_per_batch = 4;  // force multi-batch requests
+  serve::ScoringService service(reg, sc);
+  for (const std::string& name : {std::string("cnn3d"), std::string("fusion")}) {
+    auto reference = reg.make(name);
+    serve::ScoreRequest req;
+    req.scorer = name;
+    req.poses = make_poses(9, &pocket, rng);
+    std::vector<float> expected;
+    for (const auto& p : req.poses) {
+      const serve::PoseInput* ptr = &p;
+      expected.push_back(reference->score({ptr})[0]);
+    }
+    const serve::ScoreResponse resp = service.score(std::move(req));
+    ASSERT_EQ(resp.error, serve::ScoreError::kNone) << resp.message;
+    ASSERT_EQ(resp.scores.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(resp.scores[i], expected[i], kTol) << name << " pose " << i;
+    }
+  }
+}
+
+// ---- determinism --------------------------------------------------------
+
+TEST(OrderedStream, BitIdenticalAcrossWorkerCountsAndConcurrentClients) {
+  Rng rng(33);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  constexpr int kClients = 3;
+  std::vector<std::vector<serve::PoseInput>> client_poses;
+  for (int c = 0; c < kClients; ++c) client_poses.push_back(make_poses(10, &pocket, rng));
+
+  // cnn3d runs one batched trunk per micro-batch, so chunk boundaries feed
+  // the floating-point path — exactly what ordered-stream mode pins down.
+  const auto run_config = [&](int workers) {
+    serve::ModelRegistry reg = family_registry();
+    serve::ServiceConfig sc;
+    sc.workers = workers;
+    sc.poses_per_batch = 4;  // 10-pose requests split 4/4/2
+    sc.ordered_stream = true;
+    serve::ScoringService service(reg, sc);
+    std::vector<std::vector<float>> scores(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::ScoreRequest req;
+        req.scorer = "cnn3d";
+        req.client = "client" + std::to_string(c);
+        req.poses = client_poses[static_cast<size_t>(c)];
+        scores[static_cast<size_t>(c)] = service.score(std::move(req)).scores;
+      });
+    }
+    for (auto& t : clients) t.join();
+    return scores;
+  };
+
+  const auto narrow = run_config(1);
+  const auto wide = run_config(4);
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(narrow[static_cast<size_t>(c)].size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      // EXPECT_EQ on floats is exact — bitwise for finite values.
+      EXPECT_EQ(narrow[static_cast<size_t>(c)][i], wide[static_cast<size_t>(c)][i])
+          << "client " << c << " pose " << i;
+    }
+  }
+}
+
+// ---- batching / queue behavior ------------------------------------------
+
+TEST(Service, CoalescesSmallRequestsAcrossClients) {
+  Rng rng(34);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.poses_per_batch = 8;
+  sc.flush_deadline_ms = 200.0;  // generous window: the 4 submits land inside it
+  serve::ScoringService service(reg, sc);
+
+  std::vector<std::future<serve::ScoreResponse>> futures;
+  for (int c = 0; c < 4; ++c) {
+    serve::ScoreRequest req;
+    req.scorer = "sgcnn";
+    req.poses = make_poses(2, &pocket, rng);
+    futures.push_back(service.submit(std::move(req)));
+  }
+  bool any_coalesced = false;
+  for (auto& f : futures) {
+    const serve::ScoreResponse resp = f.get();
+    ASSERT_EQ(resp.error, serve::ScoreError::kNone) << resp.message;
+    EXPECT_EQ(resp.scores.size(), 2u);
+    any_coalesced = any_coalesced || resp.coalesced;
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_TRUE(any_coalesced);
+  EXPECT_GE(stats.coalesced_batches, 1u);
+  EXPECT_LT(stats.batches, 4u);  // strictly fewer batches than requests
+}
+
+TEST(Service, BackpressureBlocksSubmitUntilSpace) {
+  auto gate = std::make_shared<Gate>();
+  serve::ModelRegistry reg;
+  reg.add("gated", [gate] { return std::make_unique<GatedScorer>(gate); });
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.poses_per_batch = 4;
+  sc.queue_capacity = 4;
+  sc.block_when_full = true;
+  serve::ScoringService service(reg, sc);
+
+  const auto request = [&](int n) {
+    serve::ScoreRequest req;
+    req.scorer = "gated";
+    req.poses.resize(static_cast<size_t>(n));  // GatedScorer ignores content
+    return req;
+  };
+  auto fa = service.submit(request(4));  // dispatches, blocks in the gate
+  auto fb = service.submit(request(4));  // fills the queue
+  std::atomic<bool> c_accepted{false};
+  std::future<serve::ScoreResponse> fc;
+  std::thread blocked([&] {
+    fc = service.submit(request(3));  // must block: 4 queued + 3 > capacity
+    c_accepted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(c_accepted.load());  // backpressure held the submitter
+
+  gate->release();
+  blocked.join();
+  EXPECT_TRUE(c_accepted.load());
+  for (auto* f : {&fa, &fb, &fc}) {
+    const serve::ScoreResponse resp = f->get();
+    ASSERT_EQ(resp.error, serve::ScoreError::kNone) << resp.message;
+    for (float s : resp.scores) EXPECT_EQ(s, 1.0f);
+  }
+}
+
+TEST(Service, FailFastReturnsTypedQueueFull) {
+  auto gate = std::make_shared<Gate>();
+  serve::ModelRegistry reg;
+  reg.add("gated", [gate] { return std::make_unique<GatedScorer>(gate); });
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.poses_per_batch = 4;
+  sc.queue_capacity = 4;
+  sc.block_when_full = false;
+  serve::ScoringService service(reg, sc);
+
+  const auto request = [&](int n) {
+    serve::ScoreRequest req;
+    req.scorer = "gated";
+    req.poses.resize(static_cast<size_t>(n));
+    return req;
+  };
+  auto fa = service.submit(request(4));
+  // Wait until the worker holds batch A in flight, so B definitely queues.
+  while (service.stats().batches < 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto fb = service.submit(request(4));
+  const serve::ScoreResponse rejected = service.score(request(1));
+  EXPECT_EQ(rejected.error, serve::ScoreError::kQueueFull);
+  EXPECT_TRUE(rejected.scores.empty());
+
+  gate->release();
+  EXPECT_EQ(fa.get().error, serve::ScoreError::kNone);
+  EXPECT_EQ(fb.get().error, serve::ScoreError::kNone);
+  EXPECT_GE(service.stats().rejected, 1u);
+}
+
+// ---- typed errors -------------------------------------------------------
+
+TEST(Service, UnknownScorerIsTypedNotThrown) {
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  serve::ScoringService service(reg, sc);
+  serve::ScoreRequest req;
+  req.scorer = "not_registered";
+  req.poses.resize(1);
+  const serve::ScoreResponse resp = service.score(std::move(req));
+  EXPECT_EQ(resp.error, serve::ScoreError::kUnknownScorer);
+  EXPECT_NE(resp.message.find("not_registered"), std::string::npos);
+  EXPECT_STREQ(serve::score_error_name(resp.error), "unknown_scorer");
+}
+
+TEST(Service, ScorerExceptionBecomesTypedFailureAndServiceSurvives) {
+  Rng rng(35);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  serve::ModelRegistry reg;
+  reg.add("throwing", [] { return std::make_unique<ThrowingScorer>(); });
+  serve::add_regressor(reg, "sgcnn", family_factories()[1].second, tiny_voxel());
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  serve::ScoringService service(reg, sc);
+
+  serve::ScoreRequest bad;
+  bad.scorer = "throwing";
+  bad.poses.resize(3);
+  const serve::ScoreResponse failed = service.score(std::move(bad));
+  EXPECT_EQ(failed.error, serve::ScoreError::kScorerFailure);
+  EXPECT_NE(failed.message.find("boom"), std::string::npos);
+
+  serve::ScoreRequest good;
+  good.scorer = "sgcnn";
+  good.poses = make_poses(2, &pocket, rng);
+  const serve::ScoreResponse ok = service.score(std::move(good));
+  EXPECT_EQ(ok.error, serve::ScoreError::kNone) << ok.message;
+  EXPECT_EQ(ok.scores.size(), 2u);
+}
+
+TEST(Service, ShutdownRejectsNewWorkTyped) {
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  serve::ScoringService service(reg, sc);
+  service.shutdown();
+  serve::ScoreRequest req;
+  req.scorer = "cnn3d";
+  req.poses.resize(1);
+  const serve::ScoreResponse resp = service.score(std::move(req));
+  EXPECT_EQ(resp.error, serve::ScoreError::kShutdown);
+}
+
+TEST(Service, EmptyRequestResolvesImmediately) {
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  serve::ScoringService service(reg, sc);
+  serve::ScoreRequest req;
+  req.scorer = "cnn3d";
+  const serve::ScoreResponse resp = service.score(std::move(req));
+  EXPECT_EQ(resp.error, serve::ScoreError::kNone);
+  EXPECT_TRUE(resp.scores.empty());
+}
+
+TEST(Service, NullPocketIsTypedFailureNotACrash) {
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  serve::ScoringService service(reg, sc);
+  serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  req.poses.resize(2);  // pocket pointers left null
+  const serve::ScoreResponse resp = service.score(std::move(req));
+  EXPECT_EQ(resp.error, serve::ScoreError::kScorerFailure);
+  EXPECT_NE(resp.message.find("null pocket"), std::string::npos);
+}
+
+TEST(Service, ThrowingFactoryFailsWarmupCleanly) {
+  serve::ModelRegistry reg = family_registry();
+  reg.add("bad_factory", []() -> std::unique_ptr<serve::Scorer> {
+    throw std::runtime_error("factory kaboom");
+  });
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  serve::ScoringService service(reg, sc);
+  EXPECT_THROW(service.warmup("bad_factory"), std::runtime_error);
+  // The workers survive a throwing factory; real scorers still serve.
+  service.warmup("sgcnn");
+  serve::ScoreRequest req;
+  req.scorer = "bad_factory";
+  req.poses.resize(1);
+  EXPECT_EQ(service.score(std::move(req)).error, serve::ScoreError::kScorerFailure);
+}
+
+TEST(ServiceJob, ScorerFailureSurfacesAsExceptionWithoutPool) {
+  // A rank client that gets a typed service error throws; with no shared
+  // pool the job must still surface that as an exception at the join
+  // instead of std::terminate-ing from a raw thread.
+  Rng rng(36);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  serve::ModelRegistry reg;
+  reg.add("throwing", [] { return std::make_unique<ThrowingScorer>(); });
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  serve::ScoringService service(reg, sc);
+  std::vector<screen::PoseWorkItem> items;
+  for (const auto& pose : make_poses(4, &pocket, rng)) {
+    screen::PoseWorkItem item;
+    item.ligand = pose.ligand;
+    item.pocket = pose.pocket;
+    items.push_back(std::move(item));
+  }
+  screen::JobConfig jc;
+  jc.nodes = 1;
+  jc.gpus_per_node = 2;
+  jc.pool = nullptr;
+  EXPECT_THROW(screen::FusionScoringJob(jc).run(items, service, "throwing"),
+               std::runtime_error);
+}
+
+// ---- warmup / replicas --------------------------------------------------
+
+TEST(Service, WarmupBuildsOneReplicaPerWorker) {
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 3;
+  serve::ScoringService service(reg, sc);
+  service.warmup("sgcnn");
+  EXPECT_EQ(service.stats().replicas_built, 3u);
+  service.warmup("sgcnn");  // replicas are cached, not rebuilt
+  EXPECT_EQ(service.stats().replicas_built, 3u);
+  EXPECT_THROW(service.warmup("nope"), std::out_of_range);
+}
+
+// ---- campaign as a service client ---------------------------------------
+
+TEST(ServiceCampaign, ExplicitServiceMatchesFactoryPathBitwise) {
+  Rng rng(21);
+  std::vector<data::Target> targets = {data::make_target(data::TargetKind::Protease1, rng)};
+  const auto compounds =
+      data::generate_library(data::default_library(data::LibrarySource::ZINC, 4), rng);
+  screen::CampaignConfig cfg = screen::testutil::tiny_campaign();
+
+  const screen::CampaignReport via_factory =
+      screen::ScreeningCampaign(cfg, targets).run(compounds, screen::testutil::tiny_sg_factory());
+
+  serve::ModelRegistry reg;
+  serve::add_regressor(reg, "sg", screen::testutil::tiny_sg_factory(), cfg.job.voxel,
+                       cfg.job.graph);
+  serve::ServiceConfig sc;
+  sc.workers = 3;  // any worker count: ordered-stream mode pins the bits
+  sc.poses_per_batch = cfg.job.poses_per_batch;
+  sc.ordered_stream = true;
+  serve::ScoringService service(reg, sc);
+  const screen::CampaignReport via_service =
+      screen::ScreeningCampaign(cfg, targets).run(compounds, service, "sg");
+
+  screen::testutil::expect_reports_bitwise_equal(via_factory, via_service);
+}
+
+TEST(ServiceCampaign, ResumeRejectsChangedScoringBatchSize) {
+  // Micro-batch boundaries feed floating-point summation order, so a
+  // checkpoint written under one poses_per_batch must refuse to resume
+  // under another — mixing recovered and re-scored bits would silently
+  // break the bit-identical guarantee.
+  Rng rng(22);
+  std::vector<data::Target> targets = {data::make_target(data::TargetKind::Spike1, rng)};
+  const auto compounds =
+      data::generate_library(data::default_library(data::LibrarySource::ZINC, 3), rng);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "df_service_batch_guard").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  screen::CampaignConfig cfg = screen::testutil::tiny_campaign();
+  cfg.output_prefix = dir + "/screen";
+  cfg.checkpoint_path = dir + "/campaign.ckpt";
+
+  serve::ModelRegistry reg;
+  serve::add_regressor(reg, "sg", screen::testutil::tiny_sg_factory(), cfg.job.voxel,
+                       cfg.job.graph);
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  sc.poses_per_batch = cfg.job.poses_per_batch;
+  sc.ordered_stream = true;
+  {
+    serve::ScoringService service(reg, sc);
+    screen::ScreeningCampaign(cfg, targets).run(compounds, service, "sg");
+  }
+  sc.poses_per_batch = cfg.job.poses_per_batch / 2;  // changed boundaries
+  serve::ScoringService mismatched(reg, sc);
+  EXPECT_THROW(screen::ScreeningCampaign(cfg, targets).run(compounds, mismatched, "sg"),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace df

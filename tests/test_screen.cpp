@@ -9,6 +9,7 @@
 #include "screen/job.h"
 #include "screen/scale_model.h"
 #include "screen/writer.h"
+#include "serve/service.h"
 
 namespace df::screen {
 namespace {
@@ -26,9 +27,22 @@ models::SgcnnConfig tiny_sg() {
 
 ModelFactory sg_factory() {
   return [] {
-    Rng rng(77);  // same seed -> identical weights on every rank
+    Rng rng(77);  // same seed -> identical weights on every replica
     return std::make_unique<models::Sgcnn>(tiny_sg(), rng);
   };
+}
+
+/// Ordered-stream service with the tiny SG-CNN registered as "sg" — the
+/// shared scoring backend every job test runs through.
+serve::ScoringService make_sg_service(int workers = 4) {
+  serve::ModelRegistry reg;
+  chem::VoxelConfig voxel;
+  voxel.grid_dim = 8;
+  serve::add_regressor(reg, "sg", sg_factory(), voxel);
+  serve::ServiceConfig sc;
+  sc.workers = workers;
+  sc.ordered_stream = true;
+  return serve::ScoringService(reg, sc);
 }
 
 std::vector<PoseWorkItem> make_items(int n, const std::vector<chem::Atom>* pocket, Rng& rng) {
@@ -66,12 +80,12 @@ TEST(Job, ScoresAllPosesAcrossRanks) {
   Rng rng(1);
   const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
   const auto items = make_items(23, &pocket, rng);  // deliberately not divisible
+  serve::ScoringService service = make_sg_service();
   JobConfig jc;
   jc.nodes = 2;
   jc.gpus_per_node = 2;
-  jc.voxel.grid_dim = 8;
   FusionScoringJob job(jc);
-  const JobReport r = job.run(items, sg_factory());
+  const JobReport r = job.run(items, service, "sg");
   EXPECT_FALSE(r.failed);
   EXPECT_EQ(r.poses_scored, 23);
   EXPECT_EQ(r.predictions.size(), 23u);
@@ -83,11 +97,11 @@ TEST(Job, ResultsPreserveChunkOrder) {
   Rng rng(2);
   const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
   const auto items = make_items(12, &pocket, rng);
+  serve::ScoringService service = make_sg_service();
   JobConfig jc;
   jc.nodes = 1;
   jc.gpus_per_node = 3;
-  jc.voxel.grid_dim = 8;
-  const JobReport r = FusionScoringJob(jc).run(items, sg_factory());
+  const JobReport r = FusionScoringJob(jc).run(items, service, "sg");
   ASSERT_EQ(r.compound_ids.size(), 12u);
   for (size_t i = 0; i < 12; ++i) {
     EXPECT_EQ(r.compound_ids[i], items[i].compound_id);
@@ -95,19 +109,20 @@ TEST(Job, ResultsPreserveChunkOrder) {
   }
 }
 
-TEST(Job, IdenticalRankModelsGiveConsistentScores) {
+TEST(Job, IdenticalReplicasGiveConsistentScores) {
   // Same item placed at the start and end of the list lands on different
-  // ranks; both ranks must produce the identical prediction.
+  // ranks (and so in different service requests, possibly scored by
+  // different replicas); both must produce the same prediction.
   Rng rng(3);
   const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
   auto items = make_items(10, &pocket, rng);
   items.back() = items.front();
   items.back().pose_id = 9;
+  serve::ScoringService service = make_sg_service();
   JobConfig jc;
   jc.nodes = 2;
   jc.gpus_per_node = 1;
-  jc.voxel.grid_dim = 8;
-  const JobReport r = FusionScoringJob(jc).run(items, sg_factory());
+  const JobReport r = FusionScoringJob(jc).run(items, service, "sg");
   EXPECT_NEAR(r.predictions.front(), r.predictions.back(), 1e-5f);
 }
 
@@ -115,16 +130,16 @@ TEST(Job, FailureProducesNoOutput) {
   Rng rng(4);
   const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
   const auto items = make_items(16, &pocket, rng);
+  serve::ScoringService service = make_sg_service();
   JobConfig jc;
   jc.nodes = 8;  // 20% failure rate
   jc.gpus_per_node = 1;
-  jc.voxel.grid_dim = 8;
   jc.inject_failures = true;
   // Scan seeds until one fails (p=0.2 -> should happen fast).
   bool saw_failure = false;
   for (uint64_t seed = 0; seed < 40 && !saw_failure; ++seed) {
     jc.seed = seed;
-    const JobReport r = FusionScoringJob(jc).run(items, sg_factory());
+    const JobReport r = FusionScoringJob(jc).run(items, service, "sg");
     if (r.failed) {
       saw_failure = true;
       EXPECT_TRUE(r.predictions.empty());  // nothing written on failure
@@ -132,6 +147,17 @@ TEST(Job, FailureProducesNoOutput) {
     }
   }
   EXPECT_TRUE(saw_failure);
+}
+
+TEST(Job, UnknownScorerThrowsAtStartup) {
+  Rng rng(5);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  const auto items = make_items(4, &pocket, rng);
+  serve::ScoringService service = make_sg_service(1);
+  JobConfig jc;
+  jc.nodes = 1;
+  jc.gpus_per_node = 1;
+  EXPECT_THROW(FusionScoringJob(jc).run(items, service, "no_such_model"), std::out_of_range);
 }
 
 TEST(Writer, ShardedRoundTrip) {
