@@ -1,0 +1,147 @@
+// Training-engine scaling: the paper's §3.2 data-parallel training (Horovod
+// ranks sharding each batch) reproduced as lane scaling on one node. Runs
+// one fixed 3D-CNN training workload serially and at increasing lane
+// counts, reports epoch wall time and samples/s, and verifies the engine's
+// headline guarantee along the way: every parallel result must be BITWISE
+// identical to the serial one (epoch stats + final parameters).
+//
+// `--json[=PATH]` writes BENCH_training.json (schema bench_training.v1)
+// so CI archives a trajectory point per run. Thread-scaling rows are only
+// meaningful when hardware_threads > 1 — the JSON records it (docs/PERF.md
+// convention).
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.h"
+
+using namespace df;
+using namespace df::bench;
+
+namespace {
+
+models::RegressorFactory cnn_factory() {
+  return [] {
+    core::Rng rng(7);
+    return std::make_unique<models::Cnn3d>(bench_cnn3d_config(), rng);
+  };
+}
+
+struct Row {
+  int threads = 1;
+  double epoch_seconds = 0;
+  double samples_per_s = 0;
+  double speedup = 1.0;
+  bool bitwise_identical = true;
+};
+
+bool results_identical(const models::TrainResult& a, const models::TrainResult& b,
+                       models::Regressor& ma, models::Regressor& mb) {
+  if (a.epochs.size() != b.epochs.size() || a.best_epoch != b.best_epoch) return false;
+  for (size_t e = 0; e < a.epochs.size(); ++e) {
+    if (std::bit_cast<uint32_t>(a.epochs[e].train_mse) !=
+            std::bit_cast<uint32_t>(b.epochs[e].train_mse) ||
+        std::bit_cast<uint32_t>(a.epochs[e].val_mse) !=
+            std::bit_cast<uint32_t>(b.epochs[e].val_mse)) {
+      return false;
+    }
+  }
+  const auto pa = ma.trainable_parameters();
+  const auto pb = mb.trainable_parameters();
+  if (pa.size() != pb.size()) return false;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i]->value.numel(); ++j) {
+      if (std::bit_cast<uint32_t>(pa[i]->value[j]) != std::bit_cast<uint32_t>(pb[i]->value[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = json_flag_path(argc, argv, "BENCH_training.json");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  print_header("Training engine — data-parallel lane scaling (3D-CNN)");
+  Corpus c = make_corpus(2027, /*n=*/120, /*core=*/12);
+  std::printf("corpus: %zu train / %zu val, grid %d^3, hardware_threads=%u\n\n",
+              c.train->size(), c.val->size(), kGridDim, hw);
+
+  models::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.lr = 1e-3f;
+  tc.seed = 11;
+  tc.grad_shards = 8;
+
+  // Serial reference.
+  auto serial_model = cnn_factory()();
+  const auto t0 = std::chrono::steady_clock::now();
+  const models::TrainResult serial = models::train_model(*serial_model, *c.train, *c.val, tc);
+  const double serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double per_epoch_serial = serial_s / tc.epochs;
+  const double samples = static_cast<double>(c.train->size());
+
+  std::vector<Row> rows;
+  rows.push_back({1, per_epoch_serial, samples / per_epoch_serial, 1.0, true});
+  std::printf("%-10s %14s %14s %10s %10s\n", "threads", "epoch (s)", "samples/s", "speedup",
+              "bitwise");
+  print_rule();
+  std::printf("%-10d %14.3f %14.1f %10.2f %10s\n", 1, per_epoch_serial,
+              samples / per_epoch_serial, 1.0, "ref");
+
+  for (int threads : {2, 4, 8}) {
+    models::TrainConfig ptc = tc;
+    ptc.threads = threads;
+    ptc.replica_factory = cnn_factory();
+    auto model = cnn_factory()();
+    const auto p0 = std::chrono::steady_clock::now();
+    const models::TrainResult res = models::train_model(*model, *c.train, *c.val, ptc);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - p0).count() / tc.epochs;
+    Row r;
+    r.threads = threads;
+    r.epoch_seconds = s;
+    r.samples_per_s = samples / s;
+    r.speedup = per_epoch_serial / s;
+    r.bitwise_identical = results_identical(serial, res, *serial_model, *model);
+    rows.push_back(r);
+    std::printf("%-10d %14.3f %14.1f %10.2f %10s\n", threads, s, samples / s, r.speedup,
+                r.bitwise_identical ? "yes" : "NO");
+    if (!r.bitwise_identical) {
+      std::printf("ERROR: %d-lane training diverged from serial bits\n", threads);
+      return 1;
+    }
+  }
+  print_rule();
+  std::printf("epoch speedup at 8 lanes: %.2fx (scaling rows meaningful only when\n"
+              "hardware_threads > 1; this machine has %u)\n",
+              rows.back().speedup, hw);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"schema\": \"bench_training.v1\",\n";
+    out << "  \"hardware_threads\": " << hw << ",\n";
+    out << "  \"model\": \"3D-CNN\",\n";
+    out << "  \"train_samples\": " << c.train->size() << ",\n";
+    out << "  \"epochs\": " << tc.epochs << ",\n";
+    out << "  \"batch_size\": " << tc.batch_size << ",\n";
+    out << "  \"grad_shards\": " << tc.grad_shards << ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"threads\": " << r.threads << ", \"epoch_seconds\": " << r.epoch_seconds
+          << ", \"samples_per_s\": " << r.samples_per_s << ", \"speedup\": " << r.speedup
+          << ", \"bitwise_identical\": " << (r.bitwise_identical ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

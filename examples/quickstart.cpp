@@ -49,8 +49,18 @@ int main() {
   tc.lr = 2.5e-3f;
   tc.batch_size = 16;
   tc.verbose = true;
-  std::printf("\ntraining SG-CNN head...\n");
+  // Data-parallel training: 4 worker lanes over replicas from the factory.
+  // The result is bit-identical to tc.threads = 1 (see docs/API.md), so
+  // this is purely a wall-clock knob on multi-core machines.
+  tc.threads = 4;
+  tc.replica_factory = [sg_cfg] {
+    core::Rng lane_rng(1);
+    return std::make_unique<models::Sgcnn>(sg_cfg, lane_rng);
+  };
+  std::printf("\ntraining SG-CNN head (4 lanes)...\n");
   models::train_model(*sg, train, val, tc);
+  tc.threads = 1;
+  tc.replica_factory = nullptr;
   tc.epochs = 5;
   tc.lr = 1e-4f;
   tc.batch_size = 12;

@@ -27,6 +27,18 @@ ComputePoolGuard::ComputePoolGuard(ThreadPool* pool) : previous_(g_compute_pool.
 
 ComputePoolGuard::~ComputePoolGuard() { g_compute_pool.store(previous_); }
 
+void parallel_for_on(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  // Same reentrancy guard as parallel_for_auto: a caller that is itself a
+  // pool worker must not submit-and-join (every worker blocking in
+  // wait_idle() while the jobs sit behind them deadlocks permanently) —
+  // e.g. a PB2 member that fans out training lanes on the population pool.
+  if (pool != nullptr && pool->size() > 0 && n > 1 && !in_pool_worker()) {
+    parallel_for(*pool, n, fn);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) fn(i);
+}
+
 void parallel_for_auto(size_t n, size_t min_parallel, const std::function<void(size_t)>& fn) {
   ThreadPool* pool = g_compute_pool.load();
   if (pool != nullptr && pool->size() > 1 && n >= min_parallel && !in_pool_worker()) {

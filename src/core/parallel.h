@@ -58,4 +58,11 @@ class ComputePoolGuard {
 /// Exceptions thrown by fn propagate to the caller in either mode.
 void parallel_for_auto(size_t n, size_t min_parallel, const std::function<void(size_t)>& fn);
 
+/// Run fn(i) for i in [0, n) on `pool` when one is given (and has workers),
+/// serially on the calling thread otherwise. Unlike parallel_for_auto this
+/// takes an explicit pool — used by layers that own their parallelism
+/// (training engine lanes, PB2 population members) rather than borrowing
+/// the process-wide compute pool. Exceptions propagate in either mode.
+void parallel_for_on(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
 }  // namespace df::core

@@ -35,6 +35,19 @@ inline uint64_t derive_stream(uint64_t seed, uint64_t tag, uint64_t index) {
   return mix_seed(mix_seed(seed ^ tag) + index);
 }
 
+/// Well-known stream tags. Components that share one user seed (trainer,
+/// data loader, campaign) key their derive_stream calls on distinct tags so
+/// their streams can never collide; per-epoch components add the epoch
+/// index to the tag. Listed centrally because a collision between two
+/// layers would be invisible locally but would correlate "independent"
+/// draws.
+namespace stream_tag {
+inline constexpr uint64_t kLoaderShuffle = 0x10adC0FFEE000001ULL;  // + nothing; index = epoch
+inline constexpr uint64_t kLoaderSample = 0x10adC0FFEE000002ULL;   // + epoch; index = position
+inline constexpr uint64_t kTrainDropout = 0xD0D0C0FFEE000003ULL;   // + epoch; index = position
+inline constexpr uint64_t kEvalSample = 0xE7a1C0FFEE000004ULL;     // + nothing; index = position
+}  // namespace stream_tag
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5eedULL) : engine_(mix_seed(seed)) {}

@@ -6,12 +6,12 @@
 namespace df::data {
 
 DataLoader::DataLoader(const ComplexDataset& dataset, LoaderConfig cfg)
-    : dataset_(dataset), cfg_(cfg), shuffle_rng_(cfg.seed) {
+    : dataset_(dataset), cfg_(cfg) {
   if (cfg_.batch_size <= 0 || cfg_.num_workers <= 0 || cfg_.prefetch_batches <= 0) {
     throw std::invalid_argument("DataLoader: non-positive config value");
   }
   for (int w = 0; w < cfg_.num_workers; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(static_cast<size_t>(w)); });
+    workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
@@ -30,24 +30,33 @@ size_t DataLoader::batches_per_epoch() const {
          static_cast<size_t>(cfg_.batch_size);
 }
 
-void DataLoader::start_epoch() {
+void DataLoader::start_epoch() { start_epoch(next_epoch_); }
+
+void DataLoader::start_epoch(uint64_t epoch_index, size_t skip_batches) {
   std::lock_guard lk(mu_);
+  epoch_index_ = epoch_index;
+  next_epoch_ = epoch_index + 1;
   epoch_order_.resize(dataset_.size());
   std::iota(epoch_order_.begin(), epoch_order_.end(), 0);
-  if (cfg_.shuffle) shuffle_rng_.shuffle(epoch_order_);
-  next_batch_to_claim_ = 0;
-  next_batch_to_emit_ = 0;
+  if (cfg_.shuffle) {
+    // The permutation is a pure function of (seed, epoch): resumable and
+    // independent of how many epochs this loader instance produced before.
+    core::Rng rng(core::derive_stream(cfg_.seed, core::stream_tag::kLoaderShuffle, epoch_index));
+    rng.shuffle(epoch_order_);
+  }
   total_batches_ = batches_per_epoch();
+  next_batch_to_claim_ = std::min(skip_batches, total_batches_);
+  next_batch_to_emit_ = next_batch_to_claim_;
   ready_.clear();
-  ++epoch_counter_;
   cv_producer_.notify_all();
 }
 
-void DataLoader::worker_loop(size_t worker_id) {
-  core::Rng rng(cfg_.seed * 7919 + worker_id * 104729 + 1);
+void DataLoader::worker_loop() {
   for (;;) {
     size_t batch_idx;
+    uint64_t epoch;
     std::vector<int> members;
+    size_t base;
     {
       std::unique_lock lk(mu_);
       cv_producer_.wait(lk, [this] {
@@ -57,14 +66,21 @@ void DataLoader::worker_loop(size_t worker_id) {
       });
       if (stop_) return;
       batch_idx = next_batch_to_claim_++;
-      const size_t lo = batch_idx * static_cast<size_t>(cfg_.batch_size);
-      const size_t hi = std::min(dataset_.size(), lo + static_cast<size_t>(cfg_.batch_size));
-      members.assign(epoch_order_.begin() + static_cast<long>(lo),
+      epoch = epoch_index_;
+      base = batch_idx * static_cast<size_t>(cfg_.batch_size);
+      const size_t hi = std::min(dataset_.size(), base + static_cast<size_t>(cfg_.batch_size));
+      members.assign(epoch_order_.begin() + static_cast<long>(base),
                      epoch_order_.begin() + static_cast<long>(hi));
     }
     Batch batch;
     batch.reserve(members.size());
-    for (int m : members) batch.push_back(dataset_.get(static_cast<size_t>(m), rng));
+    for (size_t k = 0; k < members.size(); ++k) {
+      // Per-sample stream keyed on (seed, epoch, position in epoch): the
+      // augmentation draw cannot depend on worker identity or scheduling.
+      core::Rng srng(core::derive_stream(cfg_.seed, core::stream_tag::kLoaderSample + epoch,
+                                         base + k));
+      batch.push_back(dataset_.get(static_cast<size_t>(members[k]), srng));
+    }
     {
       std::lock_guard lk(mu_);
       ready_.emplace_back(batch_idx, std::move(batch));

@@ -3,6 +3,15 @@
 // loaders" per GPU during screening (§4.2). Worker threads featurize
 // batches ahead of the consumer; a bounded queue applies backpressure so a
 // slow trainer doesn't blow the memory budget.
+//
+// Determinism: both stochastic ingredients are keyed on stable identifiers
+// via core::derive_stream rather than drawn from shared engines —
+//  * the epoch's shuffle permutation from (seed, epoch index), so epoch E's
+//    order can be regenerated without replaying epochs 0..E-1 (what makes
+//    mid-training resume possible);
+//  * each sample's featurization/augmentation stream from (seed, epoch,
+//    position in epoch), so sample bytes never depend on which worker
+//    thread claimed which batch, or on num_workers at all.
 #pragma once
 
 #include <condition_variable>
@@ -35,19 +44,23 @@ class DataLoader {
   DataLoader(const DataLoader&) = delete;
   DataLoader& operator=(const DataLoader&) = delete;
 
-  /// Begin producing one epoch (reshuffles when configured). Any previous
-  /// epoch must have been drained or cancelled.
+  /// Begin producing the next epoch in sequence (epoch 0 on the first
+  /// call). Any previous epoch must have been drained or cancelled.
   void start_epoch();
+  /// Begin producing epoch `epoch_index`, optionally skipping the first
+  /// `skip_batches` batches — the resume path: a trainer restarting at
+  /// (epoch e, batch b) seeks straight there and receives bitwise the same
+  /// batches the uninterrupted run saw.
+  void start_epoch(uint64_t epoch_index, size_t skip_batches = 0);
   /// Next batch, or nullopt when the epoch is exhausted.
   std::optional<Batch> next();
   size_t batches_per_epoch() const;
 
  private:
-  void worker_loop(size_t worker_id);
+  void worker_loop();
 
   const ComplexDataset& dataset_;
   LoaderConfig cfg_;
-  core::Rng shuffle_rng_;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
@@ -58,7 +71,8 @@ class DataLoader {
   size_t total_batches_ = 0;
   std::deque<std::pair<size_t, Batch>> ready_;  // (batch index, data)
   bool stop_ = false;
-  uint64_t epoch_counter_ = 0;
+  uint64_t epoch_index_ = 0;   // epoch currently being produced
+  uint64_t next_epoch_ = 0;    // what a no-arg start_epoch() will produce
 };
 
 }  // namespace df::data

@@ -6,6 +6,14 @@
 
 namespace df::hpo {
 
+std::vector<float> train_population(size_t population,
+                                    const std::function<float(size_t)>& train_member,
+                                    core::ThreadPool* pool) {
+  std::vector<float> scores(population, 0.0f);
+  core::parallel_for_on(pool, population, [&](size_t i) { scores[i] = train_member(i); });
+  return scores;
+}
+
 Pb2::Pb2(SearchSpace space, Pb2Config cfg)
     : space_(std::move(space)), cfg_(cfg), rng_(cfg.seed) {}
 

@@ -8,9 +8,11 @@
 // mirroring Ray Tune's checkpoint exploitation).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "hpo/gp.h"
 #include "hpo/search_space.h"
@@ -31,6 +33,21 @@ struct TrialDirective {
   /// continuing (exploitation clone).
   std::optional<int> clone_weights_from;
 };
+
+/// Run one PB2 interval's member training concurrently: `train_member(i)`
+/// trains trial i for the interval and returns its score (validation MSE).
+/// Members fan out over `pool` when one is given (one job per trial, the
+/// paper's "population trains in parallel"); nullptr runs them serially.
+/// Scores come back in trial order, and each member must be internally
+/// deterministic (own model/loader/optimizer, stable-keyed RNG — what
+/// train_model guarantees), so the score vector — and therefore the whole
+/// PB2 search trajectory — is bitwise independent of the pool size.
+/// Members run as pool jobs, so numeric kernels inside them stay serial
+/// (core::in_pool_worker); train with threads=1 and let the population be
+/// the parallelism.
+std::vector<float> train_population(size_t population,
+                                    const std::function<float(size_t)>& train_member,
+                                    core::ThreadPool* pool = nullptr);
 
 class Pb2 {
  public:

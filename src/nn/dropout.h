@@ -1,16 +1,47 @@
 // Inverted dropout. The paper's optimized fusion models use three dropout
 // rates (early/mid/late, Tables 4–5); rate 0 collapses to identity so HPO
 // can search the rate continuously without special-casing.
+//
+// Two mask-RNG modes:
+//  * Default mode: masks are drawn, in arrival order, from a private
+//    stream forked from the construction Rng. The fork is BY VALUE — the
+//    layer never keeps a reference to the constructor argument, so model
+//    factories are free to build from stack-local Rngs (the standard
+//    replica-factory pattern) without dangling anything.
+//  * Keyed mode (KeyedDropoutScope): while a scope is active on the calling
+//    thread, every Dropout::forward derives a private counter-based stream
+//    from (scope key, forward ordinal) via core::derive_stream and never
+//    touches the shared engine. Because the ordinal counts Dropout forwards
+//    within the scope — and a model's layer order is fixed — the masks are
+//    a pure function of the key. The training engine keys each sample on
+//    (seed, epoch, position), which is what makes data-parallel training
+//    bit-identical at any thread count and replayable across kill/resume.
 #pragma once
+
+#include <cstdint>
 
 #include "core/rng.h"
 #include "nn/module.h"
 
 namespace df::nn {
 
+/// Activate keyed dropout on the current thread for the scope's lifetime.
+/// Scopes nest (the inner key wins); each scope restarts the ordinal at 0.
+class KeyedDropoutScope {
+ public:
+  explicit KeyedDropoutScope(uint64_t key);
+  ~KeyedDropoutScope();
+  KeyedDropoutScope(const KeyedDropoutScope&) = delete;
+  KeyedDropoutScope& operator=(const KeyedDropoutScope&) = delete;
+
+ private:
+  bool prev_active_;
+  uint64_t prev_key_, prev_ordinal_;
+};
+
 class Dropout : public Module {
  public:
-  Dropout(float rate, core::Rng& rng) : rate_(rate), rng_(&rng) {}
+  Dropout(float rate, core::Rng& rng) : rate_(rate), rng_(rng.fork()) {}
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
@@ -19,7 +50,7 @@ class Dropout : public Module {
 
  private:
   float rate_;
-  core::Rng* rng_;
+  core::Rng rng_;  // private stream; no lifetime tie to the ctor argument
   Tensor mask_;
 };
 

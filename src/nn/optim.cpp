@@ -4,6 +4,22 @@
 
 namespace df::nn {
 
+namespace {
+/// Materialize one per-parameter state tensor per params entry (zero
+/// tensors for parameters step() has not touched yet) and return the
+/// pointers in params order.
+std::vector<Tensor*> slot_tensors(std::unordered_map<Parameter*, Tensor>& store,
+                                  const std::vector<Parameter*>& params) {
+  std::vector<Tensor*> out;
+  out.reserve(params.size());
+  for (Parameter* p : params) {
+    auto [it, inserted] = store.try_emplace(p, Tensor(p->value.shape()));
+    out.push_back(&it->second);
+  }
+  return out;
+}
+}  // namespace
+
 const char* optimizer_name(OptimizerKind k) {
   switch (k) {
     case OptimizerKind::kAdam: return "Adam";
@@ -30,6 +46,12 @@ void SGD::step() {
       p->value.axpy(-lr_, p->grad);
     }
   }
+}
+
+OptimizerState SGD::state() {
+  OptimizerState s;
+  if (momentum_ > 0.0f) s.slots.emplace_back("velocity", slot_tensors(velocity_, params_));
+  return s;
 }
 
 Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2, float eps,
@@ -60,6 +82,14 @@ void Adam::step() {
   }
 }
 
+OptimizerState Adam::state() {
+  OptimizerState s;
+  s.slots.emplace_back("m", slot_tensors(m_, params_));
+  s.slots.emplace_back("v", slot_tensors(v_, params_));
+  s.scalars.emplace_back("t", &t_);
+  return s;
+}
+
 RMSprop::RMSprop(std::vector<Parameter*> params, float lr, float alpha, float eps)
     : Optimizer(std::move(params), lr), alpha_(alpha), eps_(eps) {}
 
@@ -73,6 +103,12 @@ void RMSprop::step() {
       p->value[i] -= lr_ * g / (std::sqrt(s[i]) + eps_);
     }
   }
+}
+
+OptimizerState RMSprop::state() {
+  OptimizerState s;
+  s.slots.emplace_back("sq", slot_tensors(sq_, params_));
+  return s;
 }
 
 Adadelta::Adadelta(std::vector<Parameter*> params, float lr, float rho, float eps)
@@ -92,6 +128,13 @@ void Adadelta::step() {
       p->value[i] += lr_ * dx;
     }
   }
+}
+
+OptimizerState Adadelta::state() {
+  OptimizerState s;
+  s.slots.emplace_back("sq", slot_tensors(sq_, params_));
+  s.slots.emplace_back("dx", slot_tensors(dx_, params_));
+  return s;
 }
 
 std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, std::vector<Parameter*> params,

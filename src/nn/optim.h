@@ -17,12 +17,27 @@ enum class OptimizerKind { kAdam, kAdamW, kRMSprop, kAdadelta, kSGD };
 
 const char* optimizer_name(OptimizerKind k);
 
+/// Serializable view of an optimizer's internal state, for mid-training
+/// checkpoints: named per-parameter tensor slots (one tensor per entry of
+/// params(), in params() order) plus named integer scalars (e.g. Adam's
+/// step count). Checkpointing reads through the pointers to save and
+/// writes through them to restore; pointers stay valid while the optimizer
+/// lives and no step() reallocates state.
+struct OptimizerState {
+  std::vector<std::pair<std::string, std::vector<Tensor*>>> slots;
+  std::vector<std::pair<std::string, int64_t*>> scalars;
+};
+
 class Optimizer {
  public:
   explicit Optimizer(std::vector<Parameter*> params, float lr) : params_(std::move(params)), lr_(lr) {}
   virtual ~Optimizer() = default;
 
   virtual void step() = 0;
+  /// State view for checkpointing. Materializes lazily-created slot
+  /// tensors (zero-initialized), so a checkpoint taken before the first
+  /// step() round-trips exactly.
+  virtual OptimizerState state() { return {}; }
   void zero_grad() {
     for (Parameter* p : params_) p->grad.zero();
   }
@@ -39,6 +54,7 @@ class SGD : public Optimizer {
  public:
   SGD(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
   void step() override;
+  OptimizerState state() override;
 
  private:
   float momentum_;
@@ -50,6 +66,7 @@ class Adam : public Optimizer {
   Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
        float eps = 1e-8f, float weight_decay = 0.0f, bool decoupled = false);
   void step() override;
+  OptimizerState state() override;
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;
@@ -62,6 +79,7 @@ class RMSprop : public Optimizer {
  public:
   RMSprop(std::vector<Parameter*> params, float lr, float alpha = 0.99f, float eps = 1e-8f);
   void step() override;
+  OptimizerState state() override;
 
  private:
   float alpha_, eps_;
@@ -72,6 +90,7 @@ class Adadelta : public Optimizer {
  public:
   Adadelta(std::vector<Parameter*> params, float lr = 1.0f, float rho = 0.9f, float eps = 1e-6f);
   void step() override;
+  OptimizerState state() override;
 
  private:
   float rho_, eps_;

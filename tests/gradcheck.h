@@ -10,6 +10,8 @@
 #include <functional>
 
 #include "core/tensor.h"
+#include "models/regressor.h"
+#include "nn/dropout.h"
 #include "nn/module.h"
 
 namespace df::testing {
@@ -80,6 +82,62 @@ inline void check_input_gradients(nn::Module& module, core::Tensor x, float eps 
     const float scale = std::max({1.0f, std::abs(numeric), std::abs(gx[i])});
     EXPECT_NEAR(gx[i] / scale, numeric / scale, tol) << "input index " << i;
   }
+}
+
+/// End-to-end composite gradient check through a whole Regressor: the loss
+/// is the raw prediction (dL/dpred = 1), so analytic parameter gradients
+/// from one forward_train+backward must match central differences of
+/// repeated forward_train calls — through every layer of the model at
+/// once, featurized inputs included, not just per-layer.
+///
+/// Dropout may be ACTIVE: each forward runs under the same
+/// nn::KeyedDropoutScope key, so the masks are identical across the
+/// perturbed re-evaluations and the composite function stays
+/// deterministic — exactly the property the training engine relies on.
+/// `max_params` caps how many parameter tensors are probed (deep models),
+/// cycling a stride so early and late layers both get coverage.
+inline void check_model_gradients(models::Regressor& model, const data::Sample& sample,
+                                  uint64_t dropout_key, float eps = 1e-2f, float tol = 5e-2f,
+                                  int max_checks_per_param = 3, int max_params = 24) {
+  auto forward = [&]() -> float {
+    nn::KeyedDropoutScope scope(dropout_key);
+    return model.forward_train(sample);
+  };
+  model.set_training(true);
+  model.zero_grad();
+  {
+    nn::KeyedDropoutScope scope(dropout_key);
+    (void)model.forward_train(sample);
+    model.backward(1.0f);
+  }
+
+  const std::vector<nn::Parameter*> params = model.trainable_parameters();
+  const size_t pstride =
+      std::max<size_t>(1, params.size() / static_cast<size_t>(max_params));
+  int checked = 0;
+  for (size_t pi = 0; pi < params.size(); pi += pstride) {
+    nn::Parameter* p = params[pi];
+    const int64_t n = p->value.numel();
+    const int64_t stride = std::max<int64_t>(1, n / max_checks_per_param);
+    for (int64_t i = 0; i < n; i += stride) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float lp = forward();
+      p->value[i] = orig - eps;
+      const float lm = forward();
+      p->value[i] = orig;
+      const float numeric = (lp - lm) / (2.0f * eps);
+      const float analytic = p->grad[i];
+      // Skip entries where both signals drown in float32 FD noise (a
+      // dropout-zeroed path, a dead ReLU): nothing to compare there.
+      if (std::abs(numeric) < 5e-4f && std::abs(analytic) < 5e-4f) continue;
+      const float scale = std::max({1.0f, std::abs(numeric), std::abs(analytic)});
+      EXPECT_NEAR(analytic / scale, numeric / scale, tol)
+          << "param " << pi << " (" << p->name << ") index " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0) << "composite gradcheck compared nothing";
 }
 
 }  // namespace df::testing

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
+#include "data/splits.h"
 #include "hpo/gp.h"
 #include "hpo/pb2.h"
 #include "hpo/search_space.h"
+#include "models/sgcnn.h"
+#include "models/trainer.h"
 
 namespace df::hpo {
 namespace {
@@ -192,6 +196,116 @@ TEST(Pb2, OptimizesSyntheticQuadratic) {
   }
   EXPECT_LT(pb2.best_score(), 0.01f);
   EXPECT_NEAR(pb2.best_config().at("x"), 0.7, 0.15);
+}
+
+// ---- concurrent population training (paper §3.2: trials in parallel) ----
+
+struct Pb2Trace {
+  std::vector<std::vector<float>> interval_scores;
+  HpoConfig best_config;
+  float best_score = 0;
+};
+
+/// Run a miniature real-training PB2 search (persistent SG-CNN trials,
+/// exploitation weight clones) with population members trained through
+/// train_population on the given pool. Everything is keyed on fixed seeds,
+/// so the trace must not depend on the pool at all.
+Pb2Trace run_pb2_search(core::ThreadPool* pool) {
+  data::PdbbindConfig pcfg;
+  pcfg.num_complexes = 12;
+  pcfg.core_size = 2;
+  pcfg.settle_runs = 1;
+  pcfg.settle_steps = 4;
+  core::Rng rng(61);
+  const auto recs = data::SyntheticPdbbind(pcfg).generate(rng);
+  const data::TrainValSplit split = data::pdbbind_train_val(recs, 0.25f, rng);
+  data::DatasetConfig dc;
+  dc.voxel.grid_dim = 8;
+  data::ComplexDataset train(&recs, split.train, dc);
+  data::ComplexDataset val(&recs, split.val, dc);
+
+  SearchSpace space;
+  space.add_log_continuous("lr", 1e-3, 1e-2);
+  space.add_categorical("cov_k", {2, 3});
+  Pb2Config cfg;
+  cfg.population = 3;
+  cfg.seed = 67;
+  Pb2 pb2(space, cfg);
+  std::vector<HpoConfig> pop = pb2.initial_population();
+
+  auto build = [&](const HpoConfig& c, uint64_t seed) {
+    models::SgcnnConfig mc;
+    mc.covalent_gather_width = 8;
+    mc.noncovalent_gather_width = 16;
+    mc.noncovalent_k = 2;
+    mc.covalent_k = static_cast<int>(c.at("cov_k"));
+    core::Rng mrng(seed);
+    return std::make_unique<models::Sgcnn>(mc, mrng);
+  };
+  std::vector<std::unique_ptr<models::Sgcnn>> trials;
+  for (size_t i = 0; i < pop.size(); ++i) trials.push_back(build(pop[i], 70 + i));
+
+  Pb2Trace trace;
+  for (int interval = 0; interval < 2; ++interval) {
+    const std::vector<float> scores = train_population(
+        pop.size(),
+        [&](size_t i) {
+          models::TrainConfig tc;
+          tc.epochs = 1;
+          tc.batch_size = 6;
+          tc.seed = 80 + i;
+          tc.lr = static_cast<float>(pop[i].at("lr"));
+          return models::train_model(*trials[i], train, val, tc).epochs.back().val_mse;
+        },
+        pool);
+    trace.interval_scores.push_back(scores);
+    const auto directives = pb2.report(scores);
+    for (size_t i = 0; i < pop.size(); ++i) {
+      pop[i] = directives[i].config;
+      if (directives[i].clone_weights_from) {
+        const size_t donor = static_cast<size_t>(*directives[i].clone_weights_from);
+        auto rebuilt = build(pop[i], 90 + i);
+        if (rebuilt->num_parameters() == trials[donor]->num_parameters()) {
+          models::copy_parameters(*rebuilt, *trials[donor]);
+        }
+        trials[i] = std::move(rebuilt);
+      }
+    }
+  }
+  trace.best_config = pb2.best_config();
+  trace.best_score = pb2.best_score();
+  return trace;
+}
+
+TEST(Pb2, ConcurrentPopulationTrainingKeepsTrajectoryBitwise) {
+  const Pb2Trace serial = run_pb2_search(nullptr);
+  core::ThreadPool pool(3);
+  const Pb2Trace parallel = run_pb2_search(&pool);
+
+  ASSERT_EQ(serial.interval_scores.size(), parallel.interval_scores.size());
+  for (size_t t = 0; t < serial.interval_scores.size(); ++t) {
+    ASSERT_EQ(serial.interval_scores[t].size(), parallel.interval_scores[t].size());
+    for (size_t i = 0; i < serial.interval_scores[t].size(); ++i) {
+      EXPECT_EQ(std::bit_cast<uint32_t>(serial.interval_scores[t][i]),
+                std::bit_cast<uint32_t>(parallel.interval_scores[t][i]))
+          << "interval " << t << " trial " << i;
+    }
+  }
+  EXPECT_EQ(std::bit_cast<uint32_t>(serial.best_score),
+            std::bit_cast<uint32_t>(parallel.best_score));
+  EXPECT_EQ(serial.best_config, parallel.best_config);
+}
+
+TEST(Pb2, TrainPopulationPropagatesMemberFailure) {
+  core::ThreadPool pool(2);
+  EXPECT_THROW(train_population(
+                   3,
+                   [](size_t i) -> float {
+                     if (i == 1) throw std::runtime_error("trial died");
+                     return 1.0f;
+                   },
+                   &pool),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,10 +1,17 @@
 // Finite-difference gradient checks for every hand-written backward pass in
-// the nn package. Dropout is excluded (stochastic); BatchNorm uses a batch
-// large enough for stable statistics.
+// the nn package, plus end-to-end composite checks through whole models
+// (voxelizer features → fused head loss) via check_model_gradients.
+// Per-layer checks exclude dropout (stochastic); the composite checks run
+// dropout ACTIVE under a fixed KeyedDropoutScope key, which makes the
+// masks — and therefore the loss surface — deterministic across the
+// finite-difference re-evaluations. BatchNorm uses a batch large enough
+// for stable statistics.
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
+#include "data/splits.h"
 #include "gradcheck.h"
+#include "models/fusion.h"
 #include "nn/activations.h"
 #include "nn/conv3d.h"
 #include "nn/dense.h"
@@ -143,6 +150,101 @@ TEST(GradCheck, SequentialStack) {
   Tensor x = Tensor::randn({2, 6}, rng);
   check_param_gradients(seq, [&] { return seq.forward(x); });
   check_input_gradients(seq, x);
+}
+
+// ---- end-to-end composite checks (real featurized samples) ----
+
+data::Sample featurized_sample(uint64_t seed) {
+  data::PdbbindConfig pcfg;
+  pcfg.num_complexes = 2;
+  pcfg.core_size = 1;
+  pcfg.settle_runs = 1;
+  pcfg.settle_steps = 4;
+  Rng rng(seed);
+  static std::vector<data::ComplexRecord> recs;  // keep alive for the dataset view
+  recs = data::SyntheticPdbbind(pcfg).generate(rng);
+  data::DatasetConfig dc;
+  dc.voxel.grid_dim = 8;
+  data::ComplexDataset ds(&recs, {0}, dc);
+  Rng frng(seed + 1);
+  return ds.get(0, frng);
+}
+
+models::Cnn3dConfig composite_cnn_config() {
+  models::Cnn3dConfig cfg;
+  cfg.grid_dim = 8;
+  cfg.conv_filters1 = 3;
+  cfg.conv_filters2 = 4;
+  cfg.dense_nodes = 8;
+  cfg.dropout1 = 0.2f;  // active: keyed masks keep the check deterministic
+  cfg.dropout2 = 0.1f;
+  return cfg;
+}
+
+models::SgcnnConfig composite_sg_config() {
+  models::SgcnnConfig cfg;
+  cfg.covalent_gather_width = 6;
+  cfg.noncovalent_gather_width = 12;
+  cfg.covalent_k = 2;
+  cfg.noncovalent_k = 2;
+  return cfg;
+}
+
+TEST(GradCheckComposite, Cnn3dEndToEndWithDropout) {
+  const data::Sample s = featurized_sample(101);
+  Rng rng(15);
+  models::Cnn3d model(composite_cnn_config(), rng);
+  df::testing::check_model_gradients(model, s, /*dropout_key=*/0xC0FFEEu);
+}
+
+TEST(GradCheckComposite, SgcnnEndToEnd) {
+  const data::Sample s = featurized_sample(103);
+  Rng rng(16);
+  models::Sgcnn model(composite_sg_config(), rng);
+  df::testing::check_model_gradients(model, s, /*dropout_key=*/0xC0FFEEu);
+}
+
+TEST(GradCheckComposite, CoherentFusionEndToEndWithDropout) {
+  // The full paper pipeline in one check: voxel grid through the 3D-CNN
+  // trunk, spatial graph through the SG-CNN, both latents through the
+  // fusion head, gradients back through everything — with all three
+  // dropout rates non-zero.
+  const data::Sample s = featurized_sample(105);
+  Rng rng(17);
+  auto cnn = std::make_shared<models::Cnn3d>(composite_cnn_config(), rng);
+  auto sg = std::make_shared<models::Sgcnn>(composite_sg_config(), rng);
+  models::FusionConfig fc;
+  fc.kind = models::FusionKind::Coherent;
+  fc.fusion_nodes = 8;
+  fc.num_fusion_layers = 3;
+  fc.dropout1 = 0.3f;
+  fc.dropout2 = 0.2f;
+  fc.dropout3 = 0.1f;
+  models::FusionModel fusion(fc, cnn, sg, rng);
+  df::testing::check_model_gradients(fusion, s, /*dropout_key=*/0xFADEDu);
+}
+
+TEST(GradCheckComposite, KeyedDropoutMakesForwardDeterministic) {
+  // The property the composite checks (and the parallel trainer) lean on.
+  const data::Sample s = featurized_sample(107);
+  Rng rng(18);
+  models::Cnn3d model(composite_cnn_config(), rng);
+  model.set_training(true);
+  float a, b, c;
+  {
+    nn::KeyedDropoutScope k(42);
+    a = model.forward_train(s);
+  }
+  {
+    nn::KeyedDropoutScope k(42);
+    b = model.forward_train(s);
+  }
+  {
+    nn::KeyedDropoutScope k(43);
+    c = model.forward_train(s);
+  }
+  EXPECT_EQ(a, b);  // same key, same masks, same prediction
+  EXPECT_NE(a, c);  // different key actually changes the masks
 }
 
 TEST(GradCheck, ConvPoolDenseStack) {

@@ -1,122 +1,89 @@
 // Training-loop checks: loss decreases on real featurized data for every
-// model family, gradient clipping, and evaluation plumbing.
+// model family, gradient clipping, and evaluation plumbing. Fixtures come
+// from trainer_test_utils.h and are deliberately tiny so the suite stays
+// under the `fast` label budget; the engine's parallel/determinism and
+// checkpoint/resume properties live in test_trainer_parallel.cpp and
+// test_trainer_resume.cpp.
 #include <gtest/gtest.h>
 
-#include "data/splits.h"
-#include "models/fusion.h"
-#include "models/trainer.h"
+#include "trainer_test_utils.h"
 
 namespace df::models {
 namespace {
 
+namespace tu = testutil;
 using core::Rng;
 
-struct Corpus {
-  std::vector<data::ComplexRecord> recs;
-  std::unique_ptr<data::ComplexDataset> train;
-  std::unique_ptr<data::ComplexDataset> val;
-};
-
-Corpus make_corpus(int n, uint64_t seed) {
-  Corpus c;
-  data::PdbbindConfig cfg;
-  cfg.num_complexes = n;
-  cfg.core_size = 4;
-  cfg.settle_runs = 1;
-  cfg.settle_steps = 8;
-  Rng rng(seed);
-  c.recs = data::SyntheticPdbbind(cfg).generate(rng);
-  data::TrainValSplit split = data::pdbbind_train_val(c.recs, 0.2f, rng);
-  data::DatasetConfig dc;
-  dc.voxel.grid_dim = 8;
-  c.train = std::make_unique<data::ComplexDataset>(&c.recs, split.train, dc);
-  c.val = std::make_unique<data::ComplexDataset>(&c.recs, split.val, dc);
-  return c;
-}
-
-SgcnnConfig tiny_sg() {
-  SgcnnConfig cfg;
-  cfg.covalent_gather_width = 8;
-  cfg.noncovalent_gather_width = 16;
-  cfg.covalent_k = 2;
-  cfg.noncovalent_k = 2;
-  return cfg;
-}
-
-Cnn3dConfig tiny_cnn() {
-  Cnn3dConfig cfg;
-  cfg.grid_dim = 8;
-  cfg.conv_filters1 = 4;
-  cfg.conv_filters2 = 8;
-  cfg.dense_nodes = 16;
+// Loss-decrease assertions are most robust without dropout noise; the
+// dropout-active configs are exercised by the determinism suites.
+Cnn3dConfig dropout_free_cnn() {
+  Cnn3dConfig cfg = tu::tiny_cnn();
   cfg.dropout1 = cfg.dropout2 = 0.0f;
   return cfg;
 }
 
 TEST(Trainer, SgcnnLossDecreases) {
-  Corpus c = make_corpus(40, 1);
+  const auto c = tu::make_corpus(16, 1);
   Rng rng(2);
-  Sgcnn model(tiny_sg(), rng);
+  Sgcnn model(tu::tiny_sg(), rng);
   TrainConfig tc;
-  tc.epochs = 6;
+  tc.epochs = 3;
   tc.batch_size = 8;
   tc.lr = 3e-3f;
-  const TrainResult res = train_model(model, *c.train, *c.val, tc);
-  ASSERT_EQ(res.epochs.size(), 6u);
+  const TrainResult res = train_model(model, *c->train, *c->val, tc);
+  ASSERT_EQ(res.epochs.size(), 3u);
   EXPECT_LT(res.epochs.back().train_mse, res.epochs.front().train_mse);
   EXPECT_GE(res.best_epoch, 0);
   EXPECT_LE(res.best_val_mse, res.epochs.front().val_mse + 1e-5f);
 }
 
 TEST(Trainer, Cnn3dLossDecreases) {
-  Corpus c = make_corpus(24, 3);
+  const auto c = tu::make_corpus(10, 3);
   Rng rng(4);
-  Cnn3d model(tiny_cnn(), rng);
+  Cnn3d model(dropout_free_cnn(), rng);
   TrainConfig tc;
-  tc.epochs = 4;
+  tc.epochs = 2;
   tc.batch_size = 8;
   tc.lr = 1e-3f;
-  const TrainResult res = train_model(model, *c.train, *c.val, tc);
+  const TrainResult res = train_model(model, *c->train, *c->val, tc);
   EXPECT_LT(res.epochs.back().train_mse, res.epochs.front().train_mse);
 }
 
 TEST(Trainer, CoherentFusionLossDecreases) {
-  Corpus c = make_corpus(24, 5);
+  const auto c = tu::make_corpus(10, 5);
   Rng rng(6);
-  auto cnn = std::make_shared<Cnn3d>(tiny_cnn(), rng);
-  auto sg = std::make_shared<Sgcnn>(tiny_sg(), rng);
-  FusionConfig fc;
-  fc.kind = FusionKind::Coherent;
-  fc.fusion_nodes = 8;
+  auto cnn = std::make_shared<Cnn3d>(dropout_free_cnn(), rng);
+  auto sg = std::make_shared<Sgcnn>(tu::tiny_sg(), rng);
+  FusionConfig fc = tu::tiny_fusion();
   fc.dropout1 = fc.dropout2 = fc.dropout3 = 0.0f;
   FusionModel fusion(fc, cnn, sg, rng);
   TrainConfig tc;
-  tc.epochs = 4;
+  tc.epochs = 2;
   tc.batch_size = 8;
   tc.lr = 1e-3f;
-  const TrainResult res = train_model(fusion, *c.train, *c.val, tc);
+  const TrainResult res = train_model(fusion, *c->train, *c->val, tc);
   EXPECT_LT(res.epochs.back().train_mse, res.epochs.front().train_mse);
 }
 
 TEST(Trainer, EvaluateMatchesDatasetOrder) {
-  Corpus c = make_corpus(16, 7);
+  const auto c = tu::make_corpus(10, 7);
   Rng rng(8);
-  Sgcnn model(tiny_sg(), rng);
-  const std::vector<float> preds = evaluate(model, *c.val);
-  const std::vector<float> labels = labels_of(*c.val);
-  EXPECT_EQ(preds.size(), c.val->size());
-  EXPECT_EQ(labels.size(), c.val->size());
+  Sgcnn model(tu::tiny_sg(), rng);
+  const std::vector<float> preds = evaluate(model, *c->val);
+  const std::vector<float> labels = labels_of(*c->val);
+  EXPECT_EQ(preds.size(), c->val->size());
+  EXPECT_EQ(labels.size(), c->val->size());
   for (float p : preds) EXPECT_TRUE(std::isfinite(p));
 }
 
 TEST(Trainer, ValidationMseConsistentWithEvaluate) {
-  Corpus c = make_corpus(40, 9);
-  ASSERT_GT(c.val->size(), 0u);
+  const auto c = tu::make_corpus(24, 9);
+  ASSERT_GT(c->val->size(), 0u);
   Rng rng(10);
-  Sgcnn model(tiny_sg(), rng);
-  const float mse = validation_mse(model, *c.val);
-  const std::vector<float> preds = evaluate(model, *c.val);
-  const std::vector<float> labels = labels_of(*c.val);
+  Sgcnn model(tu::tiny_sg(), rng);
+  const float mse = validation_mse(model, *c->val);
+  const std::vector<float> preds = evaluate(model, *c->val);
+  const std::vector<float> labels = labels_of(*c->val);
   double acc = 0;
   for (size_t i = 0; i < preds.size(); ++i) acc += (preds[i] - labels[i]) * (preds[i] - labels[i]);
   EXPECT_NEAR(mse, acc / preds.size(), 1e-4);
@@ -135,13 +102,23 @@ TEST(Trainer, ClipGradNormScalesDown) {
   EXPECT_FLOAT_EQ(b.grad[0], 0.3f);
 }
 
-TEST(Trainer, ReportsWallClock) {
-  Corpus c = make_corpus(12, 11);
+TEST(Trainer, ParallelThreadsRequireReplicaFactory) {
+  const auto c = tu::make_corpus(8, 11);
   Rng rng(12);
-  Sgcnn model(tiny_sg(), rng);
+  Sgcnn model(tu::tiny_sg(), rng);
   TrainConfig tc;
   tc.epochs = 1;
-  const TrainResult res = train_model(model, *c.train, *c.val, tc);
+  tc.threads = 2;  // no replica_factory set
+  EXPECT_THROW(train_model(model, *c->train, *c->val, tc), std::invalid_argument);
+}
+
+TEST(Trainer, ReportsWallClock) {
+  const auto c = tu::make_corpus(8, 11);
+  Rng rng(12);
+  Sgcnn model(tu::tiny_sg(), rng);
+  TrainConfig tc;
+  tc.epochs = 1;
+  const TrainResult res = train_model(model, *c->train, *c->val, tc);
   EXPECT_GT(res.seconds, 0.0);
 }
 

@@ -1,0 +1,247 @@
+// Trainer checkpoint/resume property tests (the trainer analogue of
+// test_campaign_resume): a training run killed after ANY number of
+// optimizer steps and resumed from its last checkpoint must produce final
+// parameters and a TrainResult bitwise identical to the uninterrupted run
+// — with dropout, shuffling and rotation augmentation active, so the
+// cursor-derived RNG streams are what actually carries the guarantee.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trainer_test_utils.h"
+
+namespace df::models {
+namespace {
+
+namespace fs = std::filesystem;
+namespace tu = testutil;
+
+class TrainerResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("df_train_resume_" +
+             std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    corpus_ = tu::make_corpus(16, 51, /*augment=*/true);
+    ASSERT_GT(corpus_->val->size(), 0u);  // empty val would weaken every pin
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  TrainConfig config(const std::string& name, int checkpoint_every) {
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 6;
+    tc.lr = 1e-3f;
+    tc.grad_shards = 4;
+    tc.seed = 99;
+    tc.checkpoint_path = (root_ / (name + ".ckpt")).string();
+    tc.checkpoint_every_batches = checkpoint_every;
+    return tc;
+  }
+
+  TrainResult train_into(Regressor& model, const TrainConfig& tc) {
+    return train_model(model, *corpus_->train, *corpus_->val, tc);
+  }
+
+  fs::path root_;
+  std::unique_ptr<tu::Corpus> corpus_;
+};
+
+TEST_F(TrainerResumeTest, KilledAtEveryStepResumesExactly) {
+  // Reference: uninterrupted run (checkpointing on — it must not change
+  // arithmetic, which KilledAtEveryStep's comparison also verifies against
+  // a checkpoint-free run below).
+  std::unique_ptr<Regressor> ref_model = tu::cnn_factory()();
+  const TrainResult ref = train_into(*ref_model, config("ref", 1));
+
+  TrainConfig plain = config("plain", 0);
+  plain.checkpoint_path.clear();
+  std::unique_ptr<Regressor> plain_model = tu::cnn_factory()();
+  const TrainResult plain_res = train_into(*plain_model, plain);
+  tu::expect_results_bitwise_equal(ref, plain_res);
+  tu::expect_parameters_bitwise_equal(*ref_model, *plain_model);
+
+  const int64_t total_steps =
+      static_cast<int64_t>(ref.epochs.size()) *
+      static_cast<int64_t>((corpus_->train->size() + 5) / 6);  // ceil(n/batch) per epoch
+  ASSERT_GE(total_steps, 4);
+
+  for (int64_t kill_at = 1; kill_at <= total_steps; ++kill_at) {
+    SCOPED_TRACE("kill_at=" + std::to_string(kill_at));
+    TrainConfig tc = config("kill" + std::to_string(kill_at), 1);
+    tc.kill_after_steps = kill_at;
+    std::unique_ptr<Regressor> model = tu::cnn_factory()();
+    EXPECT_THROW(train_into(*model, tc), TrainerKilled);
+
+    tc.kill_after_steps = -1;  // "new process": resume from disk
+    std::unique_ptr<Regressor> resumed_model = tu::cnn_factory()();
+    const TrainResult resumed = train_into(*resumed_model, tc);
+    tu::expect_results_bitwise_equal(ref, resumed);
+    tu::expect_parameters_bitwise_equal(*ref_model, *resumed_model);
+  }
+}
+
+TEST_F(TrainerResumeTest, SparseCheckpointsReplayTheGap) {
+  // Checkpoint every 2 steps but kill on odd steps: the resume must replay
+  // the uncheckpointed batch bit-exactly from the derived streams.
+  std::unique_ptr<Regressor> ref_model = tu::cnn_factory()();
+  const TrainResult ref = train_into(*ref_model, config("ref", 2));
+  for (int64_t kill_at : {1, 3}) {
+    SCOPED_TRACE("kill_at=" + std::to_string(kill_at));
+    TrainConfig tc = config("sparse" + std::to_string(kill_at), 2);
+    tc.kill_after_steps = kill_at;
+    std::unique_ptr<Regressor> model = tu::cnn_factory()();
+    EXPECT_THROW(train_into(*model, tc), TrainerKilled);
+    tc.kill_after_steps = -1;
+    std::unique_ptr<Regressor> resumed_model = tu::cnn_factory()();
+    const TrainResult resumed = train_into(*resumed_model, tc);
+    tu::expect_results_bitwise_equal(ref, resumed);
+    tu::expect_parameters_bitwise_equal(*ref_model, *resumed_model);
+  }
+}
+
+TEST_F(TrainerResumeTest, DoubleKillThenResumeStillExact) {
+  std::unique_ptr<Regressor> ref_model = tu::cnn_factory()();
+  const TrainResult ref = train_into(*ref_model, config("ref", 1));
+
+  TrainConfig tc = config("twice", 1);
+  tc.kill_after_steps = 1;
+  std::unique_ptr<Regressor> m1 = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m1, tc), TrainerKilled);
+  tc.kill_after_steps = 2;  // counts steps in THIS process
+  std::unique_ptr<Regressor> m2 = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m2, tc), TrainerKilled);
+  tc.kill_after_steps = -1;
+  std::unique_ptr<Regressor> m3 = tu::cnn_factory()();
+  const TrainResult resumed = train_into(*m3, tc);
+  tu::expect_results_bitwise_equal(ref, resumed);
+  tu::expect_parameters_bitwise_equal(*ref_model, *m3);
+}
+
+TEST_F(TrainerResumeTest, ResumeAfterCompletionRunsNoSteps) {
+  TrainConfig tc = config("done", 1);
+  std::unique_ptr<Regressor> model = tu::cnn_factory()();
+  const TrainResult first = train_into(*model, tc);
+
+  // kill_after_steps=1 would throw on the first optimizer step; completing
+  // without throwing proves the resumed run trained nothing.
+  tc.kill_after_steps = 1;
+  std::unique_ptr<Regressor> again_model = tu::cnn_factory()();
+  const TrainResult again = train_into(*again_model, tc);
+  tu::expect_results_bitwise_equal(first, again);
+  tu::expect_parameters_bitwise_equal(*model, *again_model);
+}
+
+TEST_F(TrainerResumeTest, ParallelResumeMatchesSerialReference) {
+  // Kill a serial run, resume with 4 lanes: thread count is not part of
+  // the checkpoint geometry, and bits must not change.
+  std::unique_ptr<Regressor> ref_model = tu::cnn_factory()();
+  const TrainResult ref = train_into(*ref_model, config("ref", 1));
+
+  TrainConfig tc = config("par", 1);
+  tc.kill_after_steps = 2;
+  std::unique_ptr<Regressor> m1 = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m1, tc), TrainerKilled);
+  tc.kill_after_steps = -1;
+  tc.threads = 4;
+  tc.replica_factory = tu::cnn_factory();
+  std::unique_ptr<Regressor> m2 = tu::cnn_factory()();
+  const TrainResult resumed = train_into(*m2, tc);
+  tu::expect_results_bitwise_equal(ref, resumed);
+  tu::expect_parameters_bitwise_equal(*ref_model, *m2);
+}
+
+TEST_F(TrainerResumeTest, GeometryMismatchRejected) {
+  TrainConfig tc = config("geom", 1);
+  tc.kill_after_steps = 1;
+  std::unique_ptr<Regressor> model = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*model, tc), TrainerKilled);
+
+  TrainConfig wrong = tc;
+  wrong.kill_after_steps = -1;
+  wrong.batch_size = 4;  // would change shard boundaries and bits
+  std::unique_ptr<Regressor> m2 = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m2, wrong), std::runtime_error);
+
+  wrong = tc;
+  wrong.kill_after_steps = -1;
+  wrong.seed = 100;  // different stream root
+  std::unique_ptr<Regressor> m3 = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m3, wrong), std::runtime_error);
+
+  wrong = tc;
+  wrong.kill_after_steps = -1;
+  wrong.lr = 5e-3f;  // a different optimizer trajectory, bit for bit
+  std::unique_ptr<Regressor> m4 = tu::cnn_factory()();
+  // The rejected resume must not have touched the model either: its
+  // parameters still equal a fresh factory build.
+  std::unique_ptr<Regressor> fresh = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m4, wrong), std::runtime_error);
+  tu::expect_parameters_bitwise_equal(*m4, *fresh);
+}
+
+TEST_F(TrainerResumeTest, StaleLongerCheckpointRejectedButExtendingAllowed) {
+  // A checkpoint further into training than cfg.epochs is stale history →
+  // rejected. The other direction — raising the epoch budget — resumes,
+  // and must be bit-equal to an uninterrupted run of the longer length
+  // (epoch-keyed streams make continuation exact).
+  TrainConfig tc = config("stale", 1);
+  std::unique_ptr<Regressor> m = tu::cnn_factory()();
+  train_into(*m, tc);  // completes 2 epochs; cursor at (2, 0)
+
+  TrainConfig shorter = tc;
+  shorter.epochs = 1;
+  std::unique_ptr<Regressor> m2 = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m2, shorter), std::runtime_error);
+
+  TrainConfig full3 = config("stale_ref", 1);
+  full3.epochs = 3;
+  std::unique_ptr<Regressor> ref = tu::cnn_factory()();
+  const TrainResult full = train_into(*ref, full3);
+  TrainConfig extend = tc;
+  extend.epochs = 3;
+  std::unique_ptr<Regressor> m3 = tu::cnn_factory()();
+  const TrainResult extended = train_into(*m3, extend);
+  tu::expect_results_bitwise_equal(full, extended);
+  tu::expect_parameters_bitwise_equal(*ref, *m3);
+}
+
+TEST_F(TrainerResumeTest, KillBeforeFirstStep) {
+  TrainConfig tc = config("kill0", 1);
+  tc.kill_after_steps = 0;
+  std::unique_ptr<Regressor> m = tu::cnn_factory()();
+  EXPECT_THROW(train_into(*m, tc), TrainerKilled);
+}
+
+TEST_F(TrainerResumeTest, EveryOptimizerStateRoundTrips) {
+  // Adam's moments/step count, RMSprop and Adadelta accumulators, SGD
+  // momentum: each must survive the checkpoint for resume to be exact.
+  const nn::OptimizerKind kinds[] = {nn::OptimizerKind::kAdam, nn::OptimizerKind::kAdamW,
+                                     nn::OptimizerKind::kRMSprop, nn::OptimizerKind::kAdadelta,
+                                     nn::OptimizerKind::kSGD};
+  for (nn::OptimizerKind kind : kinds) {
+    SCOPED_TRACE(nn::optimizer_name(kind));
+    const std::string name = std::string("opt_") + nn::optimizer_name(kind);
+    TrainConfig tc = config(name, 1);
+    tc.optimizer = kind;
+    tc.epochs = 1;
+    std::unique_ptr<Regressor> ref_model = tu::sg_factory()();
+    TrainConfig ref_tc = tc;
+    ref_tc.checkpoint_path = (root_ / (name + "_ref.ckpt")).string();
+    const TrainResult ref = train_into(*ref_model, ref_tc);
+
+    tc.kill_after_steps = 1;
+    std::unique_ptr<Regressor> model = tu::sg_factory()();
+    EXPECT_THROW(train_into(*model, tc), TrainerKilled);
+    tc.kill_after_steps = -1;
+    std::unique_ptr<Regressor> resumed_model = tu::sg_factory()();
+    const TrainResult resumed = train_into(*resumed_model, tc);
+    tu::expect_results_bitwise_equal(ref, resumed);
+    tu::expect_parameters_bitwise_equal(*ref_model, *resumed_model);
+  }
+}
+
+}  // namespace
+}  // namespace df::models

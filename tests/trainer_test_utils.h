@@ -1,0 +1,143 @@
+// Shared fixtures for the training-engine property tests: tiny featurized
+// corpora, model builders with matching replica factories, and the bitwise
+// TrainResult/parameter comparison — so "identical training run" means the
+// same thing in test_trainer_parallel and test_trainer_resume (the same
+// role campaign_test_utils.h plays for the campaign suites).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "data/splits.h"
+#include "models/fusion.h"
+#include "models/trainer.h"
+
+namespace df::models::testutil {
+
+/// The datasets hold a pointer to `recs`, so a Corpus must never be moved
+/// or copied after construction — hand it around by unique_ptr.
+struct Corpus {
+  std::vector<data::ComplexRecord> recs;
+  std::unique_ptr<data::ComplexDataset> train;
+  std::unique_ptr<data::ComplexDataset> val;
+
+  Corpus() = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+};
+
+/// Tiny corpus; `augment` turns on the rotation augmentation of the train
+/// split so the loader's per-(epoch, position) featurization streams are
+/// part of what the determinism pins cover. The val fraction is generous
+/// because an empty validation set would silently reduce the val_mse pins
+/// to comparing zeros; callers still ASSERT on val->size().
+inline std::unique_ptr<Corpus> make_corpus(int n, uint64_t seed, bool augment = false) {
+  auto c = std::make_unique<Corpus>();
+  data::PdbbindConfig cfg;
+  cfg.num_complexes = n;
+  cfg.core_size = 2;
+  cfg.settle_runs = 1;
+  cfg.settle_steps = 4;
+  core::Rng rng(seed);
+  c->recs = data::SyntheticPdbbind(cfg).generate(rng);
+  data::TrainValSplit split = data::pdbbind_train_val(c->recs, 0.5f, rng);
+  data::DatasetConfig train_dc;
+  train_dc.voxel.grid_dim = 8;
+  train_dc.rotation_augment = augment;
+  train_dc.rotation_prob = 0.5f;
+  data::DatasetConfig val_dc;
+  val_dc.voxel.grid_dim = 8;
+  c->train = std::make_unique<data::ComplexDataset>(&c->recs, split.train, train_dc);
+  c->val = std::make_unique<data::ComplexDataset>(&c->recs, split.val, val_dc);
+  return c;
+}
+
+inline SgcnnConfig tiny_sg() {
+  SgcnnConfig cfg;
+  cfg.covalent_gather_width = 8;
+  cfg.noncovalent_gather_width = 16;
+  cfg.covalent_k = 2;
+  cfg.noncovalent_k = 2;
+  return cfg;
+}
+
+/// Dropout ON: the keyed per-sample mask streams are part of the contract.
+inline Cnn3dConfig tiny_cnn() {
+  Cnn3dConfig cfg;
+  cfg.grid_dim = 8;
+  cfg.conv_filters1 = 4;
+  cfg.conv_filters2 = 8;
+  cfg.dense_nodes = 16;
+  cfg.dropout1 = 0.25f;
+  cfg.dropout2 = 0.125f;
+  return cfg;
+}
+
+inline FusionConfig tiny_fusion() {
+  FusionConfig cfg;
+  cfg.kind = FusionKind::Coherent;
+  cfg.fusion_nodes = 8;
+  cfg.num_fusion_layers = 3;
+  cfg.dropout1 = 0.3f;
+  cfg.dropout2 = 0.2f;
+  cfg.dropout3 = 0.1f;
+  return cfg;
+}
+
+inline RegressorFactory sg_factory(uint64_t seed = 2) {
+  return [seed] {
+    core::Rng rng(seed);
+    return std::make_unique<Sgcnn>(tiny_sg(), rng);
+  };
+}
+
+inline RegressorFactory cnn_factory(uint64_t seed = 3) {
+  return [seed] {
+    core::Rng rng(seed);
+    return std::make_unique<Cnn3d>(tiny_cnn(), rng);
+  };
+}
+
+inline RegressorFactory fusion_factory(uint64_t seed = 4) {
+  return [seed]() -> std::unique_ptr<Regressor> {
+    core::Rng rng(seed);
+    auto cnn = std::make_shared<Cnn3d>(tiny_cnn(), rng);
+    auto sg = std::make_shared<Sgcnn>(tiny_sg(), rng);
+    return std::make_unique<FusionModel>(tiny_fusion(), cnn, sg, rng);
+  };
+}
+
+inline uint32_t float_bits(float v) { return std::bit_cast<uint32_t>(v); }
+
+/// Bitwise TrainResult equality, wall clock excluded (the one field that
+/// legitimately differs between runs).
+inline void expect_results_bitwise_equal(const TrainResult& a, const TrainResult& b) {
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(float_bits(a.epochs[e].train_mse), float_bits(b.epochs[e].train_mse))
+        << "train_mse differs at epoch " << e;
+    EXPECT_EQ(float_bits(a.epochs[e].val_mse), float_bits(b.epochs[e].val_mse))
+        << "val_mse differs at epoch " << e;
+  }
+  EXPECT_EQ(float_bits(a.best_val_mse), float_bits(b.best_val_mse));
+  EXPECT_EQ(a.best_epoch, b.best_epoch);
+}
+
+inline void expect_parameters_bitwise_equal(Regressor& a, Regressor& b) {
+  const std::vector<nn::Parameter*> pa = a.trainable_parameters();
+  const std::vector<nn::Parameter*> pb = b.trainable_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.shape(), pb[i]->value.shape()) << "param " << i;
+    int64_t diffs = 0;
+    for (int64_t j = 0; j < pa[i]->value.numel(); ++j) {
+      if (float_bits(pa[i]->value[j]) != float_bits(pb[i]->value[j])) ++diffs;
+    }
+    EXPECT_EQ(diffs, 0) << "param " << i << " (" << pa[i]->name << ") differs";
+  }
+}
+
+}  // namespace df::models::testutil
