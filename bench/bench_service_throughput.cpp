@@ -1,18 +1,20 @@
-// Multi-client serving throughput: the ScoringService's cross-client
-// micro-batching against per-client serial scoring (the pre-service world:
-// every client owns a replica and scores its poses one by one). Three
-// configurations over the same workload — C concurrent clients, each
-// streaming small pose requests at one shared CNN backend:
+// Serving benchmarks, two layers:
 //
-//   serial     — C client threads, private replicas, per-pose predict calls;
-//   ordered    — ScoringService in ordered-stream mode (batching within a
-//                request only, deterministic bits);
-//   coalesced  — ScoringService in throughput mode (dynamic micro-batcher
-//                merges requests across clients up to poses_per_batch).
+//  1. Hot path — RegressorScorer::score on a private replica at the
+//     service's poses_per_batch (32): poses/sec plus the featurize/forward
+//     phase split for all four scorer families (3D-CNN, SG-CNN, Fusion,
+//     Vina), and a fused-vs-unfused GEMM epilogue microbench. This is the
+//     number the zero-allocation engine (workspace arenas + fused epilogues
+//     + batched block-diagonal SG-CNN) moves.
+//
+//  2. Service — the ScoringService's cross-client micro-batching against
+//     per-client serial scoring (the pre-service world): C concurrent
+//     clients streaming small pose requests at one shared CNN backend,
+//     in ordered-stream and coalescing modes.
 //
 // Run modes:
-//   bench_service_throughput                — human-readable table
-//   bench_service_throughput --json[=PATH]  — also write BENCH_service_throughput.json
+//   bench_service_throughput                — human-readable tables
+//   bench_service_throughput --json[=PATH]  — also write BENCH_service.json
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +26,7 @@
 
 #include "bench_common.h"
 #include "chem/conformer.h"
+#include "core/gemm.h"
 #include "serve/service.h"
 
 using namespace df;
@@ -36,6 +39,7 @@ constexpr int kPosesPerClient = 32;
 constexpr int kPosesPerRequest = 8;   // clients stream small requests
 constexpr int kPosesPerBatch = 32;    // service micro-batch target
 constexpr int kRounds = 2;            // best-of timing
+constexpr int kHotPathReps = 12;      // score() calls per timing round
 
 /// Table-3-shaped 3D-CNN (the paper's production scorer scale at our bench
 /// grid): the batched dense head and amortized per-call costs are where
@@ -73,6 +77,8 @@ Workload make_workload() {
   return w;
 }
 
+/// All four scorer families at the bench model scale, registered under
+/// their canonical names.
 serve::ModelRegistry make_registry() {
   serve::ModelRegistry reg;
   chem::VoxelConfig voxel;
@@ -81,12 +87,119 @@ serve::ModelRegistry make_registry() {
     core::Rng mrng(9);
     return std::make_unique<models::Cnn3d>(service_cnn_config(), mrng);
   }, voxel);
+  serve::add_regressor(reg, "sgcnn", [] {
+    core::Rng mrng(10);
+    return std::make_unique<models::Sgcnn>(bench_sgcnn_config(), mrng);
+  }, voxel);
+  serve::add_regressor(reg, "fusion", [] {
+    core::Rng mrng(11);
+    auto cnn = std::make_shared<models::Cnn3d>(bench_cnn3d_config(), mrng);
+    auto sg = std::make_shared<models::Sgcnn>(bench_sgcnn_config(), mrng);
+    return std::make_unique<models::FusionModel>(
+        bench_fusion_config(models::FusionKind::Mid), std::move(cnn), std::move(sg), mrng);
+  }, voxel);
+  reg.add("vina_pk", [] { return std::make_unique<serve::VinaPkScorer>(); });
   return reg;
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
+
+// ---- hot path: direct scorer at poses_per_batch -------------------------
+
+struct HotPathResult {
+  std::string family;
+  double poses_per_second = 0.0;
+  double featurize_ms_per_batch = 0.0;  // 0 for non-Regressor backends
+  double forward_ms_per_batch = 0.0;
+};
+
+HotPathResult run_hot_path(const serve::ModelRegistry& reg, const std::string& family,
+                           const Workload& w) {
+  HotPathResult r;
+  r.family = family;
+  std::unique_ptr<serve::Scorer> scorer = reg.make(family);
+  std::vector<const serve::PoseInput*> batch;
+  for (int i = 0; i < kPosesPerBatch; ++i) {
+    batch.push_back(&w.client_poses[0][static_cast<size_t>(i)]);
+  }
+  for (int i = 0; i < 2; ++i) scorer->score(batch);  // warm arenas + caches
+
+  auto* regressor = dynamic_cast<serve::RegressorScorer*>(scorer.get());
+  const auto stats0 = regressor != nullptr ? regressor->phase_stats()
+                                           : serve::RegressorScorer::PhaseStats{};
+  double best = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kHotPathReps; ++i) {
+      volatile float sink = scorer->score(batch)[0];
+      (void)sink;
+    }
+    best = std::min(best, seconds_since(t0));
+  }
+  r.poses_per_second = 3.0 * kHotPathReps * kPosesPerBatch /
+                       (3.0 * best);  // best round, poses/sec
+  if (regressor != nullptr) {
+    const auto stats1 = regressor->phase_stats();
+    const double batches = static_cast<double>(stats1.batches - stats0.batches);
+    r.featurize_ms_per_batch =
+        (stats1.featurize_seconds - stats0.featurize_seconds) / batches * 1e3;
+    r.forward_ms_per_batch = (stats1.forward_seconds - stats0.forward_seconds) / batches * 1e3;
+  }
+  return r;
+}
+
+// ---- epilogue microbench ------------------------------------------------
+
+struct EpilogueResult {
+  double fused_ms = 0.0;
+  double unfused_ms = 0.0;
+};
+
+/// Fused bias+activation epilogue vs gemm-then-elementwise at the fusion
+/// head's gather shape (many rows, narrow SELU-activated output).
+EpilogueResult run_epilogue_bench() {
+  core::Rng rng(29);
+  const int64_t m = 2048, n = 48, k = 38;
+  core::Tensor a = core::Tensor::randn({m, k}, rng);
+  core::Tensor b = core::Tensor::randn({k, n}, rng);
+  core::Tensor bias = core::Tensor::randn({n}, rng);
+  core::Tensor out({m, n});
+  core::Epilogue ep;
+  ep.act = core::EpilogueAct::kSELU;
+  ep.bias_col = bias.data();
+
+  const int reps = 200;
+  EpilogueResult r;
+  double best_fused = 1e30, best_unfused = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      core::sgemm(false, false, m, n, k, a.data(), k, b.data(), n, out.data(), n, false, &ep);
+    }
+    best_fused = std::min(best_fused, seconds_since(t0));
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      core::sgemm(false, false, m, n, k, a.data(), k, b.data(), n, out.data(), n);
+      for (int64_t r2 = 0; r2 < m; ++r2) {
+        float* row = out.data() + r2 * n;
+        for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+      }
+      for (int64_t i2 = 0; i2 < out.numel(); ++i2) {
+        const float v = out[i2];
+        out[i2] = v > 0.0f ? 1.0507009873554805f * v
+                           : 1.0507009873554805f * 1.6732632423543772f * (std::exp(v) - 1.0f);
+      }
+    }
+    best_unfused = std::min(best_unfused, seconds_since(t0));
+  }
+  r.fused_ms = best_fused / reps * 1e3;
+  r.unfused_ms = best_unfused / reps * 1e3;
+  return r;
+}
+
+// ---- service comparison (cross-client batching vs serial) ---------------
 
 /// Pre-service world: every client owns a replica and scores pose by pose.
 double run_serial(const serve::ModelRegistry& reg, const Workload& w) {
@@ -151,11 +264,30 @@ double run_service(const serve::ModelRegistry& reg, const Workload& w, bool orde
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = json_flag_path(argc, argv, "BENCH_service_throughput.json");
+  const std::string json_path = json_flag_path(argc, argv, "BENCH_service.json");
 
-  print_header("ScoringService — cross-client batching vs per-client serial scoring");
   const Workload w = make_workload();
   const serve::ModelRegistry reg = make_registry();
+
+  // ---- hot path ----
+  print_header("Serving hot path — direct scorer, batch of 32 poses");
+  std::vector<HotPathResult> hot;
+  for (const char* family : {"cnn3d", "sgcnn", "fusion", "vina_pk"}) {
+    hot.push_back(run_hot_path(reg, family, w));
+  }
+  std::printf("%-10s %12s %16s %15s\n", "family", "poses/s", "featurize ms/b", "forward ms/b");
+  print_rule(60);
+  for (const HotPathResult& r : hot) {
+    std::printf("%-10s %12.1f %16.3f %15.3f\n", r.family.c_str(), r.poses_per_second,
+                r.featurize_ms_per_batch, r.forward_ms_per_batch);
+  }
+  const EpilogueResult epi = run_epilogue_bench();
+  std::printf("\nfused GEMM epilogue (2048x48x38, bias+SELU): %.3f ms vs unfused %.3f ms "
+              "(%.2fx)\n\n",
+              epi.fused_ms, epi.unfused_ms, epi.unfused_ms / epi.fused_ms);
+
+  // ---- service comparison ----
+  print_header("ScoringService — cross-client batching vs per-client serial scoring");
   const double total_poses = static_cast<double>(kClients) * kPosesPerClient;
   std::printf("workload: %d clients x %d poses, %d-pose requests, batch target %d\n\n",
               kClients, kPosesPerClient, kPosesPerRequest, kPosesPerBatch);
@@ -198,9 +330,23 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "{\n"
-                 "  \"schema\": \"bench_service_throughput.v1\",\n"
+                 "  \"schema\": \"bench_service.v2\",\n"
                  "  \"workload\": {\"clients\": %d, \"poses_per_client\": %d, "
                  "\"poses_per_request\": %d, \"poses_per_batch\": %d},\n"
+                 "  \"hot_path\": {\n",
+                 kClients, kPosesPerClient, kPosesPerRequest, kPosesPerBatch);
+    for (size_t i = 0; i < hot.size(); ++i) {
+      const HotPathResult& r = hot[i];
+      std::fprintf(out,
+                   "    \"%s\": {\"poses_per_second\": %.1f, "
+                   "\"featurize_ms_per_batch\": %.3f, \"forward_ms_per_batch\": %.3f}%s\n",
+                   r.family.c_str(), r.poses_per_second, r.featurize_ms_per_batch,
+                   r.forward_ms_per_batch, i + 1 < hot.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  },\n"
+                 "  \"epilogue\": {\"fused_ms\": %.4f, \"unfused_ms\": %.4f, "
+                 "\"speedup\": %.3f},\n"
                  "  \"serial\": {\"seconds\": %.4f, \"poses_per_second\": %.1f},\n"
                  "  \"service_ordered\": {\"seconds\": %.4f, \"poses_per_second\": %.1f, "
                  "\"batches\": %llu},\n"
@@ -210,7 +356,7 @@ int main(int argc, char** argv) {
                  "  \"speedup_ordered_vs_serial\": %.3f,\n"
                  "  \"cross_client_batching_beats_serial\": %s\n"
                  "}\n",
-                 kClients, kPosesPerClient, kPosesPerRequest, kPosesPerBatch, serial_s,
+                 epi.fused_ms, epi.unfused_ms, epi.unfused_ms / epi.fused_ms, serial_s,
                  serial_pps, ordered_s, ordered_pps,
                  static_cast<unsigned long long>(ordered_stats.batches), coalesced_s,
                  coalesced_pps, static_cast<unsigned long long>(coalesced_stats.batches),

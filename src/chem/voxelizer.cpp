@@ -1,7 +1,11 @@
 #include "chem/voxelizer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
+
+#include "core/simd_math.h"
 
 #include "core/parallel.h"
 
@@ -32,10 +36,39 @@ struct SplatOp {
   int xlo, xhi, ylo, yhi, zlo, zhi;  // inclusive voxel box, clipped to grid
 };
 
+// The splat is exp-bound (one Gaussian per in-cutoff voxel), so the x rows
+// run 16 lanes at a time through the shared vectorized exp
+// (core/simd_math.h); out-of-range or beyond-cutoff lanes contribute an
+// exact +0.0f. Accumulation per cell keeps the per-op order of the caller,
+// so serial and sliced-parallel fills stay bitwise identical.
 void splat_slice(core::Tensor& grid, const SplatOp& op, int G, float res, float half, int z) {
   float* base = grid.data() + (static_cast<int64_t>(op.channel) * G + z) * G * G;
   const float vz = (static_cast<float>(z) + 0.5f) * res - half;
   const float dz = vz - op.rel.z;
+#if defined(DF_SIMD_MATH_VECTOR)
+  using core::simd::vf16;
+  const float dz2 = dz * dz;
+  for (int y = op.ylo; y <= op.yhi; ++y) {
+    const float vy = (static_cast<float>(y) + 0.5f) * res - half;
+    const float dy = vy - op.rel.y;
+    const float dyz2 = dy * dy + dz2;
+    float* row = base + static_cast<int64_t>(y) * G;
+    for (int x0 = op.xlo; x0 <= op.xhi; x0 += 16) {
+      const vf16 fx =
+          (core::simd::splat(static_cast<float>(x0)) + core::simd::iota16() +
+           core::simd::splat(0.5f)) * core::simd::splat(res) - core::simd::splat(half);
+      const vf16 dx = fx - core::simd::splat(op.rel.x);
+      const vf16 d2 = dx * dx + core::simd::splat(dyz2);
+      vf16 w = core::simd::splat(op.weight) *
+               core::simd::vexp16(-d2 * core::simd::splat(op.inv2s2));
+      w = d2 > core::simd::splat(op.cutoff2) ? vf16{} : w;
+      alignas(64) float buf[16];
+      std::memcpy(buf, &w, sizeof(buf));
+      const int count = std::min(16, op.xhi - x0 + 1);
+      for (int c = 0; c < count; ++c) row[x0 + c] += buf[c];
+    }
+  }
+#else
   for (int y = op.ylo; y <= op.yhi; ++y) {
     const float vy = (static_cast<float>(y) + 0.5f) * res - half;
     const float dy = vy - op.rel.y;
@@ -44,9 +77,10 @@ void splat_slice(core::Tensor& grid, const SplatOp& op, int G, float res, float 
       const float dx = vx - op.rel.x;
       const float d2 = dx * dx + dy * dy + dz * dz;
       if (d2 > op.cutoff2) continue;
-      base[static_cast<int64_t>(y) * G + x] += op.weight * std::exp(-d2 * op.inv2s2);
+      base[static_cast<int64_t>(y) * G + x] += op.weight * core::simd::exp_scalar(-d2 * op.inv2s2);
     }
   }
+#endif
 }
 }  // namespace
 
@@ -55,16 +89,17 @@ Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pock
   const int G = cfg_.grid_dim;
   const float res = cfg_.resolution;
   const float half = cfg_.box_extent() * 0.5f;
-  Tensor grid({1, cfg_.channels(), G, G, G});
-  // The (1, C, ...) tensor is addressed as (C, ...) internally: batch dim 1.
-  Tensor view = grid.reshaped({cfg_.channels(), G, G, G});
+  // The (1, C, G, G, G) flat layout is identical to (C, G, G, G), so the
+  // splats index it directly — no reshape copy on the way out.
+  Tensor view({1, cfg_.channels(), G, G, G});
 
   // Expand atoms into per-channel deposits once (geometry included), then
   // fill the grid one z-slice at a time. Slices write disjoint memory, so
   // the slice loop fans out over the compute pool when one is installed;
   // per-cell accumulation order is unchanged, so output is bitwise
-  // identical either way.
-  std::vector<SplatOp> ops;
+  // identical either way. Op scratch is reused across calls.
+  static thread_local std::vector<SplatOp> ops;
+  ops.clear();
   ops.reserve((ligand.atoms().size() + pocket.size()) * 2);
   auto expand = [&](const Atom& a, int block) {
     const ElementInfo& info = element_info(a.element);
@@ -101,14 +136,60 @@ Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pock
   for (const Atom& a : ligand.atoms()) expand(a, /*block=*/0);
   for (const Atom& a : pocket) expand(a, /*block=*/1);
 
-  core::parallel_for_auto(static_cast<size_t>(G), 4, [&](size_t zi) {
+  // Bucket ops by z-slice (CSR layout) so each slice walks only the ops
+  // that actually touch it instead of scanning the full list. The fill
+  // appends in op order, so every slice still applies its ops in the same
+  // sequence as the old full scan — bitwise-identical accumulation. The
+  // scratch is thread_local: voxelize is hot in serving and must not pay a
+  // heap round trip per pose.
+  static thread_local std::vector<int32_t> slice_start;  // size G+1
+  static thread_local std::vector<int32_t> slice_ops;    // op indices, CSR
+  slice_start.assign(static_cast<size_t>(G) + 1, 0);
+  for (const SplatOp& op : ops) {
+    for (int z = op.zlo; z <= op.zhi; ++z) ++slice_start[static_cast<size_t>(z) + 1];
+  }
+  for (int z = 0; z < G; ++z) slice_start[static_cast<size_t>(z) + 1] += slice_start[static_cast<size_t>(z)];
+  slice_ops.resize(static_cast<size_t>(slice_start[static_cast<size_t>(G)]));
+  {
+    static thread_local std::vector<int32_t> cursor;
+    cursor.assign(slice_start.begin(), slice_start.end() - 1);
+    for (size_t oi = 0; oi < ops.size(); ++oi) {
+      for (int z = ops[oi].zlo; z <= ops[oi].zhi; ++z) {
+        slice_ops[static_cast<size_t>(cursor[static_cast<size_t>(z)]++)] = static_cast<int32_t>(oi);
+      }
+    }
+  }
+
+  // Workers must see the caller's buckets, not their own thread_locals —
+  // hand them raw pointers, never the thread_local names.
+  const int32_t* const sstart = slice_start.data();
+  const int32_t* const sops = slice_ops.data();
+  const SplatOp* const opsp = ops.data();
+  core::parallel_for_auto(static_cast<size_t>(G), 4, [&, sstart, sops, opsp](size_t zi) {
     const int z = static_cast<int>(zi);
-    for (const SplatOp& op : ops) {
-      if (z < op.zlo || z > op.zhi) continue;
-      splat_slice(view, op, G, res, half, z);
+    for (int32_t i = sstart[zi]; i < sstart[zi + 1]; ++i) {
+      splat_slice(view, opsp[static_cast<size_t>(sops[i])], G, res, half, z);
     }
   });
-  return view.reshaped({1, cfg_.channels(), G, G, G});
+  return view;
+}
+
+Tensor Voxelizer::voxelize_pocket(const std::vector<Atom>& pocket,
+                                  const core::Vec3& center) const {
+  return voxelize(Molecule(), pocket, center);
+}
+
+Tensor Voxelizer::voxelize_ligand_onto(const Molecule& ligand, const Tensor& pocket_grid,
+                                       const core::Vec3& center) const {
+  Tensor grid = voxelize(ligand, {}, center);
+  // Channel blocks are disjoint: ligand splats live in block 0, pocket in
+  // block 1, so grafting the cached pocket block reproduces the joint
+  // voxelization bit for bit.
+  const int64_t block = static_cast<int64_t>(kVoxelChannelsPerBlock) * cfg_.grid_dim *
+                        cfg_.grid_dim * cfg_.grid_dim;
+  std::memcpy(grid.data() + block, pocket_grid.data() + block,
+              static_cast<size_t>(block) * sizeof(float));
+  return grid;
 }
 
 void random_rotation_augment(Molecule& ligand, std::vector<Atom>& pocket, const core::Vec3& center,

@@ -41,6 +41,19 @@ class Voxelizer {
   Tensor voxelize(const Molecule& ligand, const std::vector<Atom>& pocket,
                   const core::Vec3& center) const;
 
+  /// Pocket-only grid (ligand block channels left zero) for reuse across
+  /// the many poses docked into one pocket.
+  Tensor voxelize_pocket(const std::vector<Atom>& pocket, const core::Vec3& center) const;
+
+  /// Splat only the ligand, then copy `pocket_grid`'s protein-block
+  /// channels in. Ligand and protein occupy disjoint channel blocks, so the
+  /// result is bitwise identical to voxelize(ligand, pocket, center) with
+  /// the pocket `pocket_grid` was built from — at a fraction of the splat
+  /// work. The serving scorer uses this to amortize pocket splatting over a
+  /// micro-batch (serve/scorer.h).
+  Tensor voxelize_ligand_onto(const Molecule& ligand, const Tensor& pocket_grid,
+                              const core::Vec3& center) const;
+
   const VoxelConfig& config() const { return cfg_; }
 
  private:

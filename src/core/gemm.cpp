@@ -1,16 +1,91 @@
 #include "core/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "core/parallel.h"
+#include "core/simd_math.h"
 #include "core/threadpool.h"
 
 namespace df::core {
 
 namespace {
+
+// SELU constants (Klambauer et al. 2017) — numerically identical to
+// nn::SELU::kScale/kAlpha; duplicated here because core cannot depend on nn.
+constexpr float kSeluScale = 1.0507009873554805f;
+constexpr float kSeluAlpha = 1.6732632423543772f;
+
+// Scalar epilogue evaluation over the shared simd-math polynomials — the
+// reference used by sgemm_naive and the k==0 path. The hot paths below
+// apply the same activations through the 16-lane vector forms; both are
+// elementwise-pure, so chunking never changes a value.
+inline float apply_act(float v, EpilogueAct act, float slope) {
+  switch (act) {
+    case EpilogueAct::kNone: return v;
+    case EpilogueAct::kReLU: return v > 0.0f ? v : 0.0f;
+    case EpilogueAct::kLeakyReLU: return v > 0.0f ? v : slope * v;
+    case EpilogueAct::kSELU: return simd::selu_scalar(v, kSeluScale, kSeluAlpha);
+    case EpilogueAct::kSigmoid: return simd::sigmoid_scalar(v);
+    case EpilogueAct::kTanh: return simd::tanh_scalar(v);
+  }
+  return v;
+}
+
+// Finalize one C element: bias broadcasts (column then row), then the
+// activation. `i`/`j` are global C coordinates.
+inline float apply_epilogue(const Epilogue& ep, float v, int64_t i, int64_t j) {
+  if (ep.bias_col != nullptr) v += ep.bias_col[j];
+  if (ep.bias_row != nullptr) v += ep.bias_row[i];
+  return apply_act(v, ep.act, ep.leaky_slope);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+// Vector epilogue over `lanes` (a multiple of 16) padded values of row i
+// starting at global column j0. `bias_padded` must extend to j0 + lanes
+// (the sgemm entry points pad it); garbage in the pad lanes is fine — the
+// caller only stores the first n results back.
+inline void apply_epilogue_lanes(const Epilogue& ep, const float* bias_padded, float* buf,
+                                 int64_t i, int64_t lanes) {
+  using simd::vf16;
+  const vf16 zero = {};
+  for (int64_t c = 0; c < lanes; c += 16) {
+    vf16 v;
+    std::memcpy(&v, buf + c, sizeof(v));
+    if (bias_padded != nullptr) {
+      vf16 b;
+      std::memcpy(&b, bias_padded + c, sizeof(b));
+      v += b;
+    }
+    if (ep.bias_row != nullptr) v += simd::splat(ep.bias_row[i]);
+    switch (ep.act) {
+      case EpilogueAct::kNone: break;
+      case EpilogueAct::kReLU: v = v > zero ? v : zero; break;
+      case EpilogueAct::kLeakyReLU: v = v > zero ? v : simd::splat(ep.leaky_slope) * v; break;
+      case EpilogueAct::kSELU: v = simd::vselu16(v, kSeluScale, kSeluAlpha); break;
+      case EpilogueAct::kSigmoid: v = simd::vsigmoid16(v); break;
+      case EpilogueAct::kTanh: v = simd::vtanh16(v); break;
+    }
+    std::memcpy(buf + c, &v, sizeof(v));
+  }
+}
+
+// Column-bias image padded to a 16-lane multiple so the vector epilogue can
+// load blindly. Reused thread_local: zero steady-state heap traffic.
+inline const float* pad_bias_col(const float* bias, int64_t n) {
+  if (bias == nullptr) return nullptr;
+  static thread_local std::vector<float> padded;
+  // Rounded to a full NR tile so edge tiles can load blindly past n.
+  const int64_t lanes = (n + 31) / 32 * 32;
+  padded.resize(static_cast<size_t>(lanes));
+  std::memcpy(padded.data(), bias, static_cast<size_t>(n) * sizeof(float));
+  std::memset(padded.data() + n, 0, static_cast<size_t>(lanes - n) * sizeof(float));
+  return padded.data();
+}
+#endif
 
 // BLIS-style blocking: a KC x NC panel of B is packed once and streamed from
 // L2/L3 while MC x KC panels of A (packed per row-block, micro-panels of MR
@@ -79,17 +154,47 @@ void pack_b(const float* B, int64_t ldb, bool trans, int64_t row0, int64_t col0,
   }
 }
 
+// Finalize an MR x NR tile through the epilogue: `tile` holds this panel's
+// accumulator, C holds prior-panel partial sums when !first. grow/gcol are
+// the tile's global C coordinates for bias indexing (`bias_padded` is the
+// pad_bias_col image on vector builds, so gcol — always a multiple of NR —
+// indexes it directly).
+void store_tile_epilogue(const float tile[MR][NR], float* C, int64_t ldc, bool first, int64_t mr,
+                         int64_t nr, const Epilogue& ep, const float* bias_padded, int64_t grow,
+                         int64_t gcol) {
+#if defined(__GNUC__) || defined(__clang__)
+  alignas(64) float buf[NR];
+  for (int64_t r = 0; r < mr; ++r) {
+    std::memcpy(buf, tile[r], sizeof(buf));
+    if (!first)
+      for (int64_t c = 0; c < nr; ++c) buf[c] += C[r * ldc + c];
+    apply_epilogue_lanes(ep, bias_padded != nullptr ? bias_padded + gcol : nullptr, buf,
+                         grow + r, NR);
+    for (int64_t c = 0; c < nr; ++c) C[r * ldc + c] = buf[c];
+  }
+#else
+  (void)bias_padded;
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t c = 0; c < nr; ++c) {
+      const float v = first ? tile[r][c] : C[r * ldc + c] + tile[r][c];
+      C[r * ldc + c] = apply_epilogue(ep, v, grow + r, gcol + c);
+    }
+#endif
+}
+
 // MR x NR register tile over packed panels. `first` selects store vs
 // accumulate into C; mr/nr clip the write-back at block edges (the packed
 // operands are zero-padded, so the arithmetic is always full-tile and
-// branch-free). The GNU vector-extension path keeps the twelve 16-lane
-// accumulators in registers — the portable scalar fallback compiles
-// everywhere but leaves ~30x on the table.
+// branch-free). `ep` (last k-panel only) fuses the bias/activation tail into
+// the write-back while the tile is hot. The GNU vector-extension path keeps
+// the twelve 16-lane accumulators in registers — the portable scalar
+// fallback compiles everywhere but leaves ~30x on the table.
 #if defined(__GNUC__) || defined(__clang__)
 typedef float v16f __attribute__((vector_size(64), aligned(4)));
 
 void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_t ldc, bool first,
-                  int64_t mr, int64_t nr) {
+                  int64_t mr, int64_t nr, const Epilogue* ep, const float* bias_padded,
+                  int64_t grow, int64_t gcol) {
   v16f acc[MR][2] = {};
   for (int64_t p = 0; p < kc; ++p) {
     const float* a = ap + p * MR;
@@ -103,7 +208,14 @@ void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_
       acc[r][1] += av * b1;
     }
   }
-  if (mr == MR && nr == NR) {
+  if (ep != nullptr) {
+    float tile[MR][NR];
+    for (int64_t r = 0; r < MR; ++r) {
+      std::memcpy(&tile[r][0], &acc[r][0], sizeof(v16f));
+      std::memcpy(&tile[r][16], &acc[r][1], sizeof(v16f));
+    }
+    store_tile_epilogue(tile, C, ldc, first, mr, nr, *ep, bias_padded, grow, gcol);
+  } else if (mr == MR && nr == NR) {
     for (int64_t r = 0; r < MR; ++r) {
       for (int h = 0; h < 2; ++h) {
         float* dst = C + r * ldc + 16 * h;
@@ -132,7 +244,8 @@ void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_
 }
 #else
 void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_t ldc, bool first,
-                  int64_t mr, int64_t nr) {
+                  int64_t mr, int64_t nr, const Epilogue* ep, const float* bias_padded,
+                  int64_t grow, int64_t gcol) {
   float acc[MR][NR] = {};
   for (int64_t p = 0; p < kc; ++p) {
     const float* a = ap + p * MR;
@@ -142,6 +255,10 @@ void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_
       for (int64_t c = 0; c < NR; ++c) acc[r][c] += av * b[c];
     }
   }
+  if (ep != nullptr) {
+    store_tile_epilogue(acc, C, ldc, first, mr, nr, *ep, bias_padded, grow, gcol);
+    return;
+  }
   for (int64_t r = 0; r < mr; ++r)
     for (int64_t c = 0; c < nr; ++c) {
       if (first) C[r * ldc + c] = acc[r][c];
@@ -150,15 +267,181 @@ void micro_kernel(int64_t kc, const float* ap, const float* bp, float* C, int64_
 }
 #endif
 
+// Skinny-RHS fast path: n <= 96 and a single k-panel, the shape of every
+// graph-layer GEMM (hidden widths of 8-96 over thousands of packed node
+// rows) and of the small dense heads. The packed-panel kernel wastes most
+// of its lanes there and pays pack_a/pack_b per call; this path streams
+// row-major A directly against a zero-padded 16-lane-multiple image of B.
+// Per output element the accumulation is p = 0..k-1 in order — exactly the
+// packed kernel's single-panel order and sgemm_naive's order — so the
+// result is bitwise identical to both.
+constexpr int64_t kSkinnyN = 96;
+
+#if defined(__GNUC__) || defined(__clang__)
+template <int NV>
+inline void skinny_finalize(const v16f (&acc)[NV], float* crow, int64_t n, int64_t i,
+                            bool accumulate, const Epilogue* ep, const float* bias_padded) {
+  alignas(64) float tmp[NV * 16];
+  std::memcpy(tmp, acc, sizeof(tmp));
+  if (accumulate)
+    for (int64_t j = 0; j < n; ++j) tmp[j] += crow[j];
+  if (ep != nullptr) apply_epilogue_lanes(*ep, bias_padded, tmp, i, NV * 16);
+  for (int64_t j = 0; j < n; ++j) crow[j] = tmp[j];
+}
+
+template <int NV>
+void skinny_rows(int64_t row0, int64_t m, int64_t n, int64_t k, const float* A, int64_t lda,
+                 const float* bpad, int64_t bstride, float* C, int64_t ldc, bool accumulate,
+                 const Epilogue* ep, const float* bias_padded) {
+  // `row0` is the global C row of A/C's first row — epilogue row-bias
+  // indexing must see global coordinates when the caller chunks m.
+  int64_t i = 0;
+  if constexpr (NV <= 4) {
+    // Two rows per pass share every B load — the B stream, not the FMAs, is
+    // what bounds these shapes. Beyond NV=4 the paired accumulators spill.
+    for (; i + 2 <= m; i += 2) {
+      const float* a0 = A + i * lda;
+      const float* a1 = a0 + lda;
+      v16f acc0[NV] = {}, acc1[NV] = {};
+      const float* bp = bpad;
+      for (int64_t p = 0; p < k; ++p, bp += bstride) {
+        const v16f av0 = v16f{} + a0[p];
+        const v16f av1 = v16f{} + a1[p];
+        for (int v = 0; v < NV; ++v) {
+          v16f bv;
+          std::memcpy(&bv, bp + v * 16, sizeof(bv));
+          acc0[v] += av0 * bv;
+          acc1[v] += av1 * bv;
+        }
+      }
+      skinny_finalize<NV>(acc0, C + i * ldc, n, row0 + i, accumulate, ep, bias_padded);
+      skinny_finalize<NV>(acc1, C + (i + 1) * ldc, n, row0 + i + 1, accumulate, ep, bias_padded);
+    }
+  }
+  for (; i < m; ++i) {
+    const float* a = A + i * lda;
+    v16f acc[NV] = {};
+    const float* bp = bpad;
+    for (int64_t p = 0; p < k; ++p, bp += bstride) {
+      const v16f av = v16f{} + a[p];
+      for (int v = 0; v < NV; ++v) {
+        v16f bv;
+        std::memcpy(&bv, bp + v * 16, sizeof(bv));
+        acc[v] += av * bv;
+      }
+    }
+    skinny_finalize<NV>(acc, C + i * ldc, n, row0 + i, accumulate, ep, bias_padded);
+  }
+}
+
+void sgemm_skinny(int64_t m, int64_t n, int64_t k, const float* A, int64_t lda, const float* B,
+                  int64_t ldb, float* C, int64_t ldc, bool accumulate, const Epilogue* ep) {
+  const float* bias_padded = ep != nullptr ? pad_bias_col(ep->bias_col, n) : nullptr;
+  const int64_t nv = (n + 15) / 16;
+  // When n is already a 16-lane multiple, B rows ARE the kernel's native
+  // image — stream them in place (the vector loads stop exactly at row end,
+  // so no slack is touched) and skip the packing pass entirely. Otherwise
+  // pack into nv zero-padded lanes per k-row; the buffer is a reused
+  // thread_local, so the hot serving path never touches the heap.
+  const bool direct = (n == nv * 16);
+  static thread_local std::vector<float> bbuf;
+  if (!direct) bbuf.resize(static_cast<size_t>(KC * kSkinnyN));
+  // k is walked in KC panels (k <= KC for the wide-m shapes; only small-m
+  // callers take multiple passes over C). The panel split and per-panel
+  // accumulation match the packed kernel exactly, so both paths stay
+  // bitwise interchangeable.
+  for (int64_t pc = 0; pc < k; pc += KC) {
+    const int64_t kc = std::min(KC, k - pc);
+    const bool acc = accumulate || pc > 0;
+    const Epilogue* pep = (pc + KC >= k) ? ep : nullptr;
+    const float* bpad;
+    int64_t bstride;
+    if (direct) {
+      bpad = B + pc * ldb;
+      bstride = ldb;
+    } else {
+      float* dst = bbuf.data();
+      for (int64_t p = 0; p < kc; ++p) {
+        float* row = dst + p * nv * 16;
+        int64_t j = 0;
+        for (; j < n; ++j) row[j] = B[(pc + p) * ldb + j];
+        for (; j < nv * 16; ++j) row[j] = 0.0f;
+      }
+      bpad = dst;
+      bstride = nv * 16;
+    }
+    const float* a = A + pc;
+    auto run_rows = [&](int64_t r0, int64_t rows) {
+      const float* ar = a + r0 * lda;
+      float* cr = C + r0 * ldc;
+      switch (nv) {
+        case 1: skinny_rows<1>(r0, rows, n, kc, ar, lda, bpad, bstride, cr, ldc, acc, pep, bias_padded); break;
+        case 2: skinny_rows<2>(r0, rows, n, kc, ar, lda, bpad, bstride, cr, ldc, acc, pep, bias_padded); break;
+        case 3: skinny_rows<3>(r0, rows, n, kc, ar, lda, bpad, bstride, cr, ldc, acc, pep, bias_padded); break;
+        case 4: skinny_rows<4>(r0, rows, n, kc, ar, lda, bpad, bstride, cr, ldc, acc, pep, bias_padded); break;
+        case 5: skinny_rows<5>(r0, rows, n, kc, ar, lda, bpad, bstride, cr, ldc, acc, pep, bias_padded); break;
+        default: skinny_rows<6>(r0, rows, n, kc, ar, lda, bpad, bstride, cr, ldc, acc, pep, bias_padded); break;
+      }
+    };
+    // Rows are independent (per-row accumulation never crosses rows), so
+    // wide packed-node GEMMs fan row chunks over the compute pool exactly
+    // like the packed kernel's MC blocks — bitwise identical to serial.
+    ThreadPool* pool = compute_thread_pool();
+    const bool parallel = m * n * k >= (int64_t{1} << 20) && pool != nullptr &&
+                          pool->size() > 1 && !in_pool_worker();
+    if (parallel) {
+      const int64_t workers = static_cast<int64_t>(pool->size());
+      const int64_t chunk = std::max<int64_t>(64, (m + 2 * workers - 1) / (2 * workers));
+      const int64_t nchunks = (m + chunk - 1) / chunk;
+      parallel_for_auto(static_cast<size_t>(nchunks), 2, [&](size_t ci) {
+        const int64_t r0 = static_cast<int64_t>(ci) * chunk;
+        run_rows(r0, std::min(chunk, m - r0));
+      });
+    } else {
+      run_rows(0, m);
+    }
+  }
+}
+#else
+void sgemm_skinny(int64_t m, int64_t n, int64_t k, const float* A, int64_t lda, const float* B,
+                  int64_t ldb, float* C, int64_t ldc, bool accumulate, const Epilogue* ep) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a = A + i * lda;
+    float acc[kSkinnyN] = {};
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      for (int64_t j = 0; j < n; ++j) acc[j] += av * B[p * ldb + j];
+    }
+    float* crow = C + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      float v = accumulate ? crow[j] + acc[j] : acc[j];
+      crow[j] = ep != nullptr ? apply_epilogue(*ep, v, i, j) : v;
+    }
+  }
+}
+#endif
+
 }  // namespace
 
 void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const float* A, int64_t lda,
-           const float* B, int64_t ldb, float* C, int64_t ldc, bool accumulate) {
+           const float* B, int64_t ldb, float* C, int64_t ldc, bool accumulate,
+           const Epilogue* epilogue) {
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("sgemm: negative dimension");
   if (m == 0 || n == 0) return;
   if (k == 0) {
-    if (!accumulate)
-      for (int64_t i = 0; i < m; ++i) std::memset(C + i * ldc, 0, static_cast<size_t>(n) * sizeof(float));
+    for (int64_t i = 0; i < m; ++i) {
+      float* row = C + i * ldc;
+      if (!accumulate) std::memset(row, 0, static_cast<size_t>(n) * sizeof(float));
+      if (epilogue != nullptr)
+        for (int64_t j = 0; j < n; ++j) row[j] = apply_epilogue(*epilogue, row[j], i, j);
+    }
+    return;
+  }
+  // Skinny dispatch: always for a single k-panel; for deeper k only when m
+  // is small enough that the repeated C passes stay cache-resident (the
+  // per-sample conv GEMMs, m = cout).
+  if (!trans_a && !trans_b && n <= kSkinnyN && (k <= KC || m <= 64)) {
+    sgemm_skinny(m, n, k, A, lda, B, ldb, C, ldc, accumulate, epilogue);
     return;
   }
 
@@ -187,10 +470,19 @@ void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const fl
     iblock = std::clamp(target, MR, MC);
   }
   const int64_t n_iblocks = (m + iblock - 1) / iblock;
+#if defined(__GNUC__) || defined(__clang__)
+  const float* bias_padded =
+      epilogue != nullptr ? pad_bias_col(epilogue->bias_col, n) : nullptr;
+#else
+  const float* bias_padded = nullptr;
+#endif
 
   for (int64_t pc = 0; pc < k; pc += KC) {
     const int64_t kc = std::min(KC, k - pc);
     const bool first = (pc == 0) && !accumulate;
+    // The epilogue finalizes C, so it runs only with the last k-panel's
+    // write-back (earlier panels hold partial sums).
+    const Epilogue* ep = (pc + KC >= k) ? epilogue : nullptr;
     for (int64_t jc = 0; jc < n; jc += NC) {
       const int64_t nc = std::min(NC, n - jc);
       pack_b(B, ldb, trans_b, pc, jc, kc, nc, bpack);
@@ -206,7 +498,7 @@ void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const fl
           for (int64_t ir = 0; ir < mc; ir += MR) {
             const int64_t mr = std::min(MR, mc - ir);
             micro_kernel(kc, abuf.data() + ir * kc, bpanel, C + (ic + ir) * ldc + jc + jr, ldc,
-                         first, mr, nr);
+                         first, mr, nr, ep, bias_padded, ic + ir, jc + jr);
           }
         }
       });
@@ -215,13 +507,14 @@ void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const fl
 }
 
 void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, const float* A,
-                 int64_t lda, const float* B, int64_t ldb, float* C, int64_t ldc, bool accumulate) {
+                 int64_t lda, const float* B, int64_t ldb, float* C, int64_t ldc, bool accumulate,
+                 const Epilogue* epilogue) {
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
       float acc = accumulate ? C[i * ldc + j] : 0.0f;
       for (int64_t p = 0; p < k; ++p)
         acc += load_a(A, lda, trans_a, i, p) * load_b(B, ldb, trans_b, p, j);
-      C[i * ldc + j] = acc;
+      C[i * ldc + j] = epilogue != nullptr ? apply_epilogue(*epilogue, acc, i, j) : acc;
     }
   }
 }

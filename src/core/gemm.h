@@ -4,6 +4,14 @@
 // packed panels (MR x NR micro-tiles), and optional ThreadPool parallelism
 // over row panels via core::compute_thread_pool().
 //
+// An optional fused epilogue applies a bias broadcast and/or a pointwise
+// activation to each C micro-tile while it is still hot from the k-loop,
+// replacing the separate elementwise passes the layers used to run over the
+// whole output. The fused result is bitwise identical to the unfused
+// sequence (gemm, then bias, then activation): the bias is added after the
+// final k-panel accumulation, exactly where the separate pass would add it,
+// and the activation is the same scalar function applied per element.
+//
 // The naive triple-loop variant is retained as the correctness reference for
 // equivalence tests and the speedup benchmark; it must never be called from
 // model code.
@@ -13,19 +21,37 @@
 
 namespace df::core {
 
+/// Pointwise epilogue activations. The transcendental variants evaluate the
+/// shared core/simd_math.h polynomials — the same functions the standalone
+/// activation layers and the voxel splatter use (never raw std::exp), which
+/// is what keeps fused == unfused and batched == per-pose bitwise.
+enum class EpilogueAct : uint8_t { kNone, kReLU, kLeakyReLU, kSELU, kSigmoid, kTanh };
+
+/// Fused tail of a GEMM: C[i][j] = act(C[i][j] + bias_col[j] + bias_row[i]).
+/// Either bias may be null (skipped). Applied once, after the last k-panel.
+struct Epilogue {
+  EpilogueAct act = EpilogueAct::kNone;
+  const float* bias_col = nullptr;  // length n: per-output-column (Dense bias)
+  const float* bias_row = nullptr;  // length m: per-output-row (Conv3d bias)
+  float leaky_slope = 0.01f;        // kLeakyReLU only
+};
+
 /// C (m x n, ldc) = op(A) * op(B), overwriting C — or accumulating into C
-/// when `accumulate` is true.
+/// when `accumulate` is true. When `epilogue` is non-null its bias/activation
+/// are applied to the final C (after accumulation) on the hot micro-tile.
 ///   op(A) is m x k: stored as (m x k, lda >= k) when !trans_a,
 ///                   or as its transpose (k x m, lda >= m) when trans_a.
 ///   op(B) is k x n: stored as (k x n, ldb >= n) when !trans_b,
 ///                   or as its transpose (n x k, ldb >= k) when trans_b.
 void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
            const float* A, int64_t lda, const float* B, int64_t ldb,
-           float* C, int64_t ldc, bool accumulate = false);
+           float* C, int64_t ldc, bool accumulate = false,
+           const Epilogue* epilogue = nullptr);
 
 /// Unblocked reference implementation with identical semantics.
 void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                  const float* A, int64_t lda, const float* B, int64_t ldb,
-                 float* C, int64_t ldc, bool accumulate = false);
+                 float* C, int64_t ldc, bool accumulate = false,
+                 const Epilogue* epilogue = nullptr);
 
 }  // namespace df::core

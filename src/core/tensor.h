@@ -6,6 +6,14 @@
 // need structured access (conv3d, voxel grids) index the raw buffer
 // directly; nothing in the library relies on views or broadcasting beyond
 // scalar ops, which keeps aliasing rules trivial.
+//
+// Storage has two modes. By default a Tensor owns a heap buffer. While a
+// core::Workspace is bound to the constructing thread (core/workspace.h),
+// new tensors instead *borrow* their storage from the arena: no heap
+// traffic, and the buffer dies with the workspace region rather than the
+// tensor. Copies re-allocate under the same policy, so a deep model forward
+// run under a workspace binding performs zero tensor heap allocations —
+// verified by the alloc_count() instrumentation hook below.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +27,37 @@ namespace df::core {
 
 class Rng;
 
+/// Instrumentation: number of tensor data-buffer heap allocations (owned
+/// Tensor buffers plus Workspace block growth) since process start.
+/// Monotonic, process-wide, cheap (one relaxed atomic increment per heap
+/// allocation). The serving tests pin this to zero deltas across
+/// steady-state scoring batches; production code must not branch on it.
+uint64_t alloc_count();
+
+namespace detail {
+/// Called by Tensor and Workspace whenever they touch the heap for data.
+void count_tensor_alloc();
+}  // namespace detail
+
 class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(std::vector<int64_t> shape, float fill = 0.0f);
   Tensor(std::initializer_list<int64_t> shape, float fill = 0.0f);
+
+  Tensor(const Tensor& o);
+  Tensor& operator=(const Tensor& o);
+  Tensor(Tensor&& o) noexcept;
+  Tensor& operator=(Tensor&& o) noexcept;
+  ~Tensor() = default;
+
+  /// Allocated but NOT filled — contents are unspecified. For kernel
+  /// plumbing that overwrites every element before the tensor escapes
+  /// (matmul outputs, packed forwards); everything else wants Tensor(shape)
+  /// whose zero-fill is part of the contract. Skipping the fill halves the
+  /// write traffic of alloc-then-overwrite patterns, which is where the
+  /// packed graph forward spends itself on bandwidth-bound cores.
+  static Tensor uninit(std::vector<int64_t> shape);
 
   static Tensor zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape), 0.0f); }
   static Tensor ones(std::vector<int64_t> shape) { return Tensor(std::move(shape), 1.0f); }
@@ -32,25 +66,27 @@ class Tensor {
   static Tensor randn(std::vector<int64_t> shape, Rng& rng, float stddev = 1.0f);
   /// Uniform init in [lo, hi).
   static Tensor uniform(std::vector<int64_t> shape, Rng& rng, float lo, float hi);
-  /// 1-D tensor from explicit values.
+  /// 1-D tensor from explicit values (adopts the vector's buffer: owned).
   static Tensor from(std::vector<float> values);
 
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t numel() const { return numel_; }
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t dim(int i) const { return shape_.at(static_cast<size_t>(i)); }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return numel_ == 0; }
+  /// True when the storage is borrowed from a Workspace arena.
+  bool borrowed() const { return data_ != nullptr && owned_.empty(); }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::span<float> flat() { return {data_.data(), data_.size()}; }
-  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::span<float> flat() { return {data_, static_cast<size_t>(numel_)}; }
+  std::span<const float> flat() const { return {data_, static_cast<size_t>(numel_)}; }
 
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) { return data_[i]; }
+  float operator[](int64_t i) const { return data_[i]; }
   /// 2-D indexing (row, col); used pervasively by dense/graph layers.
-  float& at(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * shape_[1] + c)]; }
-  float at(int64_t r, int64_t c) const { return data_[static_cast<size_t>(r * shape_[1] + c)]; }
+  float& at(int64_t r, int64_t c) { return data_[r * shape_[1] + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * shape_[1] + c]; }
 
   /// Reinterpret the buffer with a new shape of identical numel.
   Tensor reshaped(std::vector<int64_t> shape) const;
@@ -94,8 +130,14 @@ class Tensor {
   std::string shape_str() const;
 
  private:
+  /// Point data_ at fresh storage for `n` floats: the bound workspace when
+  /// one is active on this thread, the heap otherwise.
+  void acquire(int64_t n);
+
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  std::vector<float> owned_;  // empty when the storage is workspace-borrowed
+  float* data_ = nullptr;
+  int64_t numel_ = 0;
 };
 
 /// Throwing shape check used by arithmetic and layer plumbing.

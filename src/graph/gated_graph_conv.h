@@ -27,12 +27,22 @@ class GatedGraphConv {
   int64_t num_steps() const { return steps_; }
 
  private:
-  /// m_v = sum_{(u,v) in E} h_u W_msg  (aggregate-then-transform).
-  Tensor message(const Tensor& h, const EdgeList& edges) const;
+  /// m_v = sum_{(u,v) in E} h_u W_msg  (aggregate-then-transform), reading
+  /// sources through csr_ so each destination row is accumulated in
+  /// registers and stored once.
+  Tensor message(const Tensor& h) const;
+  /// Group edge sources by destination (stable within a destination).
+  void build_csr(const EdgeList& edges, int64_t num_nodes);
 
   int64_t dim_, steps_;
   nn::Parameter w_msg_;  // (dim, dim)
   GRUCell gru_;
+  // Edge sources grouped by destination (CSR; edge order preserved within a
+  // destination, so accumulation order matches the flat edge list). Built
+  // once per forward() and reused by every propagation step — replica
+  // state, like the layer caches.
+  std::vector<int32_t> csr_start_;  // size num_nodes+1
+  std::vector<int32_t> csr_src_;
   // Caches for backward (training only).
   std::vector<Tensor> h_states_;  // h_0 .. h_{K-1} (inputs to each step)
   const EdgeList* edges_ = nullptr;

@@ -1,5 +1,6 @@
 #include "graph/gather.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/activations.h"
@@ -12,10 +13,12 @@ Gather::Gather(int64_t in_h, int64_t in_x, int64_t width, core::Rng& rng)
 
 Tensor Gather::concat(const Tensor& h, const Tensor& x) const {
   if (h.dim(0) != x.dim(0)) throw std::invalid_argument("Gather: node count mismatch");
-  Tensor cat({h.dim(0), in_h_ + in_x_});
-  for (int64_t i = 0; i < h.dim(0); ++i) {
-    for (int64_t j = 0; j < in_h_; ++j) cat.at(i, j) = h.at(i, j);
-    for (int64_t j = 0; j < in_x_; ++j) cat.at(i, in_h_ + j) = x.at(i, j);
+  const int64_t rows = h.dim(0);
+  Tensor cat = Tensor::uninit({rows, in_h_ + in_x_});
+  for (int64_t i = 0; i < rows; ++i) {
+    float* dst = cat.data() + i * (in_h_ + in_x_);
+    std::memcpy(dst, h.data() + i * in_h_, static_cast<size_t>(in_h_) * sizeof(float));
+    std::memcpy(dst + in_h_, x.data() + i * in_x_, static_cast<size_t>(in_x_) * sizeof(float));
   }
   return cat;
 }
@@ -24,7 +27,8 @@ Tensor Gather::forward_nodes(const Tensor& h, const Tensor& x, bool training) {
   gate_.set_training(training);
   value_.set_training(training);
   Tensor cat = concat(h, x);
-  Tensor g = gate_.forward(cat).map(nn::sigmoid);
+  // out = sigmoid(a_g) * v; the sigmoid rides the gate GEMM's epilogue.
+  Tensor g = gate_.forward_act(cat, core::EpilogueAct::kSigmoid);
   Tensor v = value_.forward(cat);
   if (training) {
     cat_ = cat;
@@ -32,24 +36,27 @@ Tensor Gather::forward_nodes(const Tensor& h, const Tensor& x, bool training) {
     value_out_ = v;
     n_nodes_ = h.dim(0);
   }
-  return g * v;
+  Tensor out = Tensor::uninit(g.shape());
+  for (int64_t i = 0; i < g.numel(); ++i) out[i] = g[i] * v[i];
+  return out;
 }
 
 std::pair<Tensor, Tensor> Gather::backward_nodes(const Tensor& grad_out) {
   if (cat_.empty()) throw std::runtime_error("Gather::backward before forward");
   // out = sigmoid(a_g) * v
   Tensor dv = grad_out * gate_out_;
-  Tensor dag(grad_out.shape());
+  Tensor dag = Tensor::uninit(grad_out.shape());
   for (int64_t i = 0; i < grad_out.numel(); ++i) {
     dag[i] = grad_out[i] * value_out_[i] * nn::dsigmoid_from_y(gate_out_[i]);
   }
   Tensor dcat = value_.backward(dv);
   dcat += gate_.backward(dag);
-  // split the concat gradient
-  Tensor dh({n_nodes_, in_h_}), dx({n_nodes_, in_x_});
+  // split the concat gradient with contiguous row copies
+  Tensor dh = Tensor::uninit({n_nodes_, in_h_}), dx = Tensor::uninit({n_nodes_, in_x_});
   for (int64_t i = 0; i < n_nodes_; ++i) {
-    for (int64_t j = 0; j < in_h_; ++j) dh.at(i, j) = dcat.at(i, j);
-    for (int64_t j = 0; j < in_x_; ++j) dx.at(i, j) = dcat.at(i, in_h_ + j);
+    const float* src = dcat.data() + i * (in_h_ + in_x_);
+    std::memcpy(dh.data() + i * in_h_, src, static_cast<size_t>(in_h_) * sizeof(float));
+    std::memcpy(dx.data() + i * in_x_, src + in_h_, static_cast<size_t>(in_x_) * sizeof(float));
   }
   cat_ = Tensor();
   return {std::move(dh), std::move(dx)};
@@ -59,16 +66,45 @@ Tensor Gather::forward_sum(const Tensor& h, const Tensor& x, int64_t n_sum, bool
   Tensor per_node = forward_nodes(h, x, training);
   n_sum_ = std::min<int64_t>(n_sum, per_node.dim(0));
   Tensor out({1, width_});
-  for (int64_t i = 0; i < n_sum_; ++i)
-    for (int64_t j = 0; j < width_; ++j) out.at(0, j) += per_node.at(i, j);
+  float* acc = out.data();
+  for (int64_t i = 0; i < n_sum_; ++i) {
+    const float* row = per_node.data() + i * width_;
+    for (int64_t j = 0; j < width_; ++j) acc[j] += row[j];
+  }
+  return out;
+}
+
+Tensor Gather::forward_segments(const Tensor& h, const Tensor& x,
+                                const std::vector<int64_t>& node_offset,
+                                const std::vector<int64_t>& sum_counts, bool training) {
+  if (node_offset.empty() || node_offset.size() != sum_counts.size() + 1) {
+    throw std::invalid_argument("Gather::forward_segments: bad segment layout");
+  }
+  Tensor per_node = forward_nodes(h, x, training);
+  const int64_t num_graphs = static_cast<int64_t>(sum_counts.size());
+  Tensor out({num_graphs, width_});
+  for (int64_t g = 0; g < num_graphs; ++g) {
+    // Per-graph sum over its leading (ligand) rows, in the same node order
+    // as the per-pose forward_sum — keeps batched == per-pose bitwise.
+    const int64_t base = node_offset[static_cast<size_t>(g)];
+    const int64_t count = std::min<int64_t>(sum_counts[static_cast<size_t>(g)],
+                                            node_offset[static_cast<size_t>(g) + 1] - base);
+    float* acc = out.data() + g * width_;
+    for (int64_t i = 0; i < count; ++i) {
+      const float* row = per_node.data() + (base + i) * width_;
+      for (int64_t j = 0; j < width_; ++j) acc[j] += row[j];
+    }
+  }
   return out;
 }
 
 std::pair<Tensor, Tensor> Gather::backward_sum(const Tensor& grad_graph) {
   // Broadcast the graph-level gradient to the summed nodes; zero elsewhere.
   Tensor gnodes({n_nodes_, width_});
-  for (int64_t i = 0; i < n_sum_; ++i)
-    for (int64_t j = 0; j < width_; ++j) gnodes.at(i, j) = grad_graph.at(0, j);
+  for (int64_t i = 0; i < n_sum_; ++i) {
+    std::memcpy(gnodes.data() + i * width_, grad_graph.data(),
+                static_cast<size_t>(width_) * sizeof(float));
+  }
   return backward_nodes(gnodes);
 }
 

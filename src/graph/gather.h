@@ -26,6 +26,15 @@ class Gather {
   Tensor forward_sum(const Tensor& h, const Tensor& x, int64_t n_sum, bool training);
   std::pair<Tensor, Tensor> backward_sum(const Tensor& grad_graph);
 
+  /// Batched graph-level gather over a packed block-diagonal batch
+  /// (graph::PackedGraphBatch layout): graph g sums per-node output rows
+  /// [node_offset[g], node_offset[g] + sum_counts[g]) into row g of the
+  /// (num_graphs, width) result. Bitwise identical to running forward_sum
+  /// per graph. Inference path — per-graph backward is not supported.
+  Tensor forward_segments(const Tensor& h, const Tensor& x,
+                          const std::vector<int64_t>& node_offset,
+                          const std::vector<int64_t>& sum_counts, bool training);
+
   void collect_parameters(std::vector<nn::Parameter*>& out);
   int64_t width() const { return width_; }
 

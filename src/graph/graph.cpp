@@ -1,3 +1,57 @@
 #include "graph/graph.h"
 
-// Data-only component; TU anchors it in the build.
+#include <cstring>
+#include <stdexcept>
+
+namespace df::graph {
+
+PackedGraphBatch pack_graphs(const std::vector<const SpatialGraph*>& graphs) {
+  if (graphs.empty()) throw std::invalid_argument("pack_graphs: empty batch");
+
+  PackedGraphBatch out;
+  out.node_offset.reserve(graphs.size() + 1);
+  out.ligand_counts.reserve(graphs.size());
+  out.node_offset.push_back(0);
+  int64_t total_nodes = 0;
+  size_t total_cov = 0, total_noncov = 0;
+  int64_t F = -1;
+  for (const SpatialGraph* g : graphs) {
+    if (g == nullptr || g->num_nodes() == 0) {
+      throw std::invalid_argument("pack_graphs: empty graph in batch");
+    }
+    if (F < 0) F = g->feature_dim();
+    if (g->feature_dim() != F) {
+      throw std::invalid_argument("pack_graphs: mismatched node feature widths");
+    }
+    total_nodes += g->num_nodes();
+    total_cov += g->covalent.size();
+    total_noncov += g->noncovalent.size();
+    out.node_offset.push_back(total_nodes);
+    out.ligand_counts.push_back(g->num_ligand_nodes);
+  }
+
+  out.node_features = Tensor::uninit({total_nodes, F});
+  out.covalent.src.reserve(total_cov);
+  out.covalent.dst.reserve(total_cov);
+  out.noncovalent.src.reserve(total_noncov);
+  out.noncovalent.dst.reserve(total_noncov);
+
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const SpatialGraph& g = *graphs[gi];
+    const int64_t base = out.node_offset[gi];
+    std::memcpy(out.node_features.data() + base * F, g.node_features.data(),
+                static_cast<size_t>(g.num_nodes() * F) * sizeof(float));
+    const int32_t shift = static_cast<int32_t>(base);
+    for (size_t e = 0; e < g.covalent.size(); ++e) {
+      out.covalent.src.push_back(g.covalent.src[e] + shift);
+      out.covalent.dst.push_back(g.covalent.dst[e] + shift);
+    }
+    for (size_t e = 0; e < g.noncovalent.size(); ++e) {
+      out.noncovalent.src.push_back(g.noncovalent.src[e] + shift);
+      out.noncovalent.dst.push_back(g.noncovalent.dst[e] + shift);
+    }
+  }
+  return out;
+}
+
+}  // namespace df::graph

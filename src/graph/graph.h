@@ -41,4 +41,28 @@ struct SpatialGraph {
   int64_t feature_dim() const { return node_features.empty() ? 0 : node_features.dim(1); }
 };
 
+/// A batch of pose graphs packed block-diagonally: node features stacked
+/// into one (total_nodes, F) matrix, edge lists concatenated with node ids
+/// shifted by each graph's offset. Message passing over the packed batch is
+/// one wide GEMM per layer instead of one small GEMM per pose — no edge can
+/// cross graphs, so the result rows are bitwise identical to running each
+/// graph alone (the GEMM kernel is row-stable). The SG-CNN's batched
+/// inference path (models/sgcnn.h) and the fusion models' predict_batch run
+/// on this layout.
+struct PackedGraphBatch {
+  Tensor node_features;              // (total_nodes, F), graph g at rows
+                                     //   [node_offset[g], node_offset[g+1])
+  EdgeList covalent, noncovalent;    // shifted into packed node ids
+  std::vector<int64_t> node_offset;  // size num_graphs()+1, prefix sums
+  std::vector<int64_t> ligand_counts;  // per-graph num_ligand_nodes
+
+  int64_t num_graphs() const { return static_cast<int64_t>(ligand_counts.size()); }
+  int64_t total_nodes() const { return node_offset.empty() ? 0 : node_offset.back(); }
+};
+
+/// Pack `graphs` block-diagonally. Throws std::invalid_argument on an empty
+/// batch, an empty graph (no nodes — mirrors Sgcnn's per-pose check) or
+/// mismatched feature widths.
+PackedGraphBatch pack_graphs(const std::vector<const SpatialGraph*>& graphs);
+
 }  // namespace df::graph

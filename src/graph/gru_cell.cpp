@@ -1,21 +1,40 @@
 #include "graph/gru_cell.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
+#include "core/gemm.h"
 #include "nn/activations.h"
 
 namespace df::graph {
 
 namespace {
-Tensor linear2(const Tensor& x, const Tensor& w, const Tensor& h, const Tensor& u,
-               const Tensor& b) {
-  Tensor out = x.matmul(w);
-  out += h.matmul(u);
-  const int64_t rows = out.dim(0), cols = out.dim(1);
-  for (int64_t i = 0; i < rows; ++i)
-    for (int64_t j = 0; j < cols; ++j) out.at(i, j) += b[j];
+// Gate pre-activation + nonlinearity in two GEMMs: out = act(x W + h U + b).
+// The second GEMM accumulates into the first and carries the bias broadcast
+// and activation as a fused epilogue, so the gate never takes a separate
+// elementwise pass over (N, dim).
+Tensor gate(const Tensor& x, const Tensor& w, const Tensor& h, const Tensor& u, const Tensor& b,
+            core::EpilogueAct act) {
+  const int64_t rows = x.dim(0), dim = x.dim(1);
+  Tensor out = Tensor::uninit({rows, dim});
+  core::sgemm(false, false, rows, dim, dim, x.data(), dim, w.data(), dim, out.data(), dim);
+  core::Epilogue ep;
+  ep.act = act;
+  ep.bias_col = b.data();
+  core::sgemm(false, false, rows, dim, dim, h.data(), dim, u.data(), dim, out.data(), dim,
+              /*accumulate=*/true, &ep);
   return out;
+}
+
+// db[j] += colsum(g) with contiguous row pointers.
+void add_colsum(const Tensor& g, Tensor& db) {
+  const int64_t rows = g.dim(0), cols = g.dim(1);
+  float* acc = db.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = g.data() + i * cols;
+    for (int64_t j = 0; j < cols; ++j) acc[j] += row[j];
+  }
 }
 }  // namespace
 
@@ -34,14 +53,72 @@ GRUCell::GRUCell(int64_t dim, core::Rng& rng) : dim_(dim) {
 
 Tensor GRUCell::forward(const Tensor& x, const Tensor& h, bool training) {
   core::check_same_shape(x, h, "GRUCell");
-  Tensor z = linear2(x, wz_.value, h, uz_.value, bz_.value).map(nn::sigmoid);
-  Tensor r = linear2(x, wr_.value, h, ur_.value, br_.value).map(nn::sigmoid);
-  Tensor rh = r * h;
-  Tensor c = linear2(x, wc_.value, rh, uc_.value, bc_.value).map(
-      [](float v) { return std::tanh(v); });
-  Tensor h_new(h.shape());
+  if (!training) return forward_eval(x, h);
+  Tensor z = gate(x, wz_.value, h, uz_.value, bz_.value, core::EpilogueAct::kSigmoid);
+  Tensor r = gate(x, wr_.value, h, ur_.value, br_.value, core::EpilogueAct::kSigmoid);
+  Tensor rh = Tensor::uninit(h.shape());
+  for (int64_t i = 0; i < h.numel(); ++i) rh[i] = r[i] * h[i];
+  Tensor c = gate(x, wc_.value, rh, uc_.value, bc_.value, core::EpilogueAct::kTanh);
+  Tensor h_new = Tensor::uninit(h.shape());
   for (int64_t i = 0; i < h.numel(); ++i) h_new[i] = (1.0f - z[i]) * h[i] + z[i] * c[i];
-  if (training) frames_.push_back(Frame{x, h, std::move(z), std::move(r), std::move(c)});
+  frames_.push_back(Frame{x, h, std::move(z), std::move(r), std::move(c)});
+  return h_new;
+}
+
+Tensor GRUCell::forward_eval(const Tensor& x, const Tensor& h) {
+  // Inference: the three gates share their inputs, so fold the x-side into
+  // ONE (rows, 3*dim) GEMM over column-concatenated weights [Wz|Wr|Wc] and
+  // the z/r h-side into one (rows, 2*dim) accumulate with the bias+sigmoid
+  // epilogue — x is read once instead of three times, h once instead of
+  // twice, and z/r/c live side by side in one activation block. Column
+  // concatenation does not touch any per-element accumulation order, so
+  // the gate values are bitwise identical to the training-path gate().
+  const int64_t rows = x.dim(0), d = dim_;
+  Tensor wcat = Tensor::uninit({d, 3 * d});
+  Tensor ucat = Tensor::uninit({d, 2 * d});
+  Tensor bcat = Tensor::uninit({2 * d});
+  for (int64_t p = 0; p < d; ++p) {
+    float* wrow = wcat.data() + p * 3 * d;
+    std::memcpy(wrow, wz_.value.data() + p * d, static_cast<size_t>(d) * sizeof(float));
+    std::memcpy(wrow + d, wr_.value.data() + p * d, static_cast<size_t>(d) * sizeof(float));
+    std::memcpy(wrow + 2 * d, wc_.value.data() + p * d, static_cast<size_t>(d) * sizeof(float));
+    float* urow = ucat.data() + p * 2 * d;
+    std::memcpy(urow, uz_.value.data() + p * d, static_cast<size_t>(d) * sizeof(float));
+    std::memcpy(urow + d, ur_.value.data() + p * d, static_cast<size_t>(d) * sizeof(float));
+  }
+  std::memcpy(bcat.data(), bz_.value.data(), static_cast<size_t>(d) * sizeof(float));
+  std::memcpy(bcat.data() + d, br_.value.data(), static_cast<size_t>(d) * sizeof(float));
+
+  // a = [z|r|c] pre-activations, finalized block by block in place.
+  Tensor a = Tensor::uninit({rows, 3 * d});
+  core::sgemm(false, false, rows, 3 * d, d, x.data(), d, wcat.data(), 3 * d, a.data(), 3 * d);
+  core::Epilogue ep_zr;
+  ep_zr.act = core::EpilogueAct::kSigmoid;
+  ep_zr.bias_col = bcat.data();
+  core::sgemm(false, false, rows, 2 * d, d, h.data(), d, ucat.data(), 2 * d, a.data(), 3 * d,
+              /*accumulate=*/true, &ep_zr);
+  Tensor rh = Tensor::uninit(h.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* arow = a.data() + i * 3 * d + d;  // r block
+    const float* hrow = h.data() + i * d;
+    float* out = rh.data() + i * d;
+    for (int64_t j = 0; j < d; ++j) out[j] = arow[j] * hrow[j];
+  }
+  core::Epilogue ep_c;
+  ep_c.act = core::EpilogueAct::kTanh;
+  ep_c.bias_col = bc_.value.data();
+  core::sgemm(false, false, rows, d, d, rh.data(), d, uc_.value.data(), d, a.data() + 2 * d,
+              3 * d, /*accumulate=*/true, &ep_c);
+
+  Tensor h_new = Tensor::uninit(h.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* arow = a.data() + i * 3 * d;
+    const float* hrow = h.data() + i * d;
+    float* out = h_new.data() + i * d;
+    for (int64_t j = 0; j < d; ++j) {
+      out[j] = (1.0f - arow[j]) * hrow[j] + arow[j] * arow[2 * d + j];
+    }
+  }
   return h_new;
 }
 
@@ -51,7 +128,8 @@ std::pair<Tensor, Tensor> GRUCell::backward(const Tensor& grad_h_new) {
   frames_.pop_back();
 
   const int64_t n = grad_h_new.numel();
-  Tensor dz(f.z.shape()), dc(f.c.shape()), dh(f.h.shape());
+  Tensor dz = Tensor::uninit(f.z.shape()), dc = Tensor::uninit(f.c.shape()),
+         dh = Tensor::uninit(f.h.shape());
   for (int64_t i = 0; i < n; ++i) {
     dc[i] = grad_h_new[i] * f.z[i];
     dz[i] = grad_h_new[i] * (f.c[i] - f.h[i]);
@@ -59,38 +137,36 @@ std::pair<Tensor, Tensor> GRUCell::backward(const Tensor& grad_h_new) {
   }
 
   // Candidate: c = tanh(x Wc + (r*h) Uc + bc)
-  Tensor dac(dc.shape());
+  Tensor dac = Tensor::uninit(dc.shape());
   for (int64_t i = 0; i < n; ++i) dac[i] = dc[i] * nn::dtanh_from_y(f.c[i]);
-  Tensor rh = f.r * f.h;
+  Tensor rh = Tensor::uninit(f.h.shape());
+  for (int64_t i = 0; i < n; ++i) rh[i] = f.r[i] * f.h[i];
   wc_.grad += f.x.matmul_tn(dac);
   uc_.grad += rh.matmul_tn(dac);
-  for (int64_t i = 0; i < dac.dim(0); ++i)
-    for (int64_t j = 0; j < dim_; ++j) bc_.grad[j] += dac.at(i, j);
+  add_colsum(dac, bc_.grad);
   Tensor dx = dac.matmul_nt(wc_.value);
   Tensor drh = dac.matmul_nt(uc_.value);
-  Tensor dr(f.r.shape());
+  Tensor dr = Tensor::uninit(f.r.shape());
   for (int64_t i = 0; i < n; ++i) {
     dr[i] = drh[i] * f.h[i];
     dh[i] += drh[i] * f.r[i];
   }
 
   // Update gate: z = sigmoid(x Wz + h Uz + bz)
-  Tensor daz(dz.shape());
+  Tensor daz = Tensor::uninit(dz.shape());
   for (int64_t i = 0; i < n; ++i) daz[i] = dz[i] * nn::dsigmoid_from_y(f.z[i]);
   wz_.grad += f.x.matmul_tn(daz);
   uz_.grad += f.h.matmul_tn(daz);
-  for (int64_t i = 0; i < daz.dim(0); ++i)
-    for (int64_t j = 0; j < dim_; ++j) bz_.grad[j] += daz.at(i, j);
+  add_colsum(daz, bz_.grad);
   dx += daz.matmul_nt(wz_.value);
   dh += daz.matmul_nt(uz_.value);
 
   // Reset gate: r = sigmoid(x Wr + h Ur + br)
-  Tensor dar(dr.shape());
+  Tensor dar = Tensor::uninit(dr.shape());
   for (int64_t i = 0; i < n; ++i) dar[i] = dr[i] * nn::dsigmoid_from_y(f.r[i]);
   wr_.grad += f.x.matmul_tn(dar);
   ur_.grad += f.h.matmul_tn(dar);
-  for (int64_t i = 0; i < dar.dim(0); ++i)
-    for (int64_t j = 0; j < dim_; ++j) br_.grad[j] += dar.at(i, j);
+  add_colsum(dar, br_.grad);
   dx += dar.matmul_nt(wr_.value);
   dh += dar.matmul_nt(ur_.value);
 

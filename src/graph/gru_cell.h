@@ -21,7 +21,9 @@ class GRUCell {
   /// in GGNN where messages live in the hidden space.
   GRUCell(int64_t dim, core::Rng& rng);
 
-  /// h' = GRU(x, h); caches a frame when training.
+  /// h' = GRU(x, h); caches a frame when training. Inference calls take a
+  /// fused path (one x-side GEMM over [Wz|Wr|Wc], shared h-side reads) that
+  /// is bitwise identical to the training-path gate math.
   Tensor forward(const Tensor& x, const Tensor& h, bool training);
   /// Pops the most recent frame. Returns {dL/dx, dL/dh}.
   std::pair<Tensor, Tensor> backward(const Tensor& grad_h_new);
@@ -32,6 +34,9 @@ class GRUCell {
   void clear_frames() { frames_.clear(); }
 
  private:
+  /// Fused inference forward (see forward()).
+  Tensor forward_eval(const Tensor& x, const Tensor& h);
+
   struct Frame {
     Tensor x, h, z, r, c;  // inputs and gate activations
   };

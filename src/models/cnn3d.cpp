@@ -17,15 +17,15 @@ Cnn3d::Cnn3d(const Cnn3dConfig& cfg, core::Rng& rng) : cfg_(cfg) {
   trunk_.emplace<nn::Conv3d>(cfg.in_channels, f1, 5, rng, /*stride=*/2, /*padding=*/2);
   if (cfg.batch_norm) trunk_.emplace<nn::BatchNorm3d>(f1);
   trunk_.emplace<nn::ReLU>();
-  // Stage 2: 3x3x3, optional residual connection 1.
-  {
+  // Stage 2: 3x3x3, optional residual connection 1. The non-residual form
+  // adds the conv directly (no Sequential wrapper) so eval-time Conv+ReLU
+  // epilogue fusion sees the adjacency.
+  if (cfg.residual1) {
     auto inner = std::make_unique<nn::Sequential>();
     inner->emplace<nn::Conv3d>(f1, f1, 3, rng, 1, 1);
-    if (cfg.residual1) {
-      trunk_.add(std::make_unique<nn::Residual>(std::move(inner)));
-    } else {
-      trunk_.add(std::move(inner));
-    }
+    trunk_.add(std::make_unique<nn::Residual>(std::move(inner)));
+  } else {
+    trunk_.emplace<nn::Conv3d>(f1, f1, 3, rng, 1, 1);
   }
   trunk_.emplace<nn::ReLU>();
   trunk_.emplace<nn::MaxPool3d>(2, 2);
@@ -34,14 +34,12 @@ Cnn3d::Cnn3d(const Cnn3dConfig& cfg, core::Rng& rng) : cfg_(cfg) {
   if (cfg.batch_norm) trunk_.emplace<nn::BatchNorm3d>(f2);
   trunk_.emplace<nn::ReLU>();
   // Stage 4: optional residual connection 2 (Table 3: on).
-  {
+  if (cfg.residual2) {
     auto inner = std::make_unique<nn::Sequential>();
     inner->emplace<nn::Conv3d>(f2, f2, 3, rng, 1, 1);
-    if (cfg.residual2) {
-      trunk_.add(std::make_unique<nn::Residual>(std::move(inner)));
-    } else {
-      trunk_.add(std::move(inner));
-    }
+    trunk_.add(std::make_unique<nn::Residual>(std::move(inner)));
+  } else {
+    trunk_.emplace<nn::Conv3d>(f2, f2, 3, rng, 1, 1);
   }
   trunk_.emplace<nn::ReLU>();
   trunk_.emplace<nn::Flatten>();
@@ -90,7 +88,7 @@ float Cnn3d::predict(const data::Sample& s) {
 core::Tensor stack_voxel_batch(const std::vector<const data::Sample*>& batch) {
   std::vector<int64_t> shape = batch.front()->voxel.shape();
   shape[0] = static_cast<int64_t>(batch.size());
-  core::Tensor out(shape);
+  core::Tensor out = core::Tensor::uninit(shape);
   const int64_t per = batch.front()->voxel.numel();
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i]->voxel.shape() != batch.front()->voxel.shape()) {

@@ -1,5 +1,6 @@
 #include "models/fusion.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/dense.h"
@@ -59,11 +60,12 @@ FusionModel::FusionModel(FusionConfig cfg, std::shared_ptr<Cnn3d> cnn, std::shar
 
 nn::Tensor FusionModel::build_cat(const nn::Tensor& lc, const nn::Tensor& ls, bool training) {
   const int64_t B = lc.dim(0);
-  nn::Tensor cat({B, d_cnn_ + d_sg_ + 2 * d_ms_});
+  const int64_t row = d_cnn_ + d_sg_ + 2 * d_ms_;
+  nn::Tensor cat({B, row});
   for (int64_t i = 0; i < B; ++i) {
-    int64_t off = 0;
-    for (int64_t j = 0; j < d_cnn_; ++j) cat.at(i, off++) = lc.at(i, j);
-    for (int64_t j = 0; j < d_sg_; ++j) cat.at(i, off++) = ls.at(i, j);
+    float* dst = cat.data() + i * row;
+    std::memcpy(dst, lc.data() + i * d_cnn_, static_cast<size_t>(d_cnn_) * sizeof(float));
+    std::memcpy(dst + d_cnn_, ls.data() + i * d_sg_, static_cast<size_t>(d_sg_) * sizeof(float));
   }
   if (cfg_.model_specific_layers) {
     ms_cnn_->set_training(training);
@@ -71,9 +73,9 @@ nn::Tensor FusionModel::build_cat(const nn::Tensor& lc, const nn::Tensor& ls, bo
     nn::Tensor mc = ms_cnn_->forward(lc);
     nn::Tensor msv = ms_sg_->forward(ls);
     for (int64_t i = 0; i < B; ++i) {
-      int64_t off = d_cnn_ + d_sg_;
-      for (int64_t j = 0; j < d_ms_; ++j) cat.at(i, off++) = mc.at(i, j);
-      for (int64_t j = 0; j < d_ms_; ++j) cat.at(i, off++) = msv.at(i, j);
+      float* dst = cat.data() + i * row + d_cnn_ + d_sg_;
+      std::memcpy(dst, mc.data() + i * d_ms_, static_cast<size_t>(d_ms_) * sizeof(float));
+      std::memcpy(dst + d_ms_, msv.data() + i * d_ms_, static_cast<size_t>(d_ms_) * sizeof(float));
     }
   }
   return cat;
@@ -95,11 +97,13 @@ std::vector<float> FusionModel::predict_batch(const std::vector<const data::Samp
   if (batch.empty()) return {};
   const int64_t B = static_cast<int64_t>(batch.size());
   nn::Tensor lc = cnn_->forward_latent(stack_voxel_batch(batch), false);  // (B, d_cnn)
-  nn::Tensor ls({B, d_sg_});
-  for (int64_t i = 0; i < B; ++i) {
-    nn::Tensor row = sg_->forward_latent(batch[static_cast<size_t>(i)]->graph, false);
-    for (int64_t j = 0; j < d_sg_; ++j) ls.at(i, j) = row.at(0, j);
-  }
+  // SG-CNN branch: pack the batch's graphs block-diagonally and run one
+  // wide graph forward — this used to be a per-pose loop, leaving half the
+  // fusion model unbatched.
+  std::vector<const graph::SpatialGraph*> graphs;
+  graphs.reserve(batch.size());
+  for (const data::Sample* s : batch) graphs.push_back(&s->graph);
+  nn::Tensor ls = sg_->forward_latent_batch(graph::pack_graphs(graphs));  // (B, d_sg)
 
   nn::Tensor cat = build_cat(lc, ls, /*training=*/false);
   fusion_.set_training(false);

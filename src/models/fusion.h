@@ -75,8 +75,9 @@ class FusionModel : public Regressor {
   float forward_train(const data::Sample& s) override;
   void backward(float grad_pred) override;
   float predict(const data::Sample& s) override;
-  /// Batched eval: one CNN trunk + fusion trunk forward per batch; SG-CNN
-  /// latents (variable-size graphs) are computed per sample and stacked.
+  /// Batched eval: one CNN trunk forward, one packed block-diagonal SG-CNN
+  /// forward (graph::PackedGraphBatch) and one fusion trunk forward per
+  /// batch — bitwise identical to per-pose predict.
   std::vector<float> predict_batch(const std::vector<const data::Sample*>& batch) override;
   std::vector<nn::Parameter*> trainable_parameters() override;
   void set_training(bool t) override;

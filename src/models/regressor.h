@@ -23,7 +23,11 @@ namespace df::models {
 // RegressorFactory (one per worker); serve::ScoringService enforces this
 // with one lazily-built replica per worker thread plus a re-entrancy guard
 // in serve::RegressorScorer that throws if two threads ever enter the same
-// replica. The same contract covers training: forward_train/backward cache
+// replica. The serving layer's core::Workspace arenas are replica state
+// under the same rule: RegressorScorer binds a private arena around the
+// eval forward and rewinds it every batch, so eval-path tensors must never
+// outlive the scoring call that produced them (docs/API.md).
+// The same contract covers training: forward_train/backward cache
 // activations per instance, so the data-parallel training engine
 // (models/trainer.h) gives each worker lane a private replica built from
 // TrainConfig::replica_factory and broadcasts the master's parameters to

@@ -28,9 +28,39 @@ nn::Tensor Sgcnn::forward_latent(const graph::SpatialGraph& g, bool training) {
   nn::Tensor h1 = cov_->forward(h0, g.covalent, training);
   nn::Tensor h2 = noncov_->forward(h1, g.noncovalent, training);
   nn::Tensor pooled = gather_->forward_sum(h2, g.node_features, g.num_ligand_nodes, training);
+  if (!training) return dense1_->forward_act(pooled, core::EpilogueAct::kReLU);
   nn::Tensor a1 = dense1_->forward(pooled);
-  if (training) relu1_in_ = a1;
+  relu1_in_ = a1;
   return a1.map([](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+nn::Tensor Sgcnn::forward_latent_batch(const graph::PackedGraphBatch& packed) {
+  embed_->set_training(false);
+  dense1_->set_training(false);
+  // The propagation layers are row-stable, so running them over the packed
+  // (total_nodes, dim) matrix — one wide GEMM per layer instead of one
+  // small GEMM per pose — reproduces every per-pose row bitwise; only the
+  // readout needs to know the graph boundaries.
+  nn::Tensor h0 = embed_->forward(packed.node_features);
+  nn::Tensor h1 = cov_->forward(h0, packed.covalent, /*training=*/false);
+  nn::Tensor h2 = noncov_->forward(h1, packed.noncovalent, /*training=*/false);
+  nn::Tensor pooled = gather_->forward_segments(h2, packed.node_features, packed.node_offset,
+                                                packed.ligand_counts, /*training=*/false);
+  return dense1_->forward_act(pooled, core::EpilogueAct::kReLU);
+}
+
+std::vector<float> Sgcnn::predict_batch(const std::vector<const data::Sample*>& batch) {
+  if (batch.empty()) return {};
+  set_training(false);
+  std::vector<const graph::SpatialGraph*> graphs;
+  graphs.reserve(batch.size());
+  for (const data::Sample* s : batch) graphs.push_back(&s->graph);
+  nn::Tensor latent = forward_latent_batch(graph::pack_graphs(graphs));
+  nn::Tensor z = dense2_->forward_act(latent, core::EpilogueAct::kReLU);
+  nn::Tensor y = out_->forward(z);  // (B, 1)
+  std::vector<float> preds(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) preds[i] = y[static_cast<int64_t>(i)];
+  return preds;
 }
 
 void Sgcnn::backward_latent(const nn::Tensor& grad_latent) {
@@ -70,8 +100,7 @@ void Sgcnn::backward(float grad_pred) {
 float Sgcnn::predict(const data::Sample& s) {
   set_training(false);
   nn::Tensor latent = forward_latent(s.graph, false);
-  nn::Tensor a2 = dense2_->forward(latent);
-  nn::Tensor z = a2.map([](float v) { return v > 0.0f ? v : 0.0f; });
+  nn::Tensor z = dense2_->forward_act(latent, core::EpilogueAct::kReLU);
   return out_->forward(z)[0];
 }
 

@@ -30,6 +30,10 @@ class Sgcnn : public Regressor {
   float forward_train(const data::Sample& s) override;
   void backward(float grad_pred) override;
   float predict(const data::Sample& s) override;
+  /// Batched eval: packs the batch's graphs block-diagonally and runs one
+  /// wide graph forward (graph::PackedGraphBatch) — bitwise identical to
+  /// per-pose predict.
+  std::vector<float> predict_batch(const std::vector<const data::Sample*>& batch) override;
   std::vector<nn::Parameter*> trainable_parameters() override;
   void set_training(bool t) override;
   std::string name() const override { return "SG-CNN"; }
@@ -38,6 +42,11 @@ class Sgcnn : public Regressor {
   /// which is the first dense stage's activation. Shape (1, latent_dim).
   nn::Tensor forward_latent(const graph::SpatialGraph& g, bool training);
   void backward_latent(const nn::Tensor& grad_latent);
+
+  /// Batched latent rows for a packed graph batch: (num_graphs, latent_dim),
+  /// row g bitwise equal to forward_latent(graph g, false). Eval only — the
+  /// propagation caches needed for backward are per-graph.
+  nn::Tensor forward_latent_batch(const graph::PackedGraphBatch& packed);
 
   int64_t latent_dim() const { return dense1_out_; }
   const SgcnnConfig& config() const { return cfg_; }

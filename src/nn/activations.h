@@ -3,6 +3,7 @@
 // the GRU cell and PotentialNet gather layer.
 #pragma once
 
+#include "core/gemm.h"
 #include "nn/module.h"
 
 namespace df::nn {
@@ -25,6 +26,7 @@ class LeakyReLU : public Module {
   explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  float slope() const { return slope_; }
 
  private:
   float slope_;
@@ -47,6 +49,13 @@ class SELU : public Module {
 
 /// Factory used by the HPO-configurable fusion layers.
 std::unique_ptr<Module> make_activation(Activation a);
+
+/// Classify a layer for eval-time GEMM fusion: when `m` is a pointwise
+/// activation expressible as a fused epilogue (core/gemm.h), fill act/slope
+/// and return true. The fused result is bitwise identical to running the
+/// layer, so Sequential folds adjacent Dense/Conv3d + activation pairs
+/// through it on the inference path.
+bool epilogue_act_of(const Module* m, core::EpilogueAct* act, float* slope);
 
 // Elementwise free functions (used inside GRU / gather, not as layers).
 float sigmoid(float x);

@@ -8,6 +8,7 @@
 // equivalence reference for tests and the speedup benchmark.
 #pragma once
 
+#include "core/gemm.h"
 #include "core/rng.h"
 #include "nn/module.h"
 
@@ -19,6 +20,11 @@ class Conv3d : public Module {
          int64_t stride = 1, int64_t padding = 0);
 
   Tensor forward(const Tensor& x) override;
+  /// Forward with a fused activation epilogue (bias + act applied on the
+  /// per-sample GEMM's hot micro-tiles); bitwise identical to forward()
+  /// followed by the elementwise activation. Inference-path only — training
+  /// needs the pre-activation output cached by the activation layer.
+  Tensor forward_act(const Tensor& x, core::EpilogueAct act, float leaky_slope = 0.01f);
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
@@ -31,10 +37,34 @@ class Conv3d : public Module {
   int64_t out_channels() const { return cout_; }
 
  private:
+  // Replayable vol2col plan for one input channel: the (source, column)
+  // copy/zero spans depend only on geometry, so they are computed once per
+  // input shape, merged into maximal contiguous runs, and replayed for
+  // every (sample, channel) with plain offsets — the nested loops and range
+  // clipping run once instead of per call. Replica state (the layer is
+  // single-threaded per replica; pool workers only read it).
+  struct ColsPlan {
+    int64_t D = -1, H = -1, W = -1;            // geometry the plan was built for
+    struct Span {
+      int64_t dst, src, len;                   // contiguous copy (stride 1)
+    };
+    struct StridedSpan {
+      int64_t dst, src, n;                     // n elements, src stride = stride_
+    };
+    struct ZeroSpan {
+      int64_t dst, len;
+    };
+    std::vector<Span> copies;
+    std::vector<StridedSpan> strided;
+    std::vector<ZeroSpan> zeros;
+  };
+  void build_plan(int64_t D, int64_t H, int64_t W, int64_t Do, int64_t Ho, int64_t Wo);
+
   int64_t cin_, cout_, k_, stride_, pad_;
   Parameter w_;  // (cout, cin, k, k, k)
   Parameter b_;  // (cout)
   Tensor cached_input_;
+  ColsPlan plan_;
 };
 
 class MaxPool3d : public Module {

@@ -12,18 +12,23 @@ Dense::Dense(int64_t in_features, int64_t out_features, core::Rng& rng, bool bia
   b_ = Parameter(bias ? Tensor::uniform({out_}, rng, -bound, bound) : Tensor({0}), "dense.b");
 }
 
-Tensor Dense::forward(const Tensor& x) {
+Tensor Dense::forward(const Tensor& x) { return forward_act(x, core::EpilogueAct::kNone); }
+
+Tensor Dense::forward_act(const Tensor& x, core::EpilogueAct act, float leaky_slope) {
   if (x.ndim() != 2 || x.dim(1) != in_) {
     throw std::invalid_argument("Dense: expected (B," + std::to_string(in_) + "), got " +
                                 x.shape_str());
   }
   if (training_) cached_input_ = x;
-  Tensor y = x.matmul(w_.value);
-  if (has_bias_) {
-    const int64_t batch = y.dim(0);
-    for (int64_t i = 0; i < batch; ++i)
-      for (int64_t j = 0; j < out_; ++j) y.at(i, j) += b_.value[j];
-  }
+  const int64_t batch = x.dim(0);
+  Tensor y = Tensor::uninit({batch, out_});
+  core::Epilogue ep;
+  ep.act = act;
+  ep.bias_col = has_bias_ ? b_.value.data() : nullptr;
+  ep.leaky_slope = leaky_slope;
+  const bool fused = has_bias_ || act != core::EpilogueAct::kNone;
+  core::sgemm(false, false, batch, out_, in_, x.data(), in_, w_.value.data(), out_, y.data(),
+              out_, /*accumulate=*/false, fused ? &ep : nullptr);
   return y;
 }
 

@@ -1,6 +1,9 @@
 // Fully connected layer: y = x W + b for x of shape (batch, in_features).
+// The bias broadcast (and, via forward_act, an optional pointwise
+// activation) rides the GEMM's fused epilogue instead of a separate pass.
 #pragma once
 
+#include "core/gemm.h"
 #include "core/rng.h"
 #include "nn/module.h"
 
@@ -13,6 +16,11 @@ class Dense : public Module {
   Dense(int64_t in_features, int64_t out_features, core::Rng& rng, bool bias = true);
 
   Tensor forward(const Tensor& x) override;
+  /// Forward with a fused activation epilogue: act(x W + b), bitwise
+  /// identical to forward() followed by the elementwise activation. Callers
+  /// that need the pre-activation output for backward (training) must use
+  /// forward() plus a separate activation layer instead.
+  Tensor forward_act(const Tensor& x, core::EpilogueAct act, float leaky_slope = 0.01f);
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 

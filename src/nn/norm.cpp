@@ -16,7 +16,7 @@ Tensor BatchNorm1d::forward(const Tensor& x) {
     throw std::invalid_argument("BatchNorm1d: bad input " + x.shape_str());
   }
   const int64_t B = x.dim(0);
-  Tensor out(x.shape());
+  Tensor out = Tensor::uninit(x.shape());
   if (training_) {
     xhat_ = Tensor(x.shape());
     invstd_.assign(static_cast<size_t>(f_), 0.0f);
@@ -40,10 +40,19 @@ Tensor BatchNorm1d::forward(const Tensor& x) {
       running_var_[j] = (1 - momentum_) * running_var_[j] + momentum_ * static_cast<float>(var);
     }
   } else {
-    for (int64_t j = 0; j < f_; ++j) {
-      const float is = 1.0f / std::sqrt(running_var_[j] + eps_);
-      for (int64_t i = 0; i < B; ++i) {
-        out.at(i, j) = gamma_.value[j] * (x.at(i, j) - running_mean_[j]) * is + beta_.value[j];
+    // Inference: per-feature inv-std hoisted once, then contiguous row
+    // sweeps (the output tensor itself comes from the bound workspace on
+    // the serving path). Element math is unchanged — bitwise identical to
+    // the training-shaped column loop.
+    static thread_local std::vector<float> is;
+    is.resize(static_cast<size_t>(f_));
+    for (int64_t j = 0; j < f_; ++j) is[static_cast<size_t>(j)] = 1.0f / std::sqrt(running_var_[j] + eps_);
+    for (int64_t i = 0; i < B; ++i) {
+      const float* xr = x.data() + i * f_;
+      float* orow = out.data() + i * f_;
+      for (int64_t j = 0; j < f_; ++j) {
+        orow[j] = gamma_.value[j] * (xr[j] - running_mean_[j]) * is[static_cast<size_t>(j)] +
+                  beta_.value[j];
       }
     }
   }
@@ -88,7 +97,7 @@ Tensor BatchNorm3d::forward(const Tensor& x) {
   }
   const int64_t B = x.dim(0), spatial = x.dim(2) * x.dim(3) * x.dim(4);
   const int64_t n = B * spatial;
-  Tensor out(x.shape());
+  Tensor out = Tensor::uninit(x.shape());
   const float* in = x.data();
   float* o = out.data();
   if (training_) {

@@ -1,10 +1,37 @@
 #include "nn/sequential.h"
 
+#include "nn/activations.h"
+#include "nn/conv3d.h"
+#include "nn/dense.h"
+
 namespace df::nn {
 
 Tensor Sequential::forward(const Tensor& x) {
   Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    // Inference-path layer fusion: a Dense/Conv3d directly followed by a
+    // pointwise activation collapses into one GEMM with a fused epilogue
+    // (bitwise identical, one less sweep over the activations). Training
+    // keeps the layers separate — the activation layer caches its input
+    // for backward.
+    if (!training_ && i + 1 < layers_.size()) {
+      core::EpilogueAct act = core::EpilogueAct::kNone;
+      float slope = 0.01f;
+      if (epilogue_act_of(layers_[i + 1].get(), &act, &slope)) {
+        if (auto* dense = dynamic_cast<Dense*>(layers_[i].get())) {
+          h = dense->forward_act(h, act, slope);
+          ++i;
+          continue;
+        }
+        if (auto* conv = dynamic_cast<Conv3d*>(layers_[i].get())) {
+          h = conv->forward_act(h, act, slope);
+          ++i;
+          continue;
+        }
+      }
+    }
+    h = layers_[i]->forward(h);
+  }
   return h;
 }
 

@@ -62,9 +62,11 @@ std::map<std::string, ScorerFactory> ModelRegistry::snapshot() const {
 
 void add_regressor(ModelRegistry& registry, const std::string& name,
                    models::RegressorFactory make_model, const chem::VoxelConfig& voxel,
-                   const chem::GraphFeaturizerConfig& graph) {
-  registry.add(name, [name, make_model = std::move(make_model), voxel, graph] {
-    return std::make_unique<RegressorScorer>(name, make_model(), voxel, graph);
+                   const chem::GraphFeaturizerConfig& graph, int featurize_threads) {
+  registry.add(name, [name, make_model = std::move(make_model), voxel, graph,
+                      featurize_threads] {
+    return std::make_unique<RegressorScorer>(name, make_model(), voxel, graph,
+                                             featurize_threads);
   });
 }
 

@@ -58,10 +58,12 @@ class ModelRegistry {
 
 /// Register a Regressor-backed scorer: `make_model` plus the featurizer
 /// configs become a RegressorScorer factory. This is the one-line migration
-/// path from the old screen::ModelFactory.
+/// path from the old screen::ModelFactory. `featurize_threads` > 1 gives
+/// every minted replica that many private featurization lanes
+/// (serve/scorer.h) — size against the service's worker count.
 void add_regressor(ModelRegistry& registry, const std::string& name,
                    models::RegressorFactory make_model, const chem::VoxelConfig& voxel,
-                   const chem::GraphFeaturizerConfig& graph = {});
+                   const chem::GraphFeaturizerConfig& graph = {}, int featurize_threads = 0);
 
 /// A registry with every backend family pre-registered under its canonical
 /// name: "vina_pk", "mmgbsa", plus untrained-but-deterministic reference

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,8 +22,13 @@
 #include "chem/molecule.h"
 #include "chem/voxelizer.h"
 #include "core/vec3.h"
+#include "core/workspace.h"
 #include "dock/mmgbsa.h"
 #include "models/regressor.h"
+
+namespace df::core {
+class ThreadPool;
+}
 
 namespace df::serve {
 
@@ -67,13 +73,40 @@ class ReplicaGuard {
 /// Neural-net backend: featurizes each pose (voxel grid + spatial graph)
 /// and runs the model's batched eval path — the per-rank "featurize and
 /// score" loop of paper Fig. 3, packaged as a replica.
+///
+/// Serving hot path: all tensor scratch (featurizer outputs, every layer
+/// temporary of the batched forward) is carved from per-replica
+/// core::Workspace arenas that are rewound — not freed — between batches,
+/// so a warmed replica scores with zero tensor heap allocations
+/// (core::alloc_count() pins this in tests). The arenas are replica state:
+/// they follow the same single-threaded replica contract as the model
+/// (models/regressor.h) and must never be shared across workers.
+///
+/// With `featurize_threads` > 1 the featurization of a micro-batch fans out
+/// over a small private lane pool (contiguous pose chunks, one arena per
+/// lane); featurization is per-pose pure, so results are identical to the
+/// serial loop. Lanes are extra threads per replica — size them against the
+/// service's worker count (a few lanes pay off when workers < cores or the
+/// batch is featurize-bound).
 class RegressorScorer : public Scorer {
  public:
   RegressorScorer(std::string name, std::unique_ptr<models::Regressor> model,
-                  const chem::VoxelConfig& voxel, const chem::GraphFeaturizerConfig& graph);
+                  const chem::VoxelConfig& voxel, const chem::GraphFeaturizerConfig& graph,
+                  int featurize_threads = 0);
+  ~RegressorScorer() override;
 
   std::string name() const override { return name_; }
   std::vector<float> score(const std::vector<const PoseInput*>& poses) override;
+
+  /// Cumulative wall-time split of score() calls on this replica — the
+  /// featurize/forward phase breakdown reported by bench_service_throughput.
+  struct PhaseStats {
+    uint64_t batches = 0;
+    uint64_t poses = 0;
+    double featurize_seconds = 0.0;
+    double forward_seconds = 0.0;
+  };
+  const PhaseStats& phase_stats() const { return stats_; }
 
  private:
   std::string name_;
@@ -81,6 +114,12 @@ class RegressorScorer : public Scorer {
   chem::Voxelizer voxelizer_;
   chem::GraphFeaturizer featurizer_;
   std::atomic<bool> busy_{false};
+  // One arena per featurize lane (index 0 doubles as the serial lane) plus
+  // one for the model forward; reset at the top of every score() call.
+  std::vector<std::unique_ptr<core::Workspace>> feat_ws_;
+  core::Workspace forward_ws_;
+  std::unique_ptr<core::ThreadPool> feat_pool_;  // null when serial
+  PhaseStats stats_;
 };
 
 /// Empirical docking backend: Vina functional form converted to predicted
