@@ -313,6 +313,10 @@ int main(int argc, char** argv) {
   std::printf("%-34s %10.3f %12.1f %9.2fx\n", "service, cross-client batching", coalesced_s,
               coalesced_pps, coalesced_pps / serial_pps);
   print_rule(70);
+  std::printf("request latency: ordered p50 %.3f ms / p99 %.3f ms, coalesced p50 %.3f ms / "
+              "p99 %.3f ms\n",
+              ordered_stats.latency.p50_ms(), ordered_stats.latency.p99_ms(),
+              coalesced_stats.latency.p50_ms(), coalesced_stats.latency.p99_ms());
   std::printf("coalesced run: %llu batches (%llu full, %llu cross-client) for %llu requests\n",
               static_cast<unsigned long long>(coalesced_stats.batches),
               static_cast<unsigned long long>(coalesced_stats.full_batches),
@@ -330,7 +334,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "{\n"
-                 "  \"schema\": \"bench_service.v2\",\n"
+                 "  \"schema\": \"bench_service.v3\",\n"
                  "  \"workload\": {\"clients\": %d, \"poses_per_client\": %d, "
                  "\"poses_per_request\": %d, \"poses_per_batch\": %d},\n"
                  "  \"hot_path\": {\n",
@@ -349,19 +353,22 @@ int main(int argc, char** argv) {
                  "\"speedup\": %.3f},\n"
                  "  \"serial\": {\"seconds\": %.4f, \"poses_per_second\": %.1f},\n"
                  "  \"service_ordered\": {\"seconds\": %.4f, \"poses_per_second\": %.1f, "
-                 "\"batches\": %llu},\n"
+                 "\"batches\": %llu, \"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f},\n"
                  "  \"service_coalesced\": {\"seconds\": %.4f, \"poses_per_second\": %.1f, "
-                 "\"batches\": %llu, \"full_batches\": %llu, \"coalesced_batches\": %llu},\n"
+                 "\"batches\": %llu, \"full_batches\": %llu, \"coalesced_batches\": %llu, "
+                 "\"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f},\n"
                  "  \"speedup_coalesced_vs_serial\": %.3f,\n"
                  "  \"speedup_ordered_vs_serial\": %.3f,\n"
                  "  \"cross_client_batching_beats_serial\": %s\n"
                  "}\n",
                  epi.fused_ms, epi.unfused_ms, epi.unfused_ms / epi.fused_ms, serial_s,
                  serial_pps, ordered_s, ordered_pps,
-                 static_cast<unsigned long long>(ordered_stats.batches), coalesced_s,
+                 static_cast<unsigned long long>(ordered_stats.batches),
+                 ordered_stats.latency.p50_ms(), ordered_stats.latency.p99_ms(), coalesced_s,
                  coalesced_pps, static_cast<unsigned long long>(coalesced_stats.batches),
                  static_cast<unsigned long long>(coalesced_stats.full_batches),
                  static_cast<unsigned long long>(coalesced_stats.coalesced_batches),
+                 coalesced_stats.latency.p50_ms(), coalesced_stats.latency.p99_ms(),
                  coalesced_pps / serial_pps, ordered_pps / serial_pps,
                  beats ? "true" : "false");
     std::fclose(out);

@@ -1,0 +1,158 @@
+// score_server_node — one scoring node of the multi-node topology: a
+// standalone process hosting an ordered-stream ScoringService behind a
+// ScoreServer. The chaos harness (tests/test_cluster_chaos.cpp) and the
+// cluster load generator fork+exec this binary, SIGKILL it mid-campaign,
+// and respawn it on the same port; everything it serves is a pure function
+// of its flags, so a respawned node scores bit-identically to its previous
+// life.
+//
+// Flags (all --name=value):
+//   --port=N            listen port (default 0 = kernel-assigned)
+//   --port-file=PATH    write the bound port (decimal + newline) once
+//                       listening — the exec'ing parent's discovery handshake
+//   --node-id=STR       name echoed in the Hello frame
+//   --scorer=NAME       scorer to serve + warm up (default "sgcnn")
+//   --model-seed=N      SG-CNN weight seed (default 31, the test factory's)
+//   --voxel-grid=N      voxel featurizer grid dim (default 8)
+//   --gather-cov=N / --gather-noncov=N / --k-cov=N / --k-noncov=N
+//                       SG-CNN shape (defaults match tests/tiny_sg_factory)
+//   --workers=N         service workers (default 2)
+//   --poses-per-batch=N service micro-batch (default 32)
+//   --ordered=0|1       ordered-stream mode (default 1)
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "models/sgcnn.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+namespace {
+
+std::atomic<bool> g_signalled{false};
+void on_signal(int) { g_signalled.store(true); }
+
+struct Flags {
+  int port = 0;
+  std::string port_file;
+  std::string node_id;
+  std::string scorer = "sgcnn";
+  uint64_t model_seed = 31;
+  int voxel_grid = 8;
+  int gather_cov = 8;
+  int gather_noncov = 12;
+  int k_cov = 2;
+  int k_noncov = 2;
+  int workers = 2;
+  int poses_per_batch = 32;
+  bool ordered = true;
+};
+
+bool parse_flag(const std::string& arg, const std::string& name, std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool parse_flags(int argc, char** argv, Flags* f) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (parse_flag(arg, "port", &v)) f->port = std::stoi(v);
+    else if (parse_flag(arg, "port-file", &v)) f->port_file = v;
+    else if (parse_flag(arg, "node-id", &v)) f->node_id = v;
+    else if (parse_flag(arg, "scorer", &v)) f->scorer = v;
+    else if (parse_flag(arg, "model-seed", &v)) f->model_seed = std::stoull(v);
+    else if (parse_flag(arg, "voxel-grid", &v)) f->voxel_grid = std::stoi(v);
+    else if (parse_flag(arg, "gather-cov", &v)) f->gather_cov = std::stoi(v);
+    else if (parse_flag(arg, "gather-noncov", &v)) f->gather_noncov = std::stoi(v);
+    else if (parse_flag(arg, "k-cov", &v)) f->k_cov = std::stoi(v);
+    else if (parse_flag(arg, "k-noncov", &v)) f->k_noncov = std::stoi(v);
+    else if (parse_flag(arg, "workers", &v)) f->workers = std::stoi(v);
+    else if (parse_flag(arg, "poses-per-batch", &v)) f->poses_per_batch = std::stoi(v);
+    else if (parse_flag(arg, "ordered", &v)) f->ordered = std::stoi(v) != 0;
+    else {
+      std::fprintf(stderr, "score_server_node: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!parse_flags(argc, argv, &flags)) return 2;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // Deterministic SG-CNN replica factory: weights are a pure function of
+  // --model-seed and the shape flags, so every node (and every respawn of a
+  // killed node) serves the identical model.
+  df::chem::VoxelConfig voxel;
+  voxel.grid_dim = flags.voxel_grid;
+  df::serve::ModelRegistry registry;
+  df::serve::add_regressor(
+      registry, flags.scorer,
+      [flags] {
+        df::core::Rng rng(flags.model_seed);
+        df::models::SgcnnConfig cfg;
+        cfg.covalent_gather_width = flags.gather_cov;
+        cfg.noncovalent_gather_width = flags.gather_noncov;
+        cfg.covalent_k = flags.k_cov;
+        cfg.noncovalent_k = flags.k_noncov;
+        return std::make_unique<df::models::Sgcnn>(cfg, rng);
+      },
+      voxel);
+
+  df::serve::ServiceConfig sc;
+  sc.workers = flags.workers;
+  sc.poses_per_batch = flags.poses_per_batch;
+  sc.ordered_stream = flags.ordered;
+  df::serve::ScoringService service(registry, sc);
+  service.warmup(flags.scorer);  // the paper's startup phase, before serving
+
+  df::serve::ServerConfig server_cfg;
+  server_cfg.port = flags.port;
+  server_cfg.node_id = flags.node_id;
+  std::unique_ptr<df::serve::ScoreServer> server;
+  try {
+    server = std::make_unique<df::serve::ScoreServer>(service, server_cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "score_server_node: %s\n", e.what());
+    return 1;
+  }
+
+  // Port discovery handshake: write-then-rename so the parent never reads a
+  // half-written file.
+  if (!flags.port_file.empty()) {
+    const std::string tmp = flags.port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "score_server_node: cannot write %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server->port());
+    std::fclose(f);
+    std::rename(tmp.c_str(), flags.port_file.c_str());
+  }
+  std::fprintf(stderr, "score_server_node: serving '%s' on port %d\n", flags.scorer.c_str(),
+               server->port());
+
+  while (!server->shutdown_requested() && !g_signalled.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "score_server_node: shutting down (port %d)\n", server->port());
+  server->stop();
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "core/threadpool.h"
 #include "io/log.h"
 #include "screen/checkpoint.h"
+#include "screen/controller.h"
 #include "screen/plan.h"
 #include "screen/writer.h"
 #include "serve/service.h"
@@ -45,10 +46,30 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
 CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& compounds,
                                       serve::ScoringService& service,
                                       const std::string& scorer) {
+  return run_impl(compounds, &service, scorer, nullptr);
+}
+
+CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& compounds,
+                                      ClusterController& cluster) {
+  if (cluster.poses_per_batch() <= 0) {
+    throw std::invalid_argument(
+        "campaign: the cluster controller has no registered nodes — register "
+        "at least one ScoreServer before running");
+  }
+  return run_impl(compounds, nullptr, cluster.scorer(), &cluster);
+}
+
+CampaignReport ScreeningCampaign::run_impl(const std::vector<data::LibraryCompound>& compounds,
+                                           serve::ScoringService* service,
+                                           const std::string& scorer,
+                                           ClusterController* cluster) {
   CampaignReport report;
   core::Rng rng(cfg_.seed);
 
-  if (!service.config().ordered_stream) {
+  const bool ordered = service != nullptr ? service->config().ordered_stream : cluster->ordered();
+  const int scoring_batch =
+      service != nullptr ? service->config().poses_per_batch : cluster->poses_per_batch();
+  if (!ordered) {
     io::log_warn(
         "campaign: scoring service is not in ordered-stream mode; reports may "
         "not be bit-reproducible across worker counts or resumes");
@@ -164,7 +185,7 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
         ck.units() != static_cast<int64_t>(plan.units.size()) ||
         ck.poses_per_job != cfg_.poses_per_job || ck.nodes != cfg_.job.nodes ||
         ck.gpus_per_node != cfg_.job.gpus_per_node || ck.num_shards != num_shards ||
-        ck.scoring_batch != service.config().poses_per_batch) {
+        ck.scoring_batch != scoring_batch) {
       throw std::runtime_error(
           "campaign: checkpoint does not match this campaign (seed, library, plan, "
           "job geometry or scoring batch size changed): " + cfg_.checkpoint_path);
@@ -246,7 +267,7 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
     ck.nodes = cfg_.job.nodes;
     ck.gpus_per_node = cfg_.job.gpus_per_node;
     ck.num_shards = num_shards;
-    ck.scoring_batch = service.config().poses_per_batch;
+    ck.scoring_batch = scoring_batch;
     ck.unit_status = status;
     ck.unit_attempts = attempts;
     save_campaign_checkpoint(ck, cfg_.checkpoint_path);
@@ -265,54 +286,145 @@ CampaignReport ScreeningCampaign::run(const std::vector<data::LibraryCompound>& 
                          " job attempts (simulated)");
   };
 
-  for (const WorkUnit& unit : plan.units) {
-    if (status[unit.id] != static_cast<int64_t>(UnitStatus::Pending)) continue;
-    const std::vector<PoseWorkItem> chunk(work.begin() + static_cast<long>(unit.pose_begin),
-                                          work.begin() + static_cast<long>(unit.pose_end));
-    for (int attempt = 0; attempt <= cfg_.max_job_retries; ++attempt) {
-      JobConfig jc = cfg_.job;
-      jc.pool = &pool;
-      jc.seed = unit_seed(cfg_.seed, unit.id, attempt);
-      if (injector != nullptr) {
-        jc.inject_failures = false;
-        jc.doomed_rank = injector->doomed_rank(cfg_.seed, unit.id, attempt, jc.nodes, unit.ranks);
+  const auto exhaust_unit = [&](const WorkUnit& unit) {
+    status[unit.id] = static_cast<int64_t>(UnitStatus::Exhausted);
+    ++completed_since_ckpt;
+    io::log_warn("campaign: unit " + std::to_string(unit.id) + " exhausted its " +
+                 std::to_string(cfg_.max_job_retries) + " retries; poses unscored");
+  };
+  const auto complete_unit = [&](const WorkUnit& unit, const float* predictions) {
+    // Results arrive in chunk order (serial: ranks take contiguous slices
+    // and the allgather concatenates in rank order; distributed: the node
+    // scores the whole chunk in request order).
+    std::copy(predictions, predictions + unit.poses(),
+              fusion_pred.begin() + static_cast<long>(unit.pose_begin));
+    if (streaming) {
+      ShardBlock block;
+      block.unit_id = unit.id;
+      for (size_t i = unit.pose_begin; i < unit.pose_end; ++i) {
+        block.compound_ids.push_back(work[i].compound_id);
+        block.target_ids.push_back(work[i].target_id);
+        block.pose_ids.push_back(work[i].pose_id);
       }
-      FusionScoringJob job(jc);
-      const JobReport jr = job.run(chunk, service, scorer);
+      block.predictions.assign(predictions, predictions + unit.poses());
+      ShardStream& stream = stream_for(unit.id);
+      stream.append(block);
+      last_write = &stream;
+    }
+    status[unit.id] = static_cast<int64_t>(UnitStatus::Done);
+    ++completed_since_ckpt;
+    if (!cfg_.checkpoint_path.empty() && completed_since_ckpt >= cfg_.checkpoint_every_jobs) {
+      save_ckpt();
+    }
+    kill_check();
+  };
+
+  if (service != nullptr) {
+    for (const WorkUnit& unit : plan.units) {
+      if (status[unit.id] != static_cast<int64_t>(UnitStatus::Pending)) continue;
+      const std::vector<PoseWorkItem> chunk(work.begin() + static_cast<long>(unit.pose_begin),
+                                            work.begin() + static_cast<long>(unit.pose_end));
+      for (int attempt = 0; attempt <= cfg_.max_job_retries; ++attempt) {
+        JobConfig jc = cfg_.job;
+        jc.pool = &pool;
+        jc.seed = unit_seed(cfg_.seed, unit.id, attempt);
+        if (injector != nullptr) {
+          jc.inject_failures = false;
+          jc.doomed_rank = injector->doomed_rank(cfg_.seed, unit.id, attempt, jc.nodes, unit.ranks);
+        }
+        FusionScoringJob job(jc);
+        const JobReport jr = job.run(chunk, *service, scorer);
+        ++attempts[unit.id];
+        ++attempts_this_run;
+        if (jr.failed) {
+          kill_check();
+          continue;  // resubmit: "another job takes its place"
+        }
+        complete_unit(unit, jr.predictions.data());
+        break;
+      }
+      if (status[unit.id] == static_cast<int64_t>(UnitStatus::Pending)) exhaust_unit(unit);
+    }
+  } else {
+    // --- distributed scoring over the cluster controller ---
+    // The logical fault schedule is a pure function of (seed, unit, attempt),
+    // so it resolves without scoring: advance each unit's attempt cursor past
+    // its doomed attempts — bookkept exactly like failed in-process jobs —
+    // and ship only the first clean attempt to the cluster. Physical node
+    // deaths re-dispatch inside the controller without touching the cursor,
+    // which is why the report stays bit-identical to the serial run.
+    //
+    // If anything throws out of this branch (CampaignKilled from the kill
+    // harness, a stopped controller), the cluster is stopped before the
+    // exception escapes: submitted poses borrow this campaign's pocket
+    // storage, so dispatchers must not outlive this frame, and abandoning
+    // the queue means a resumed run needs a fresh controller — stale
+    // verdicts from the aborted run can never leak into it.
+    try {
+    std::vector<int> next_attempt(plan.units.size(), 0);
+    const auto advance_to_clean_attempt = [&](const WorkUnit& unit) -> bool {
+      int& cursor = next_attempt[unit.id];
+      while (cursor <= cfg_.max_job_retries) {
+        const int doomed = injector != nullptr
+                               ? injector->doomed_rank(cfg_.seed, unit.id, cursor,
+                                                       cfg_.job.nodes, unit.ranks)
+                               : -1;
+        if (doomed < 0) return true;
+        ++cursor;
+        ++attempts[unit.id];
+        ++attempts_this_run;
+        kill_check();
+      }
+      return false;
+    };
+    const auto submit_unit = [&](const WorkUnit& unit) {
+      std::vector<serve::PoseInput> poses;
+      poses.reserve(unit.poses());
+      for (size_t i = unit.pose_begin; i < unit.pose_end; ++i) {
+        serve::PoseInput pose;
+        pose.ligand = work[i].ligand;
+        pose.pocket = work[i].pocket;
+        pose.site_center = work[i].site_center;
+        poses.push_back(std::move(pose));
+      }
+      cluster->submit_unit(unit.id, std::move(poses));
+    };
+
+    size_t outstanding = 0;
+    for (const WorkUnit& unit : plan.units) {
+      if (status[unit.id] != static_cast<int64_t>(UnitStatus::Pending)) continue;
+      if (!advance_to_clean_attempt(unit)) {
+        exhaust_unit(unit);
+        continue;
+      }
+      submit_unit(unit);
+      ++outstanding;
+    }
+    while (outstanding > 0) {
+      const UnitResult r = cluster->wait_unit();
+      --outstanding;
+      const WorkUnit& unit = plan.units[r.unit_id];
       ++attempts[unit.id];
       ++attempts_this_run;
-      if (jr.failed) {
+      if (!r.ok) {
+        // A typed scorer failure on the clean attempt — the distributed
+        // analog of jr.failed: bookkeep it and resubmit on the next clean
+        // attempt, if the unit has retries left.
         kill_check();
-        continue;  // resubmit: "another job takes its place"
+        ++next_attempt[unit.id];
+        if (advance_to_clean_attempt(unit)) {
+          submit_unit(unit);
+          ++outstanding;
+        } else {
+          exhaust_unit(unit);
+        }
+        continue;
       }
-      // Ranks take contiguous slices of the chunk and the allgather
-      // concatenates them in rank order, so results arrive in chunk order.
-      std::copy(jr.predictions.begin(), jr.predictions.end(),
-                fusion_pred.begin() + static_cast<long>(unit.pose_begin));
-      if (streaming) {
-        ShardBlock block;
-        block.unit_id = unit.id;
-        block.compound_ids = jr.compound_ids;
-        block.target_ids = jr.target_ids;
-        block.pose_ids = jr.pose_ids;
-        block.predictions = jr.predictions;
-        ShardStream& stream = stream_for(unit.id);
-        stream.append(block);
-        last_write = &stream;
-      }
-      status[unit.id] = static_cast<int64_t>(UnitStatus::Done);
-      ++completed_since_ckpt;
-      if (!cfg_.checkpoint_path.empty() && completed_since_ckpt >= cfg_.checkpoint_every_jobs) {
-        save_ckpt();
-      }
-      kill_check();
-      break;
+      complete_unit(unit, r.scores.data());
     }
-    if (status[unit.id] == static_cast<int64_t>(UnitStatus::Pending)) {
-      status[unit.id] = static_cast<int64_t>(UnitStatus::Exhausted);
-      ++completed_since_ckpt;
-      io::log_warn("campaign: unit " + std::to_string(unit.id) + " exhausted its " +
-                   std::to_string(cfg_.max_job_retries) + " retries; poses unscored");
+    } catch (...) {
+      cluster->stop();
+      throw;
     }
   }
   report.fusion_seconds = seconds_since(t0);

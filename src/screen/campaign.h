@@ -35,6 +35,8 @@ class ScoringService;
 
 namespace df::screen {
 
+class ClusterController;
+
 struct CompoundScreenResult {
   std::string compound_id;
   int target_index = 0;                 // into the campaign's target list
@@ -126,9 +128,30 @@ class ScreeningCampaign {
   CampaignReport run(const std::vector<data::LibraryCompound>& compounds,
                      const ModelFactory& make_model);
 
+  /// Multi-node path: score work units over `cluster`'s registered
+  /// ScoreServer nodes instead of an in-process service. Nodes must be
+  /// registered (and collectively healthy enough to make progress) before
+  /// the call. The logical fault schedule (the configured FaultInjector) is
+  /// resolved locally — doomed attempts are bookkept without scoring — and
+  /// physical node deaths re-dispatch units without touching the attempt
+  /// cursor, so with ordered-stream nodes and deterministic scorers the
+  /// report is bit-identical to the in-process run of the same campaign
+  /// (timing fields aside), no matter how many nodes die mid-run.
+  ///
+  /// If the run aborts (CampaignKilled from the kill harness, any other
+  /// exception), `cluster` is stopped before the exception escapes — its
+  /// in-flight poses borrow this campaign's pocket storage. Resume with a
+  /// fresh controller over the same (still-running) nodes.
+  CampaignReport run(const std::vector<data::LibraryCompound>& compounds,
+                     ClusterController& cluster);
+
   const std::vector<data::Target>& targets() const { return targets_; }
 
  private:
+  CampaignReport run_impl(const std::vector<data::LibraryCompound>& compounds,
+                          serve::ScoringService* service, const std::string& scorer,
+                          ClusterController* cluster);
+
   CampaignConfig cfg_;
   std::vector<data::Target> targets_;
 };

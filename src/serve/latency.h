@@ -1,0 +1,72 @@
+// Fixed-bucket latency histogram — the p50/p99 surface of ServiceStats and
+// the score server. Buckets are powers of two in microseconds (bucket i
+// holds [2^(i-1), 2^i) µs; bucket 0 is sub-microsecond), so recording is a
+// bit_width and two increments — cheap enough to sit on the per-request
+// fulfillment path under the service mutex — and two histograms from
+// different replicas merge by plain addition. Percentiles return the upper
+// bound of the bucket holding the p-th sample: a conservative (≤ factor 2)
+// estimate that is exactly reproducible across runs, unlike a reservoir.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace df::serve {
+
+class LatencyHistogram {
+ public:
+  // 44 buckets: up to 2^43 µs ≈ 2.4 h, far past any sane request deadline;
+  // slower samples clamp into the last bucket.
+  static constexpr int kBuckets = 44;
+
+  void record_seconds(double s) {
+    record_micros(s <= 0 ? 0 : static_cast<uint64_t>(s * 1e6));
+  }
+
+  void record_micros(uint64_t us) {
+    int b = us == 0 ? 0 : static_cast<int>(std::bit_width(us));
+    if (b >= kBuckets) b = kBuckets - 1;
+    ++counts_[static_cast<size_t>(b)];
+    ++total_;
+  }
+
+  uint64_t count() const { return total_; }
+
+  /// Upper bound (ms) of the bucket containing the p-th percentile sample
+  /// (p in [0,1]); 0 when empty.
+  double percentile_ms(double p) const {
+    if (total_ == 0) return 0.0;
+    if (p < 0) p = 0;
+    if (p > 1) p = 1;
+    // Rank of the target sample, 1-based; cumulative count reaches it in
+    // the bucket whose upper bound we report.
+    const uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[static_cast<size_t>(b)];
+      if (seen >= rank) return bucket_upper_ms(b);
+    }
+    return bucket_upper_ms(kBuckets - 1);
+  }
+
+  double p50_ms() const { return percentile_ms(0.50); }
+  double p99_ms() const { return percentile_ms(0.99); }
+
+  void merge(const LatencyHistogram& o) {
+    for (int b = 0; b < kBuckets; ++b) counts_[static_cast<size_t>(b)] += o.counts_[static_cast<size_t>(b)];
+    total_ += o.total_;
+  }
+
+  uint64_t bucket_count(int b) const { return counts_[static_cast<size_t>(b)]; }
+
+  static double bucket_upper_ms(int b) {
+    return static_cast<double>(uint64_t{1} << b) / 1000.0;
+  }
+
+ private:
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t total_ = 0;
+};
+
+}  // namespace df::serve

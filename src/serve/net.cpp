@@ -1,0 +1,297 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace df::serve::net {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool make_sockaddr(const std::string& host, int port, sockaddr_in* addr, std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  // Numeric IPv4 only — the cluster plane addresses nodes by IP (loopback in
+  // tests); name resolution stays out of the hot path and the sandbox.
+  if (host.empty() || host == "localhost") {
+    addr->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (error) *error = "net: not a numeric IPv4 address: '" + host + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpConn::TcpConn(int fd) : fd_(fd) {}
+
+TcpConn::~TcpConn() { close(); }
+
+TcpConn::TcpConn(TcpConn&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), timed_out_(o.timed_out_), error_(std::move(o.error_)) {}
+
+TcpConn& TcpConn::operator=(TcpConn&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    timed_out_ = o.timed_out_;
+    error_ = std::move(o.error_);
+  }
+  return *this;
+}
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpConn::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool TcpConn::wait_io(bool for_read, double timeout_ms, double elapsed_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = for_read ? POLLIN : POLLOUT;
+  int wait = -1;  // infinite
+  if (timeout_ms > 0) {
+    const double remaining = timeout_ms - elapsed_ms;
+    if (remaining <= 0) {
+      timed_out_ = true;
+      error_ = for_read ? "net: recv deadline exceeded" : "net: send deadline exceeded";
+      return false;
+    }
+    wait = static_cast<int>(remaining) + 1;
+  }
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, wait);
+    if (rc > 0) return true;
+    if (rc == 0) {
+      timed_out_ = true;
+      error_ = for_read ? "net: recv deadline exceeded" : "net: send deadline exceeded";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    error_ = errno_message("net: poll");
+    return false;
+  }
+}
+
+bool TcpConn::send_all(const void* data, size_t len, double timeout_ms) {
+  timed_out_ = false;
+  if (fd_ < 0) {
+    error_ = "net: send on closed connection";
+    return false;
+  }
+  const char* p = static_cast<const char*>(data);
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t sent = 0;
+  while (sent < len) {
+    if (!wait_io(/*for_read=*/false, timeout_ms, ms_since(t0))) return false;
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    error_ = errno_message("net: send");
+    return false;
+  }
+  return true;
+}
+
+bool TcpConn::recv_exact(void* data, size_t len, double timeout_ms) {
+  timed_out_ = false;
+  if (fd_ < 0) {
+    error_ = "net: recv on closed connection";
+    return false;
+  }
+  char* p = static_cast<char*>(data);
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t got = 0;
+  while (got < len) {
+    if (!wait_io(/*for_read=*/true, timeout_ms, ms_since(t0))) return false;
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      error_ = "net: connection closed by peer";
+      return false;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    error_ = errno_message("net: recv");
+    return false;
+  }
+  return true;
+}
+
+TcpConn tcp_connect(const std::string& host, int port, double timeout_ms, std::string* error) {
+  sockaddr_in addr{};
+  if (!make_sockaddr(host, port, &addr, error)) return TcpConn();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = errno_message("net: socket");
+    return TcpConn();
+  }
+  // Non-blocking connect so the deadline is honored, then back to blocking
+  // (per-call poll guards handle I/O deadlines from here on).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (error) *error = errno_message("net: connect");
+    ::close(fd);
+    return TcpConn();
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int wait = timeout_ms > 0 ? static_cast<int>(timeout_ms) + 1 : -1;
+    do {
+      rc = ::poll(&pfd, 1, wait);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      if (error) *error = "net: connect deadline exceeded";
+      ::close(fd);
+      return TcpConn();
+    }
+    int so_error = 0;
+    socklen_t slen = sizeof(so_error);
+    if (rc < 0 || ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &slen) != 0 || so_error != 0) {
+      if (error) {
+        errno = so_error != 0 ? so_error : errno;
+        *error = errno_message("net: connect");
+      }
+      ::close(fd);
+      return TcpConn();
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::listen(const std::string& address, int port, int backlog, std::string* error) {
+  close();
+  sockaddr_in addr{};
+  if (!make_sockaddr(address, port, &addr, error)) return false;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = errno_message("net: socket");
+    return false;
+  }
+  // Chaos harness restarts a node on the same port moments after SIGKILL —
+  // without SO_REUSEADDR the TIME_WAIT remnant would make bind() flaky.
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = errno_message("net: bind");
+    close();
+    return false;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    if (error) *error = errno_message("net: listen");
+    close();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = port;
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  return true;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void TcpListener::interrupt() {
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+TcpConn TcpListener::accept(double timeout_ms, bool* timed_out, std::string* error) {
+  if (timed_out) *timed_out = false;
+  if (fd_ < 0) {
+    if (error) *error = "net: accept on closed listener";
+    return TcpConn();
+  }
+  pollfd pfds[2]{};
+  pfds[0].fd = fd_;
+  pfds[0].events = POLLIN;
+  pfds[1].fd = wake_fd_;  // -1 entries are ignored by poll
+  pfds[1].events = POLLIN;
+  const int wait = timeout_ms > 0 ? static_cast<int>(timeout_ms) + 1 : -1;
+  int rc;
+  do {
+    rc = ::poll(pfds, 2, wait);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) {
+    if (timed_out) *timed_out = true;
+    return TcpConn();
+  }
+  if (rc < 0) {
+    if (error) *error = errno_message("net: poll(accept)");
+    return TcpConn();
+  }
+  if (pfds[1].revents != 0) {
+    // interrupt(): sticky by design — the eventfd is never drained, so every
+    // accept() fails fast until close(); the caller is shutting down.
+    if (error) *error = "net: accept interrupted";
+    return TcpConn();
+  }
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    if (error) *error = errno_message("net: accept");
+    return TcpConn();
+  }
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(cfd);
+}
+
+}  // namespace df::serve::net

@@ -1,0 +1,86 @@
+// Minimal blocking TCP transport with per-call deadlines — the socket layer
+// under the score server and client. POSIX only (the toolchain target);
+// every call is poll()-guarded so a deadline bounds each read/write, and
+// shutdown() from another thread wakes a peer blocked in recv, which is how
+// ScoreServer::stop() unsticks its connection threads. Errors never throw:
+// calls return false and leave a message in last_error() (with timed_out()
+// distinguishing deadline expiry from transport failure) so the client can
+// map them into the typed ScoreError space.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace df::serve::net {
+
+/// One connected TCP stream. Movable, closes on destruction.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd);
+  ~TcpConn();
+
+  TcpConn(TcpConn&& o) noexcept;
+  TcpConn& operator=(TcpConn&& o) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  bool open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  /// Half-close both directions without releasing the fd — safe to call
+  /// from another thread to wake a blocked recv/send.
+  void shutdown();
+
+  /// Write exactly `len` bytes within `timeout_ms` (<= 0 = no deadline).
+  bool send_all(const void* data, size_t len, double timeout_ms);
+  /// Read exactly `len` bytes within `timeout_ms` (<= 0 = no deadline).
+  /// Peer close mid-read is a failure ("connection closed").
+  bool recv_exact(void* data, size_t len, double timeout_ms);
+
+  bool timed_out() const { return timed_out_; }
+  const std::string& last_error() const { return error_; }
+
+ private:
+  bool wait_io(bool for_read, double timeout_ms, double elapsed_ms);
+
+  int fd_ = -1;
+  bool timed_out_ = false;
+  std::string error_;
+};
+
+/// Connect to host:port within `timeout_ms`. On failure returns a closed
+/// conn and sets *error.
+TcpConn tcp_connect(const std::string& host, int port, double timeout_ms, std::string* error);
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind + listen on address:port (port 0 = kernel-assigned; see port()).
+  bool listen(const std::string& address, int port, int backlog, std::string* error);
+  bool open() const { return fd_ >= 0; }
+  int port() const { return port_; }
+  void close();
+
+  /// Wake a concurrent accept() without touching the listener fd — the only
+  /// member safe to call from another thread. close() from a foreign thread
+  /// would race the accept thread's poll on fd_ (and risk fd reuse); the
+  /// shutdown order is interrupt(), join the accept thread, then close().
+  void interrupt();
+
+  /// Accept one connection, waiting at most `timeout_ms`. Returns a closed
+  /// conn on timeout (*timed_out = true), interrupt(), or error.
+  TcpConn accept(double timeout_ms, bool* timed_out, std::string* error);
+
+ private:
+  int fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; interrupt() is sticky until close()
+  int port_ = 0;
+};
+
+}  // namespace df::serve::net

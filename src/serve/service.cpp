@@ -15,6 +15,8 @@ const char* score_error_name(ScoreError e) {
     case ScoreError::kQueueFull: return "queue_full";
     case ScoreError::kShutdown: return "shutdown";
     case ScoreError::kScorerFailure: return "scorer_failure";
+    case ScoreError::kTimeout: return "timeout";
+    case ScoreError::kTransport: return "transport";
   }
   return "invalid";
 }
@@ -30,9 +32,13 @@ struct ScoringService::Pending {
   std::vector<float> scores;
   size_t remaining = 0;
   bool failed = false;
+  ScoreError error = ScoreError::kScorerFailure;  // meaningful when failed
   std::string fail_msg;
   int micro_batches = 0;
   bool coalesced = false;
+  std::chrono::steady_clock::time_point accepted;  // for the latency histogram
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;  // valid when has_deadline
 };
 
 /// A contiguous span of one request's poses waiting in the queue. In
@@ -97,11 +103,19 @@ std::future<ScoreResponse> ScoringService::submit(ScoreRequest req) {
   const size_t n = pending->poses.size();
   pending->scores.resize(n, 0.0f);
   pending->remaining = n;
+  pending->accepted = std::chrono::steady_clock::now();
+  if (req.deadline_ms > 0) {
+    pending->has_deadline = true;
+    pending->deadline = pending->accepted + std::chrono::microseconds(static_cast<int64_t>(
+                                                req.deadline_ms * 1000.0));
+  }
   std::future<ScoreResponse> future = pending->promise.get_future();
 
   std::unique_lock<std::mutex> lock(mu_);
   // Backpressure on the bounded queue. An oversized request (n > capacity)
-  // is admitted alone once the queue is empty, so it cannot wedge.
+  // is admitted alone once the queue is empty, so it cannot wedge. A
+  // deadline bounds the block: past it the caller gets kTimeout instead of
+  // waiting for space forever.
   const auto fits = [&] { return queued_poses_ == 0 || queued_poses_ + n <= cfg_.queue_capacity; };
   if (!fits()) {
     if (!cfg_.block_when_full) {
@@ -110,7 +124,17 @@ std::future<ScoreResponse> ScoringService::submit(ScoreRequest req) {
                          "queue holds " + std::to_string(queued_poses_) + " poses; capacity " +
                              std::to_string(cfg_.queue_capacity));
     }
-    space_cv_.wait(lock, [&] { return stop_ || fits(); });
+    if (pending->has_deadline) {
+      if (!space_cv_.wait_until(lock, pending->deadline, [&] { return stop_ || fits(); })) {
+        ++stats_.rejected;
+        ++stats_.timeouts;
+        return ready_error(ScoreError::kTimeout,
+                           "backpressure wait exceeded the request deadline (" +
+                               std::to_string(req.deadline_ms) + " ms)");
+      }
+    } else {
+      space_cv_.wait(lock, [&] { return stop_ || fits(); });
+    }
   }
   if (stop_) {
     ++stats_.rejected;
@@ -123,6 +147,7 @@ std::future<ScoreResponse> ScoringService::submit(ScoreRequest req) {
     queue_.push_back(Slice{pending, b, std::min(b + chunk, n), now});
   }
   queued_poses_ += n;
+  if (pending->has_deadline) deadlined_queued_ += n;
   ++stats_.requests;
   stats_.poses += n;
   stats_.peak_queued_poses = std::max(stats_.peak_queued_poses, queued_poses_);
@@ -172,6 +197,26 @@ void ScoringService::shutdown() {
 ServiceStats ScoringService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::vector<std::string> ScoringService::scorer_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+void ScoringService::fulfill(const std::shared_ptr<Pending>& owner) {
+  ScoreResponse r;
+  r.micro_batches = owner->micro_batches;
+  r.coalesced = owner->coalesced;
+  if (owner->failed) {
+    r.error = owner->error;
+    r.message = owner->fail_msg;
+  } else {
+    r.scores = std::move(owner->scores);
+  }
+  owner->promise.set_value(std::move(r));
 }
 
 Scorer& ScoringService::replica_for(std::map<std::string, std::unique_ptr<Scorer>>& replicas,
@@ -224,6 +269,44 @@ void ScoringService::worker_loop() {
       if (--warmup_remaining_ == 0) warmup_cv_.notify_all();
       continue;
     }
+    // Deadline sweep: requests whose deadline passed while queued resolve
+    // kTimeout now instead of occupying a worker. Skipped entirely while no
+    // queued request carries a deadline (the campaign's ordered path).
+    if (deadlined_queued_ > 0 && !queue_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<std::shared_ptr<Pending>> expired;
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        Pending& p = *it->owner;
+        if (!p.has_deadline || now < p.deadline) {
+          ++it;
+          continue;
+        }
+        const size_t len = it->end - it->begin;
+        queued_poses_ -= len;
+        deadlined_queued_ -= len;
+        if (!p.failed) {
+          p.failed = true;
+          p.error = ScoreError::kTimeout;
+          p.fail_msg = "request deadline expired before scoring started";
+          ++stats_.timeouts;
+        }
+        p.remaining -= len;
+        if (p.remaining == 0) {
+          stats_.latency.record_seconds(std::chrono::duration<double>(now - p.accepted).count());
+          expired.push_back(it->owner);
+        }
+        it = queue_.erase(it);
+      }
+      if (!expired.empty()) {
+        space_cv_.notify_all();
+        if (queued_poses_ == 0 && inflight_poses_ == 0) drain_cv_.notify_all();
+        lock.unlock();
+        for (const auto& owner : expired) fulfill(owner);
+        lock.lock();
+        continue;  // the queue changed shape; re-evaluate from the top
+      }
+    }
+
     if (queue_.empty()) {
       if (stop_) return;
       continue;
@@ -277,6 +360,7 @@ void ScoringService::worker_loop() {
       parts.push_back(std::move(queue_.front()));
       queue_.pop_front();
       total = parts[0].end - parts[0].begin;
+      if (parts[0].owner->has_deadline) deadlined_queued_ -= total;
     } else {
       for (auto it = queue_.begin(); it != queue_.end() && total < cap;) {
         if (it->owner->scorer != name) {
@@ -285,6 +369,7 @@ void ScoringService::worker_loop() {
         }
         const size_t take = std::min(cap - total, it->end - it->begin);
         parts.push_back(Slice{it->owner, it->begin, it->begin + take, it->enqueued});
+        if (it->owner->has_deadline) deadlined_queued_ -= take;
         it->begin += take;
         total += take;
         if (it->begin == it->end) {
@@ -329,6 +414,7 @@ void ScoringService::worker_loop() {
 
     std::vector<std::shared_ptr<Pending>> done;
     lock.lock();
+    const auto finished = std::chrono::steady_clock::now();
     size_t off = 0;
     for (const Slice& p : parts) {
       const size_t len = p.end - p.begin;
@@ -337,27 +423,21 @@ void ScoringService::worker_loop() {
                   p.owner->scores.begin() + static_cast<long>(p.begin));
       } else if (!p.owner->failed) {
         p.owner->failed = true;
+        p.owner->error = ScoreError::kScorerFailure;
         p.owner->fail_msg = err;
       }
       off += len;
       p.owner->remaining -= len;
-      if (p.owner->remaining == 0) done.push_back(p.owner);
+      if (p.owner->remaining == 0) {
+        stats_.latency.record_seconds(
+            std::chrono::duration<double>(finished - p.owner->accepted).count());
+        done.push_back(p.owner);
+      }
     }
     inflight_poses_ -= total;
     if (queued_poses_ == 0 && inflight_poses_ == 0) drain_cv_.notify_all();
     lock.unlock();
-    for (const auto& owner : done) {
-      ScoreResponse r;
-      r.micro_batches = owner->micro_batches;
-      r.coalesced = owner->coalesced;
-      if (owner->failed) {
-        r.error = ScoreError::kScorerFailure;
-        r.message = owner->fail_msg;
-      } else {
-        r.scores = std::move(owner->scores);
-      }
-      owner->promise.set_value(std::move(r));
-    }
+    for (const auto& owner : done) fulfill(owner);
     lock.lock();
   }
 }

@@ -10,7 +10,10 @@
 //     poses. When full, submit() blocks — backpressure — or, with
 //     block_when_full=false, fails fast with a typed kQueueFull response. A
 //     request larger than the whole capacity is admitted once the queue is
-//     empty, so oversized requests cannot wedge.
+//     empty, so oversized requests cannot wedge. A request-level
+//     `deadline_ms` bounds both the backpressure block and the queue wait:
+//     past it the request resolves kTimeout instead of waiting forever —
+//     the bound the network client leans on.
 //   * Dynamic micro-batcher. Workers coalesce poses for the same scorer
 //     across requests (and so across clients) up to `poses_per_batch`; a
 //     partial batch waits at most `flush_deadline_ms` for company before it
@@ -41,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/latency.h"
 #include "serve/registry.h"
 
 namespace df::serve {
@@ -51,6 +55,9 @@ enum class ScoreError {
   kQueueFull,       // bounded queue full and block_when_full == false
   kShutdown,        // service stopped before the request was accepted
   kScorerFailure,   // the backend threw while scoring; message has details
+  kTimeout,         // deadline_ms expired before the request was scored
+  kTransport,       // network path failed (ScoreClient-side mapping; the
+                    // in-process service never produces this)
 };
 
 const char* score_error_name(ScoreError e);
@@ -59,6 +66,9 @@ struct ScoreRequest {
   std::string scorer;            // registry name
   std::vector<PoseInput> poses;  // pocket pointers must outlive the future
   std::string client;            // optional tag, echoed into stats/logs
+  double deadline_ms = 0;        // > 0 bounds backpressure blocking AND queue
+                                 // wait: past the deadline the future resolves
+                                 // kTimeout instead of waiting for a worker
 };
 
 struct ScoreResponse {
@@ -86,7 +96,11 @@ struct ServiceStats {
   uint64_t full_batches = 0;      // batches that hit poses_per_batch
   uint64_t coalesced_batches = 0; // batches mixing >1 request
   uint64_t replicas_built = 0;    // model replicas constructed across workers
+  uint64_t timeouts = 0;          // requests that resolved kTimeout
   size_t peak_queued_poses = 0;
+  // Accept-to-fulfillment latency of every resolved request (errors
+  // included); p50/p99 via latency.p50_ms()/p99_ms().
+  LatencyHistogram latency;
 };
 
 class ScoringService {
@@ -121,6 +135,9 @@ class ScoringService {
 
   int workers() const { return static_cast<int>(threads_.size()); }
   const ServiceConfig& config() const { return cfg_; }
+  /// Names in this service's registry snapshot, sorted — what a score
+  /// server advertises in its Hello frame.
+  std::vector<std::string> scorer_names() const;
   ServiceStats stats() const;
 
  private:
@@ -128,6 +145,7 @@ class ScoringService {
   struct Slice;
 
   void worker_loop();
+  static void fulfill(const std::shared_ptr<Pending>& owner);
   Scorer& replica_for(std::map<std::string, std::unique_ptr<Scorer>>& replicas,
                       const std::string& name);
 
@@ -142,6 +160,8 @@ class ScoringService {
   std::deque<Slice> queue_;
   size_t queued_poses_ = 0;
   size_t inflight_poses_ = 0;
+  size_t deadlined_queued_ = 0;  // queued requests carrying a deadline; the
+                                 // expiry sweep is skipped while this is 0
   bool stop_ = false;
   uint64_t warmup_gen_ = 0;
   std::string warmup_name_;

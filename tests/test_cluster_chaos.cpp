@@ -1,0 +1,472 @@
+// Chaos harness for the multi-node scoring path: real score_server_node
+// processes (fork+exec of $DF_SERVER_BIN) are SIGKILLed mid-campaign and
+// respawned on their old ports, and the final CampaignReport must still be
+// bitwise identical to the single-process run — node death never loses a
+// work unit, never double-scores one, and never moves a single float bit.
+// Registered under the `chaos` ctest label with a hard timeout; the fast
+// suites never fork processes.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign_test_utils.h"
+#include "chem/conformer.h"
+#include "screen/controller.h"
+
+namespace df::screen {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Rng;
+using namespace std::chrono_literals;
+
+/// Poll `pred` every few ms until it holds or `timeout` passes.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds timeout = 120s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// One score_server_node child process. Spawn/kill/respawn on a pinned
+/// port; the model flags match tests/campaign_test_utils.h's
+/// tiny_sg_factory (seed 31, gather 8/12, k 2/2, grid 8), so every node —
+/// and every respawn of a killed node — serves bit-identical scores.
+class ServerProcess {
+ public:
+  explicit ServerProcess(fs::path dir) : dir_(std::move(dir)) {}
+  ~ServerProcess() { kill_hard(); }
+  ServerProcess(const ServerProcess&) = delete;
+  ServerProcess& operator=(const ServerProcess&) = delete;
+
+  /// Start the child and block until it is serving. `port` 0 asks the
+  /// kernel; the bound port is learned from the --port-file handshake and
+  /// reused verbatim by respawn().
+  bool spawn(int port, int poses_per_batch, bool ordered = true,
+             const std::string& scorer = "sgcnn") {
+    const char* bin = std::getenv("DF_SERVER_BIN");
+    if (bin == nullptr) return false;
+    static std::atomic<int> counter{0};
+    const std::string tag = "node" + std::to_string(counter.fetch_add(1));
+    const fs::path port_file = dir_ / (tag + ".port");
+    std::error_code ec;
+    fs::remove(port_file, ec);
+
+    std::vector<std::string> args = {
+        bin,
+        "--port=" + std::to_string(port),
+        "--port-file=" + port_file.string(),
+        "--node-id=" + tag,
+        "--scorer=" + scorer,
+        "--model-seed=31",
+        "--voxel-grid=8",
+        "--gather-cov=8",
+        "--gather-noncov=12",
+        "--k-cov=2",
+        "--k-noncov=2",
+        "--workers=2",
+        "--poses-per-batch=" + std::to_string(poses_per_batch),
+        std::string("--ordered=") + (ordered ? "1" : "0"),
+    };
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(bin, argv.data());
+      _exit(127);
+    }
+    if (pid_ < 0) return false;
+    if (!eventually([&] { return fs::exists(port_file); }, 60s)) return false;
+    std::ifstream in(port_file);
+    int bound = 0;
+    in >> bound;
+    if (bound <= 0) return false;
+    port_ = bound;
+    poses_per_batch_ = poses_per_batch;
+    ordered_ = ordered;
+    scorer_ = scorer;
+    return true;
+  }
+
+  /// SIGKILL — no drain, no goodbye; the wire just goes dead.
+  void kill_hard() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    int st = 0;
+    ::waitpid(pid_, &st, 0);
+    pid_ = -1;
+  }
+
+  /// Restart on the port of the previous life (SO_REUSEADDR on the server
+  /// side makes the rebind immediate).
+  bool respawn() { return spawn(port_, poses_per_batch_, ordered_, scorer_); }
+
+  int port() const { return port_; }
+
+ private:
+  fs::path dir_;
+  pid_t pid_ = -1;
+  int port_ = 0;
+  int poses_per_batch_ = 0;
+  bool ordered_ = true;
+  std::string scorer_;
+};
+
+class ClusterChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::getenv("DF_SERVER_BIN") == nullptr) {
+      GTEST_SKIP() << "DF_SERVER_BIN not set (run under ctest -L chaos)";
+    }
+    root_ = fs::temp_directory_path() /
+            ("df_chaos_" +
+             std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+
+    Rng rng(21);
+    targets_ = {data::make_target(data::TargetKind::Protease1, rng),
+                data::make_target(data::TargetKind::Spike1, rng)};
+    compounds_ =
+        data::generate_library(data::default_library(data::LibrarySource::Enamine, 10), rng);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  CampaignConfig chaos_campaign() {
+    CampaignConfig cfg = testutil::tiny_campaign();
+    cfg.job.poses_per_batch = 8;  // several chunk frames per unit
+    return cfg;
+  }
+
+  ControllerConfig controller_config() {
+    ControllerConfig cc;
+    cc.scorer = "sgcnn";
+    cc.client.host = "127.0.0.1";
+    cc.client.connect_timeout_ms = 1000;
+    cc.client.io_timeout_ms = 10000;
+    cc.client.backoff_base_ms = 1;
+    cc.client.backoff_max_ms = 10;
+    cc.heartbeat_interval_ms = 50;
+    cc.heartbeat_misses = 2;
+    cc.inflight_per_node = 2;
+    return cc;
+  }
+
+  fs::path root_;
+  std::vector<data::Target> targets_;
+  std::vector<data::LibraryCompound> compounds_;
+};
+
+// The headline pin: a campaign over 3 real server processes, with the whole
+// fleet SIGKILLed and respawned twice mid-run and a scripted logical fault
+// schedule on top, ends in a report bitwise identical to the in-process
+// single-driver run of the same campaign.
+TEST_F(ClusterChaosTest, CampaignSurvivesFleetKillsBitIdentical) {
+  ScriptedFaultInjector injector;
+  injector.doom(0, 0, 0);  // logical §4.3 faults compose with physical kills
+  injector.doom(3, 0, 1);
+
+  CampaignConfig cfg = chaos_campaign();
+  cfg.fault_injector = &injector;
+  cfg.checkpoint_every_jobs = 2;
+
+  fs::create_directories(root_ / "ref");
+  cfg.output_prefix = (root_ / "ref" / "out").string();
+  cfg.checkpoint_path = (root_ / "ref" / "campaign.ckpt").string();
+  const CampaignReport baseline =
+      ScreeningCampaign(cfg, targets_).run(compounds_, testutil::tiny_sg_factory());
+
+  std::vector<std::unique_ptr<ServerProcess>> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<ServerProcess>(root_));
+    ASSERT_TRUE(servers.back()->spawn(0, cfg.job.poses_per_batch)) << "node " << i;
+  }
+  ClusterController cluster(controller_config());
+  for (const auto& s : servers) {
+    std::string error;
+    ASSERT_TRUE(cluster.register_node("127.0.0.1", s->port(), &error)) << error;
+  }
+  ASSERT_EQ(cluster.healthy_count(), 3);
+  ASSERT_TRUE(cluster.ordered());
+  ASSERT_EQ(cluster.poses_per_batch(), cfg.job.poses_per_batch);
+
+  // Chaos monkey: once scoring demonstrably started, SIGKILL the ENTIRE
+  // fleet (the campaign cannot finish with zero healthy nodes, so the kill
+  // is mid-campaign by construction), respawn on the same ports, let the
+  // heartbeat heal the cluster, and do it all again.
+  std::atomic<bool> campaign_done{false};
+  std::atomic<int> kill_cycles{0};
+  std::thread chaos([&] {
+    eventually([&] { return cluster.stats().dispatches >= 2; });
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      for (auto& s : servers) s->kill_hard();
+      eventually([&] { return cluster.healthy_count() == 0 || campaign_done.load(); }, 30s);
+      for (auto& s : servers) ASSERT_TRUE(s->respawn());
+      eventually([&] { return cluster.healthy_count() == 3; }, 60s);
+      kill_cycles.fetch_add(1);
+      const uint64_t mark = cluster.stats().dispatches;
+      eventually([&] { return cluster.stats().dispatches > mark || campaign_done.load(); },
+                 10s);
+    }
+  });
+
+  fs::create_directories(root_ / "chaos");
+  cfg.output_prefix = (root_ / "chaos" / "out").string();
+  cfg.checkpoint_path = (root_ / "chaos" / "campaign.ckpt").string();
+  const CampaignReport report = ScreeningCampaign(cfg, targets_).run(compounds_, cluster);
+  campaign_done.store(true);
+  chaos.join();
+
+  EXPECT_EQ(kill_cycles.load(), 2);
+  testutil::expect_reports_bitwise_equal(baseline, report);
+  EXPECT_FALSE(report.results.empty());
+  const ControllerStats cs = cluster.stats();
+  EXPECT_EQ(cs.units_finished, cs.units_submitted);
+  RecordProperty("node_deaths", static_cast<int>(cs.node_deaths));
+  RecordProperty("requeues", static_cast<int>(cs.requeues));
+}
+
+// Controller-level exactly-once pin: kill one node while units are in
+// flight; every submitted unit gets exactly one verdict, none vanish, none
+// arrive twice.
+TEST_F(ClusterChaosTest, NodeDeathNeverLosesOrDoublesUnits) {
+  const int kBatch = 4;
+  std::vector<std::unique_ptr<ServerProcess>> servers;
+  for (int i = 0; i < 2; ++i) {
+    servers.push_back(std::make_unique<ServerProcess>(root_));
+    ASSERT_TRUE(servers.back()->spawn(0, kBatch));
+  }
+  ClusterController cluster(controller_config());
+  for (const auto& s : servers) {
+    std::string error;
+    ASSERT_TRUE(cluster.register_node("127.0.0.1", s->port(), &error)) << error;
+  }
+
+  Rng rng(31);
+  const std::vector<chem::Atom> pocket = [&] {
+    chem::Molecule m = chem::generate_molecule({}, rng);
+    chem::embed_conformer(m, rng);
+    return m.atoms();
+  }();
+  const auto make_unit = [&](int n) {
+    std::vector<serve::PoseInput> poses;
+    for (int i = 0; i < n; ++i) {
+      chem::Molecule lig = chem::generate_molecule({}, rng);
+      chem::embed_conformer(lig, rng);
+      serve::PoseInput p;
+      p.ligand = std::move(lig);
+      p.pocket = &pocket;
+      poses.push_back(std::move(p));
+    }
+    return poses;
+  };
+
+  constexpr uint32_t kUnits = 24;
+  for (uint32_t u = 0; u < kUnits; ++u) cluster.submit_unit(u, make_unit(3));
+
+  std::thread killer([&] {
+    eventually([&] { return cluster.stats().dispatches >= 2; });
+    servers[0]->kill_hard();
+    eventually([&] { return cluster.stats().node_deaths >= 1 || cluster.outstanding() == 0; },
+               30s);
+    ASSERT_TRUE(servers[0]->respawn());
+  });
+
+  std::set<uint32_t> seen;
+  for (uint32_t i = 0; i < kUnits; ++i) {
+    const UnitResult r = cluster.wait_unit();
+    EXPECT_TRUE(r.ok) << serve::score_error_name(r.error) << ": " << r.message;
+    EXPECT_EQ(r.scores.size(), 3u);
+    EXPECT_TRUE(seen.insert(r.unit_id).second) << "unit " << r.unit_id << " delivered twice";
+  }
+  killer.join();
+  EXPECT_EQ(seen.size(), kUnits);
+  EXPECT_EQ(cluster.outstanding(), 0u);
+  EXPECT_EQ(cluster.stats().units_finished, kUnits);
+}
+
+// Graceful drain: a drained node stops receiving work but the cluster keeps
+// scoring, and scores do not depend on which node serves a unit.
+TEST_F(ClusterChaosTest, DrainNodeIsGracefulAndScoresAreNodeIndependent) {
+  const int kBatch = 4;
+  std::vector<std::unique_ptr<ServerProcess>> servers;
+  for (int i = 0; i < 2; ++i) {
+    servers.push_back(std::make_unique<ServerProcess>(root_));
+    ASSERT_TRUE(servers.back()->spawn(0, kBatch));
+  }
+  ClusterController cluster(controller_config());
+  for (const auto& s : servers) {
+    std::string error;
+    ASSERT_TRUE(cluster.register_node("127.0.0.1", s->port(), &error)) << error;
+  }
+
+  const std::vector<chem::Atom> pocket = [&] {
+    Rng rng(77);
+    chem::Molecule m = chem::generate_molecule({}, rng);
+    chem::embed_conformer(m, rng);
+    return m.atoms();
+  }();
+  // Same seed per index -> identical unit content across both rounds.
+  const auto make_unit = [&](uint64_t seed) {
+    Rng rng(1000 + seed);
+    std::vector<serve::PoseInput> poses;
+    for (int i = 0; i < 3; ++i) {
+      chem::Molecule lig = chem::generate_molecule({}, rng);
+      chem::embed_conformer(lig, rng);
+      serve::PoseInput p;
+      p.ligand = std::move(lig);
+      p.pocket = &pocket;
+      poses.push_back(std::move(p));
+    }
+    return poses;
+  };
+
+  constexpr uint32_t kRound = 6;
+  std::vector<std::vector<float>> first(kRound);
+  for (uint32_t u = 0; u < kRound; ++u) cluster.submit_unit(u, make_unit(u));
+  for (uint32_t i = 0; i < kRound; ++i) {
+    const UnitResult r = cluster.wait_unit();
+    ASSERT_TRUE(r.ok) << r.message;
+    first[r.unit_id] = r.scores;
+  }
+
+  ASSERT_TRUE(cluster.drain_node("127.0.0.1", servers[0]->port()));
+  EXPECT_FALSE(cluster.drain_node("127.0.0.1", 1));  // unknown node
+  bool found = false;
+  for (const NodeStatus& n : cluster.nodes()) {
+    if (n.port == servers[0]->port()) {
+      EXPECT_TRUE(n.draining);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Round 2 runs on the remaining node only — identical content, and the
+  // bits must not care which node answered.
+  for (uint32_t u = 0; u < kRound; ++u) cluster.submit_unit(100 + u, make_unit(u));
+  for (uint32_t i = 0; i < kRound; ++i) {
+    const UnitResult r = cluster.wait_unit();
+    ASSERT_TRUE(r.ok) << r.message;
+    const std::vector<float>& before = first[r.unit_id - 100];
+    ASSERT_EQ(r.scores.size(), before.size());
+    for (size_t k = 0; k < before.size(); ++k) {
+      EXPECT_EQ(r.scores[k], before[k]) << "drain moved score bits, unit " << r.unit_id;
+    }
+  }
+}
+
+// Registration validates the Hello before a node joins the fleet: wrong
+// scorer, non-ordered nodes (when ordering is required), and batch-geometry
+// mismatches are all rejected with an explanation.
+TEST_F(ClusterChaosTest, RegistrationRejectsIncompatibleNodes) {
+  ServerProcess ordered8(root_);
+  ASSERT_TRUE(ordered8.spawn(0, 8));
+  ServerProcess unordered(root_);
+  ASSERT_TRUE(unordered.spawn(0, 8, /*ordered=*/false));
+  ServerProcess batch16(root_);
+  ASSERT_TRUE(batch16.spawn(0, 16));
+
+  {
+    ControllerConfig cc = controller_config();
+    cc.scorer = "mmgbsa";  // not served by these nodes
+    ClusterController cluster(cc);
+    std::string error;
+    EXPECT_FALSE(cluster.register_node("127.0.0.1", ordered8.port(), &error));
+    EXPECT_NE(error.find("mmgbsa"), std::string::npos) << error;
+    EXPECT_EQ(cluster.healthy_count(), 0);
+  }
+  {
+    ClusterController cluster(controller_config());  // require_ordered = true
+    std::string error;
+    EXPECT_FALSE(cluster.register_node("127.0.0.1", unordered.port(), &error));
+    EXPECT_EQ(cluster.healthy_count(), 0);
+  }
+  {
+    ClusterController cluster(controller_config());
+    std::string error;
+    ASSERT_TRUE(cluster.register_node("127.0.0.1", ordered8.port(), &error)) << error;
+    EXPECT_FALSE(cluster.register_node("127.0.0.1", batch16.port(), &error))
+        << "batch-geometry mismatch must be rejected";
+    EXPECT_EQ(cluster.healthy_count(), 1);
+    // Registering the same node twice is also refused.
+    EXPECT_FALSE(cluster.register_node("127.0.0.1", ordered8.port(), &error));
+  }
+}
+
+// Driver death composes with the cluster: kill the campaign driver (the
+// harness throw) mid-run, then resume from its checkpoint with a FRESH
+// controller over the same still-running nodes — bitwise identical to the
+// uninterrupted in-process reference.
+TEST_F(ClusterChaosTest, KilledDriverResumesAcrossClusterBitIdentical) {
+  ScriptedFaultInjector injector;
+  injector.doom(0, 0, 0);
+  injector.doom(2, 0, 1);
+
+  CampaignConfig cfg = chaos_campaign();
+  cfg.fault_injector = &injector;
+  cfg.checkpoint_every_jobs = 2;
+
+  fs::create_directories(root_ / "ref");
+  cfg.output_prefix = (root_ / "ref" / "out").string();
+  cfg.checkpoint_path = (root_ / "ref" / "campaign.ckpt").string();
+  const CampaignReport reference =
+      ScreeningCampaign(cfg, targets_).run(compounds_, testutil::tiny_sg_factory());
+
+  std::vector<std::unique_ptr<ServerProcess>> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<ServerProcess>(root_));
+    ASSERT_TRUE(servers.back()->spawn(0, cfg.job.poses_per_batch));
+  }
+  const auto register_all = [&](ClusterController& cluster) {
+    for (const auto& s : servers) {
+      std::string error;
+      ASSERT_TRUE(cluster.register_node("127.0.0.1", s->port(), &error)) << error;
+    }
+  };
+
+  fs::create_directories(root_ / "killed");
+  cfg.output_prefix = (root_ / "killed" / "out").string();
+  cfg.checkpoint_path = (root_ / "killed" / "campaign.ckpt").string();
+  // Late enough that at least one checkpoint (every 2 completed units) is
+  // on disk before the driver dies, so the resume actually recovers work.
+  cfg.kill_after_attempts = 6;
+  {
+    ClusterController cluster(controller_config());
+    register_all(cluster);
+    EXPECT_THROW(ScreeningCampaign(cfg, targets_).run(compounds_, cluster), CampaignKilled);
+    // The aborted run stopped the controller (its poses borrowed the dead
+    // campaign's memory); it must refuse further use rather than dangle.
+    EXPECT_THROW(cluster.wait_unit(), std::runtime_error);
+  }
+
+  cfg.kill_after_attempts = -1;
+  ClusterController fresh(controller_config());
+  register_all(fresh);
+  const CampaignReport resumed = ScreeningCampaign(cfg, targets_).run(compounds_, fresh);
+  testutil::expect_reports_bitwise_equal(reference, resumed);
+  EXPECT_GT(resumed.units_resumed, 0);
+}
+
+}  // namespace
+}  // namespace df::screen

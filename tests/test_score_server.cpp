@@ -1,0 +1,395 @@
+// ScoreServer / ScoreClient pins: the socket path must be a transparent
+// skin over ScoringService — scores bit-identical to in-process submission,
+// typed errors passing through un-retried, transport faults retried then
+// surfaced as kTransport, per-request deadlines resolving kTimeout through
+// the wire, drain/ping/shutdown control semantics, and protocol garbage
+// counted without taking the server down.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "chem/conformer.h"
+#include "models/sgcnn.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace df {
+namespace {
+
+using core::Rng;
+
+chem::VoxelConfig tiny_voxel() {
+  chem::VoxelConfig cfg;
+  cfg.grid_dim = 8;
+  return cfg;
+}
+
+models::RegressorFactory tiny_sg_factory() {
+  return [] {
+    Rng rng(42);
+    models::SgcnnConfig cfg;
+    cfg.covalent_k = 2;
+    cfg.noncovalent_k = 2;
+    cfg.covalent_gather_width = 8;
+    cfg.noncovalent_gather_width = 16;
+    return std::make_unique<models::Sgcnn>(cfg, rng);
+  };
+}
+
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+};
+
+class GatedScorer : public serve::Scorer {
+ public:
+  explicit GatedScorer(std::shared_ptr<Gate> gate) : gate_(std::move(gate)) {}
+  std::string name() const override { return "gated"; }
+  std::vector<float> score(const std::vector<const serve::PoseInput*>& poses) override {
+    gate_->wait();
+    return std::vector<float>(poses.size(), 1.0f);
+  }
+
+ private:
+  std::shared_ptr<Gate> gate_;
+};
+
+std::vector<chem::Atom> make_pocket(uint64_t seed) {
+  Rng rng(seed);
+  chem::Molecule m = chem::generate_molecule({}, rng);
+  chem::embed_conformer(m, rng);
+  return m.atoms();
+}
+
+std::vector<serve::PoseInput> make_poses(int n, const std::vector<chem::Atom>* pocket,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<serve::PoseInput> poses;
+  poses.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    chem::Molecule lig = chem::generate_molecule({}, rng);
+    chem::embed_conformer(lig, rng);
+    lig.translate(core::Vec3{} - lig.centroid());
+    serve::PoseInput p;
+    p.ligand = std::move(lig);
+    p.pocket = pocket;
+    poses.push_back(std::move(p));
+  }
+  return poses;
+}
+
+serve::ModelRegistry sg_registry() {
+  serve::ModelRegistry reg;
+  serve::add_regressor(reg, "sgcnn", tiny_sg_factory(), tiny_voxel());
+  return reg;
+}
+
+serve::ServiceConfig ordered_config(int workers, int poses_per_batch = 4) {
+  serve::ServiceConfig sc;
+  sc.workers = workers;
+  sc.poses_per_batch = poses_per_batch;
+  sc.ordered_stream = true;
+  return sc;
+}
+
+serve::ClientConfig client_for(const serve::ScoreServer& server) {
+  serve::ClientConfig cc;
+  cc.port = server.port();
+  cc.connect_timeout_ms = 2000;
+  cc.backoff_base_ms = 1;
+  cc.backoff_max_ms = 10;
+  return cc;
+}
+
+// ---- hello / identity ---------------------------------------------------
+
+TEST(ScoreServer, HelloAdvertisesServiceShape) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(2));
+  serve::ServerConfig cfg;
+  cfg.node_id = "test-node";
+  serve::ScoreServer server(service, cfg);
+  ASSERT_GT(server.port(), 0);
+
+  serve::ScoreClient client(client_for(server));
+  serve::wire::HelloPayload hello;
+  std::string error;
+  ASSERT_TRUE(client.hello(&hello, &error)) << error;
+  EXPECT_EQ(hello.node_id, "test-node");
+  EXPECT_TRUE(hello.ordered_stream);
+  EXPECT_EQ(hello.poses_per_batch, 4u);
+  EXPECT_EQ(hello.workers, 2u);
+  ASSERT_EQ(hello.scorers.size(), 1u);
+  EXPECT_EQ(hello.scorers[0], "sgcnn");
+}
+
+// ---- the determinism anchor ---------------------------------------------
+
+TEST(ScoreServer, WireScoresBitIdenticalToInProcess) {
+  const std::vector<chem::Atom> pocket = make_pocket(7);
+  // 11 poses with batch 4: exercises full and ragged chunks.
+  const std::vector<serve::PoseInput> poses = make_poses(11, &pocket, 8);
+
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(2));
+  serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  req.poses = poses;
+  const serve::ScoreResponse direct = service.score(req);
+  ASSERT_EQ(direct.error, serve::ScoreError::kNone);
+
+  serve::ScoreServer server(service);
+  serve::ScoreClient client(client_for(server));
+  serve::ScoreRequest wire_req;
+  wire_req.scorer = "sgcnn";
+  wire_req.poses = poses;
+  const serve::ScoreResponse remote = client.score(wire_req);
+  ASSERT_EQ(remote.error, serve::ScoreError::kNone) << remote.message;
+
+  ASSERT_EQ(remote.scores.size(), direct.scores.size());
+  for (size_t i = 0; i < direct.scores.size(); ++i) {
+    uint32_t a, b;
+    std::memcpy(&a, &direct.scores[i], 4);
+    std::memcpy(&b, &remote.scores[i], 4);
+    EXPECT_EQ(a, b) << "pose " << i << " scored differently over the wire";
+  }
+  // The response streamed: 11 poses over batch-4 chunks = 3 chunk frames.
+  EXPECT_EQ(client.stats().chunks, 3u);
+  EXPECT_EQ(server.stats().chunks, 3u);
+  EXPECT_EQ(server.stats().requests, 1u);
+  EXPECT_EQ(server.stats().poses, 11u);
+}
+
+// ---- typed errors through the wire --------------------------------------
+
+TEST(ScoreServer, UnknownScorerPassesThroughTypedAndUnretried) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(1));
+  serve::ScoreServer server(service);
+  serve::ScoreClient client(client_for(server));
+
+  const std::vector<chem::Atom> pocket = make_pocket(1);
+  serve::ScoreRequest req;
+  req.scorer = "nonexistent";
+  req.poses = make_poses(2, &pocket, 2);
+  const serve::ScoreResponse resp = client.score(req);
+  EXPECT_EQ(resp.error, serve::ScoreError::kUnknownScorer);
+  EXPECT_TRUE(resp.scores.empty());
+  // A server verdict is not a fault: exactly one wire attempt, no retries.
+  EXPECT_EQ(client.stats().attempts, 1u);
+  EXPECT_EQ(client.stats().retries, 0u);
+  EXPECT_EQ(server.stats().errors, 1u);
+}
+
+TEST(ScoreClient, DeadEndpointRetriesWithBackoffThenTransport) {
+  serve::ClientConfig cc;
+  cc.port = 1;  // nothing listens there
+  cc.connect_timeout_ms = 200;
+  cc.max_retries = 2;
+  cc.backoff_base_ms = 1;
+  cc.backoff_max_ms = 5;
+  serve::ScoreClient client(cc);
+
+  const std::vector<chem::Atom> pocket = make_pocket(3);
+  serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  req.poses = make_poses(1, &pocket, 4);
+  const serve::ScoreResponse resp = client.score(req);
+  EXPECT_EQ(resp.error, serve::ScoreError::kTransport);
+  const serve::ClientStats stats = client.stats();
+  EXPECT_EQ(stats.transport_failures, 3u);  // initial try + 2 retries
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST(ScoreServer, RequestDeadlineResolvesTimeoutThroughTheWire) {
+  auto gate = std::make_shared<Gate>();
+  serve::ModelRegistry reg;
+  reg.add("gated", [gate] { return std::make_unique<GatedScorer>(gate); });
+  serve::ScoringService service(reg, ordered_config(1));
+  serve::ScoreServer server(service);
+  serve::ScoreClient client(client_for(server));
+
+  const std::vector<chem::Atom> pocket = make_pocket(5);
+  // Occupy the single worker with a gated request submitted in-process.
+  serve::ScoreRequest blocker;
+  blocker.scorer = "gated";
+  blocker.poses = make_poses(1, &pocket, 6);
+  auto blocked = service.submit(std::move(blocker));
+
+  // The wire request queues behind it with a 50 ms deadline it cannot meet.
+  serve::ScoreRequest req;
+  req.scorer = "gated";
+  req.poses = make_poses(1, &pocket, 7);
+  req.deadline_ms = 50;
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    gate->release();
+  });
+  const serve::ScoreResponse resp = client.score(req);
+  releaser.join();
+  EXPECT_EQ(resp.error, serve::ScoreError::kTimeout) << resp.message;
+  EXPECT_EQ(blocked.get().error, serve::ScoreError::kNone);
+  EXPECT_GE(server.stats().timeouts, 1u);
+}
+
+// ---- control plane ------------------------------------------------------
+
+TEST(ScoreServer, PingReportsHealthAndDrainFlag) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(1));
+  serve::ScoreServer server(service);
+  serve::ScoreClient client(client_for(server));
+
+  serve::PingResult ping = client.ping(1000);
+  ASSERT_EQ(ping.status, serve::PingResult::Status::kOk) << ping.error;
+  EXPECT_FALSE(ping.pong.draining);
+  EXPECT_EQ(ping.pong.inflight_requests, 0u);
+
+  std::string error;
+  ASSERT_TRUE(client.drain(2000, &error)) << error;
+  EXPECT_TRUE(server.draining());
+  ping = client.ping(1000);
+  ASSERT_EQ(ping.status, serve::PingResult::Status::kOk) << ping.error;
+  EXPECT_TRUE(ping.pong.draining);
+}
+
+TEST(ScoreServer, DrainingNodeRefusesNewWorkTyped) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(1));
+  serve::ScoreServer server(service);
+  server.drain();
+
+  serve::ScoreClient client(client_for(server));
+  const std::vector<chem::Atom> pocket = make_pocket(9);
+  serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  req.poses = make_poses(1, &pocket, 10);
+  const serve::ScoreResponse resp = client.score(req);
+  EXPECT_EQ(resp.error, serve::ScoreError::kShutdown);
+  EXPECT_EQ(client.stats().retries, 0u) << "a drain verdict must not be retried";
+}
+
+TEST(ScoreServer, ShutdownRequestRaisesFlagForHostBinary) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(1));
+  serve::ScoreServer server(service);
+  EXPECT_FALSE(server.shutdown_requested());
+
+  serve::ScoreClient client(client_for(server));
+  ASSERT_TRUE(client.request_shutdown());
+  for (int i = 0; i < 100 && !server.shutdown_requested(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+// ---- robustness ---------------------------------------------------------
+
+TEST(ScoreServer, GarbageBytesCountedAndServerSurvives) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(1));
+  serve::ScoreServer server(service);
+
+  {
+    std::string error;
+    serve::net::TcpConn raw = serve::net::tcp_connect("127.0.0.1", server.port(), 1000, &error);
+    ASSERT_TRUE(raw.open()) << error;
+    // Swallow the Hello, then write 64 bytes of non-protocol noise.
+    serve::wire::Frame hello;
+    ASSERT_EQ(serve::wire::read_frame(raw, &hello, 2000), serve::wire::WireError::kNone);
+    const std::string junk(64, 'Z');
+    ASSERT_TRUE(raw.send_all(junk.data(), junk.size(), 1000));
+  }
+  // A well-behaved client still gets service afterwards.
+  serve::ScoreClient client(client_for(server));
+  const std::vector<chem::Atom> pocket = make_pocket(11);
+  serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  req.poses = make_poses(2, &pocket, 12);
+  EXPECT_EQ(client.score(req).error, serve::ScoreError::kNone);
+  for (int i = 0; i < 100 && server.stats().protocol_errors == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+TEST(ScoreServer, LatencyHistogramTracksAnsweredRequests) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(2));
+  serve::ScoreServer server(service);
+  serve::ScoreClient client(client_for(server));
+
+  const std::vector<chem::Atom> pocket = make_pocket(13);
+  for (int i = 0; i < 5; ++i) {
+    serve::ScoreRequest req;
+    req.scorer = "sgcnn";
+    req.poses = make_poses(3, &pocket, 14 + static_cast<uint64_t>(i));
+    ASSERT_EQ(client.score(req).error, serve::ScoreError::kNone);
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.latency.count(), 5u);
+  EXPECT_GT(stats.latency.p50_ms(), 0.0);
+  EXPECT_GE(stats.latency.p99_ms(), stats.latency.p50_ms());
+  // The service-level histogram ticks too (one entry per sub-request).
+  EXPECT_GE(service.stats().latency.count(), 5u);
+}
+
+TEST(ScoreClient, ReconnectsAfterServerRestartOnSamePort) {
+  serve::ModelRegistry reg = sg_registry();
+  serve::ScoringService service(reg, ordered_config(1));
+  const std::vector<chem::Atom> pocket = make_pocket(17);
+  const std::vector<serve::PoseInput> poses = make_poses(3, &pocket, 18);
+
+  auto server = std::make_unique<serve::ScoreServer>(service);
+  const int port = server->port();
+  serve::ClientConfig cc;
+  cc.port = port;
+  cc.connect_timeout_ms = 500;
+  cc.max_retries = 1;
+  cc.backoff_base_ms = 1;
+  cc.backoff_max_ms = 5;
+  serve::ScoreClient client(cc);
+
+  serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  req.poses = poses;
+  const serve::ScoreResponse first = client.score(req);
+  ASSERT_EQ(first.error, serve::ScoreError::kNone);
+
+  server->stop();
+  server.reset();
+  EXPECT_EQ(client.score(req).error, serve::ScoreError::kTransport);
+
+  // Respawn on the same port (SO_REUSEADDR) — the client heals by itself.
+  serve::ServerConfig cfg;
+  cfg.port = port;
+  server = std::make_unique<serve::ScoreServer>(service, cfg);
+  const serve::ScoreResponse again = client.score(req);
+  ASSERT_EQ(again.error, serve::ScoreError::kNone) << again.message;
+  ASSERT_EQ(again.scores.size(), first.scores.size());
+  for (size_t i = 0; i < first.scores.size(); ++i) {
+    EXPECT_EQ(first.scores[i], again.scores[i]) << "restart changed score bits";
+  }
+}
+
+}  // namespace
+}  // namespace df

@@ -612,5 +612,205 @@ TEST(ServiceCampaign, ResumeRejectsChangedScoringBatchSize) {
   std::filesystem::remove_all(dir);
 }
 
+// ---- deadlines (S1) -----------------------------------------------------
+
+TEST(ServiceDeadline, BoundsBackpressureBlock) {
+  auto gate = std::make_shared<Gate>();
+  serve::ModelRegistry reg;
+  reg.add("gated", [gate] { return std::make_unique<GatedScorer>(gate); });
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.poses_per_batch = 4;
+  sc.queue_capacity = 4;
+  sc.block_when_full = true;
+  serve::ScoringService service(reg, sc);
+
+  const auto request = [&](int n, double deadline_ms) {
+    serve::ScoreRequest req;
+    req.scorer = "gated";
+    req.poses.resize(static_cast<size_t>(n));
+    req.deadline_ms = deadline_ms;
+    return req;
+  };
+  auto fa = service.submit(request(4, 0));  // dispatches, blocks in the gate
+  auto fb = service.submit(request(4, 0));  // fills the queue
+  // Queue full, worker wedged: without a deadline this submit would block
+  // until the gate opens. With one, it must come back kTimeout on its own.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fc = service.submit(request(3, 50));
+  const serve::ScoreResponse timed_out = fc.get();
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_EQ(timed_out.error, serve::ScoreError::kTimeout) << timed_out.message;
+  EXPECT_TRUE(timed_out.scores.empty());
+  EXPECT_LT(waited_ms, 5000.0) << "deadline did not bound the backpressure block";
+
+  gate->release();
+  EXPECT_EQ(fa.get().error, serve::ScoreError::kNone);
+  EXPECT_EQ(fb.get().error, serve::ScoreError::kNone);
+  EXPECT_GE(service.stats().timeouts, 1u);
+}
+
+TEST(ServiceDeadline, QueuedRequestPastDeadlineResolvesTimeout) {
+  auto gate = std::make_shared<Gate>();
+  serve::ModelRegistry reg;
+  reg.add("gated", [gate] { return std::make_unique<GatedScorer>(gate); });
+  serve::ServiceConfig sc;
+  sc.workers = 1;
+  sc.poses_per_batch = 4;
+  sc.ordered_stream = true;  // never coalesce the blocker with the late request
+  serve::ScoringService service(reg, sc);
+
+  serve::ScoreRequest blocker;
+  blocker.scorer = "gated";
+  blocker.poses.resize(2);
+  auto fa = service.submit(std::move(blocker));  // wedges the single worker
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let it dispatch
+
+  serve::ScoreRequest late;
+  late.scorer = "gated";
+  late.poses.resize(2);
+  late.deadline_ms = 30;
+  auto fb = service.submit(std::move(late));  // queues behind it
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  gate->release();  // worker sweeps expired requests before dispatching more
+  EXPECT_EQ(fa.get().error, serve::ScoreError::kNone);
+  const serve::ScoreResponse resp = fb.get();
+  EXPECT_EQ(resp.error, serve::ScoreError::kTimeout) << resp.message;
+  EXPECT_GE(service.stats().timeouts, 1u);
+}
+
+TEST(ServiceDeadline, GenerousDeadlineDoesNotFireOnHealthyPath) {
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  sc.poses_per_batch = 4;
+  serve::ScoringService service(reg, sc);
+
+  Rng rng(71);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  req.poses = make_poses(3, &pocket, rng);
+  req.deadline_ms = 60'000;
+  const serve::ScoreResponse resp = service.score(std::move(req));
+  EXPECT_EQ(resp.error, serve::ScoreError::kNone) << resp.message;
+  EXPECT_EQ(resp.scores.size(), 3u);
+  EXPECT_EQ(service.stats().timeouts, 0u);
+}
+
+// ---- latency surface (S2) -----------------------------------------------
+
+TEST(ServiceStatsPins, LatencyHistogramCountsEveryResolvedRequest) {
+  serve::ModelRegistry reg = family_registry();
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  sc.poses_per_batch = 4;
+  serve::ScoringService service(reg, sc);
+
+  Rng rng(72);
+  const auto pocket = data::make_pocket({4.5f, 24, 0.6f, 0.5f, 0.1f}, rng);
+  for (int i = 0; i < 4; ++i) {
+    serve::ScoreRequest req;
+    req.scorer = "sgcnn";
+    req.poses = make_poses(2, &pocket, rng);
+    ASSERT_EQ(service.score(std::move(req)).error, serve::ScoreError::kNone);
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.latency.count(), 4u);
+  EXPECT_GT(stats.latency.p50_ms(), 0.0);
+  EXPECT_GE(stats.latency.p99_ms(), stats.latency.p50_ms());
+}
+
+// ---- shutdown races (S3: the TSan targets) ------------------------------
+
+// A fast scorer for the race hammers: no gate, no throw, just an answer.
+class EchoScorer : public serve::Scorer {
+ public:
+  std::string name() const override { return "echo"; }
+  std::vector<float> score(const std::vector<const serve::PoseInput*>& poses) override {
+    return std::vector<float>(poses.size(), 0.5f);
+  }
+};
+
+TEST(ServiceShutdownRace, ConcurrentSubmittersAllResolveTyped) {
+  // Hammer shutdown() against racing submitters: every future must resolve
+  // (kNone for accepted work, kShutdown for late arrivals), nothing hangs,
+  // nothing crashes. This is the suite the TSan CI job watches.
+  for (int round = 0; round < 5; ++round) {
+    serve::ModelRegistry reg;
+    reg.add("echo", [] { return std::make_unique<EchoScorer>(); });
+    serve::ServiceConfig sc;
+    sc.workers = 2;
+    sc.poses_per_batch = 4;
+    serve::ScoringService service(reg, sc);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25;
+    std::vector<std::future<serve::ScoreResponse>> futures(
+        static_cast<size_t>(kThreads * kPerThread));
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          serve::ScoreRequest req;
+          req.scorer = "echo";
+          req.poses.resize(2);
+          futures[static_cast<size_t>(t * kPerThread + i)] = service.submit(std::move(req));
+        }
+      });
+    }
+    service.shutdown();  // races the submitters by design
+    for (auto& th : submitters) th.join();
+
+    size_t ok = 0, refused = 0;
+    for (auto& f : futures) {
+      ASSERT_TRUE(f.valid());
+      const serve::ScoreResponse resp = f.get();
+      if (resp.error == serve::ScoreError::kNone) {
+        ASSERT_EQ(resp.scores.size(), 2u);
+        ++ok;
+      } else {
+        ASSERT_EQ(resp.error, serve::ScoreError::kShutdown);
+        ++refused;
+      }
+    }
+    EXPECT_EQ(ok + refused, futures.size());
+  }
+}
+
+TEST(ServiceShutdownRace, DrainRacesSubmittersWithoutLosingWork) {
+  serve::ModelRegistry reg;
+  reg.add("echo", [] { return std::make_unique<EchoScorer>(); });
+  serve::ServiceConfig sc;
+  sc.workers = 2;
+  sc.poses_per_batch = 4;
+  serve::ScoringService service(reg, sc);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> accepted{0};
+  std::thread submitter([&] {
+    while (!stop.load()) {
+      serve::ScoreRequest req;
+      req.scorer = "echo";
+      req.poses.resize(1);
+      auto f = service.submit(std::move(req));
+      if (f.get().error == serve::ScoreError::kNone) accepted.fetch_add(1);
+    }
+  });
+  // drain() must tolerate live traffic; keep draining until real requests
+  // have demonstrably flowed through the race window (bounded by a clock,
+  // not a count — drain() on a briefly-empty service returns in nanoseconds).
+  const auto race_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (accepted.load() < 20 && std::chrono::steady_clock::now() < race_deadline) {
+    service.drain();
+  }
+  stop.store(true);
+  submitter.join();
+  EXPECT_GE(accepted.load(), 20u);
+}
+
 }  // namespace
 }  // namespace df

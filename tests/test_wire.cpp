@@ -1,0 +1,328 @@
+// Wire-protocol pins: frame layout, CRC/version/magic rejection, payload
+// codec roundtrips (bitwise for every float), and the malformed-payload
+// taxonomy. These are the "partial frame / flipped bit" rows of the network
+// fault table in docs/TESTING.md — every corruption a chaos run can inflict
+// on a frame must map to a typed WireError, never to garbage scores.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <thread>
+
+#include "serve/net.h"
+#include "serve/wire.h"
+
+namespace wire = df::serve::wire;
+namespace chem = df::chem;
+using df::serve::net::TcpConn;
+
+namespace {
+
+/// Connected AF_UNIX pair wrapped as TcpConns — the frame I/O layer only
+/// needs stream semantics, so tests skip the TCP handshake.
+struct ConnPair {
+  TcpConn a, b;
+  ConnPair() {
+    int fds[2];
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a = TcpConn(fds[0]);
+    b = TcpConn(fds[1]);
+  }
+};
+
+chem::Molecule tiny_molecule() {
+  chem::Molecule m;
+  const int32_t c = m.add_atom(chem::Element::C, {1.25f, -2.5f, 3.75f}, 0, true);
+  const int32_t n = m.add_atom(chem::Element::N, {0.1f, 0.2f, 0.3f}, 1, false);
+  const int32_t o = m.add_atom(chem::Element::O, {-4.0f, 5.0f, -6.0f}, -1, false);
+  m.atoms()[static_cast<size_t>(c)].implicit_h = 3;
+  m.add_bond(c, n, 2);
+  m.add_bond(n, o, 1);
+  return m;
+}
+
+}  // namespace
+
+TEST(WireFrame, LayoutMagicVersionLengthCrc) {
+  const std::string frame = wire::encode_frame(wire::FrameType::kPing, "abc");
+  ASSERT_EQ(frame.size(), 12u + 3u + 4u);
+  uint32_t magic, len;
+  uint16_t version, type;
+  std::memcpy(&magic, frame.data(), 4);
+  std::memcpy(&version, frame.data() + 4, 2);
+  std::memcpy(&type, frame.data() + 6, 2);
+  std::memcpy(&len, frame.data() + 8, 4);
+  EXPECT_EQ(magic, wire::kMagic);
+  EXPECT_EQ(version, wire::kVersion);
+  EXPECT_EQ(type, static_cast<uint16_t>(wire::FrameType::kPing));
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(frame.substr(12, 3), "abc");
+}
+
+TEST(WireFrame, RoundtripOverSocket) {
+  ConnPair pair;
+  ASSERT_TRUE(wire::write_frame(pair.a, wire::FrameType::kScoreChunk, "payload bytes", 1000));
+  wire::Frame frame;
+  ASSERT_EQ(wire::read_frame(pair.b, &frame, 1000), wire::WireError::kNone);
+  EXPECT_EQ(frame.type, wire::FrameType::kScoreChunk);
+  EXPECT_EQ(frame.payload, "payload bytes");
+}
+
+TEST(WireFrame, EmptyPayloadRoundtrips) {
+  ConnPair pair;
+  ASSERT_TRUE(wire::write_frame(pair.a, wire::FrameType::kDrain, {}, 1000));
+  wire::Frame frame;
+  ASSERT_EQ(wire::read_frame(pair.b, &frame, 1000), wire::WireError::kNone);
+  EXPECT_EQ(frame.type, wire::FrameType::kDrain);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireFrame, FlippedPayloadBitFailsCrc) {
+  ConnPair pair;
+  std::string frame = wire::encode_frame(wire::FrameType::kPong, "sensitive");
+  frame[14] ^= 0x20;  // inside the payload
+  ASSERT_TRUE(pair.a.send_all(frame.data(), frame.size(), 1000));
+  wire::Frame out;
+  EXPECT_EQ(wire::read_frame(pair.b, &out, 1000), wire::WireError::kBadCrc);
+}
+
+TEST(WireFrame, FlippedTypeBitFailsCrc) {
+  ConnPair pair;
+  std::string frame = wire::encode_frame(wire::FrameType::kPing, "x");
+  frame[6] ^= 0x01;  // frame type is under the CRC too
+  ASSERT_TRUE(pair.a.send_all(frame.data(), frame.size(), 1000));
+  wire::Frame out;
+  EXPECT_EQ(wire::read_frame(pair.b, &out, 1000), wire::WireError::kBadCrc);
+}
+
+TEST(WireFrame, BadMagicRejectedBeforePayload) {
+  ConnPair pair;
+  std::string frame = wire::encode_frame(wire::FrameType::kPing, "x");
+  frame[0] = 'X';
+  ASSERT_TRUE(pair.a.send_all(frame.data(), frame.size(), 1000));
+  wire::Frame out;
+  EXPECT_EQ(wire::read_frame(pair.b, &out, 1000), wire::WireError::kBadMagic);
+}
+
+TEST(WireFrame, VersionMismatchRejected) {
+  ConnPair pair;
+  std::string frame = wire::encode_frame(wire::FrameType::kPing, "x");
+  const uint16_t bad_version = wire::kVersion + 1;
+  std::memcpy(frame.data() + 4, &bad_version, 2);
+  ASSERT_TRUE(pair.a.send_all(frame.data(), frame.size(), 1000));
+  wire::Frame out;
+  EXPECT_EQ(wire::read_frame(pair.b, &out, 1000), wire::WireError::kBadVersion);
+}
+
+TEST(WireFrame, OversizedLengthRejectedWithoutAllocation) {
+  ConnPair pair;
+  std::string frame = wire::encode_frame(wire::FrameType::kPing, "x");
+  const uint32_t absurd = wire::kMaxPayload + 1;
+  std::memcpy(frame.data() + 8, &absurd, 4);
+  ASSERT_TRUE(pair.a.send_all(frame.data(), frame.size(), 1000));
+  wire::Frame out;
+  EXPECT_EQ(wire::read_frame(pair.b, &out, 1000), wire::WireError::kOversized);
+}
+
+TEST(WireFrame, PartialFrameThenCloseIsTornNotGarbage) {
+  ConnPair pair;
+  const std::string frame = wire::encode_frame(wire::FrameType::kScoreRequest, "truncated body");
+  // Send the header plus a few payload bytes, then close mid-frame.
+  ASSERT_TRUE(pair.a.send_all(frame.data(), 15, 1000));
+  pair.a.close();
+  wire::Frame out;
+  const wire::WireError err = wire::read_frame(pair.b, &out, 1000);
+  EXPECT_TRUE(err == wire::WireError::kTransport || err == wire::WireError::kClosed)
+      << wire::wire_error_name(err);
+}
+
+TEST(WireFrame, IdleCloseIsOrderlyEof) {
+  ConnPair pair;
+  pair.a.close();
+  wire::Frame out;
+  EXPECT_EQ(wire::read_frame(pair.b, &out, 1000), wire::WireError::kClosed);
+}
+
+TEST(WireFrame, ReadTimesOutWhenPeerSilent) {
+  ConnPair pair;
+  wire::Frame out;
+  EXPECT_EQ(wire::read_frame(pair.b, &out, 50), wire::WireError::kTimeout);
+  EXPECT_TRUE(pair.b.timed_out());
+}
+
+TEST(WirePayload, HelloRoundtrip) {
+  wire::HelloPayload hello;
+  hello.node_id = "node-7";
+  hello.ordered_stream = true;
+  hello.poses_per_batch = 32;
+  hello.workers = 4;
+  hello.scorers = {"mmgbsa", "sgcnn", "vina_pk"};
+  const wire::HelloPayload back = wire::HelloPayload::decode(hello.encode());
+  EXPECT_EQ(back.version, wire::kVersion);
+  EXPECT_EQ(back.node_id, hello.node_id);
+  EXPECT_EQ(back.ordered_stream, hello.ordered_stream);
+  EXPECT_EQ(back.poses_per_batch, hello.poses_per_batch);
+  EXPECT_EQ(back.workers, hello.workers);
+  EXPECT_EQ(back.scorers, hello.scorers);
+}
+
+TEST(WirePayload, ScoreChunkRoundtripIsBitwise) {
+  wire::ScoreChunkPayload chunk;
+  chunk.request_id = 0xDEADBEEFCAFEull;
+  chunk.offset = 96;
+  chunk.scores = {1.5f, -0.0f, 3.1415926f, 1e-38f, -7.25f};
+  const wire::ScoreChunkPayload back = wire::ScoreChunkPayload::decode(chunk.encode());
+  EXPECT_EQ(back.request_id, chunk.request_id);
+  EXPECT_EQ(back.offset, chunk.offset);
+  ASSERT_EQ(back.scores.size(), chunk.scores.size());
+  for (size_t i = 0; i < chunk.scores.size(); ++i) {
+    uint32_t a, b;
+    std::memcpy(&a, &chunk.scores[i], 4);
+    std::memcpy(&b, &back.scores[i], 4);
+    EXPECT_EQ(a, b) << "score " << i << " changed bits over the wire";
+  }
+}
+
+TEST(WirePayload, ScoreDoneRoundtrip) {
+  wire::ScoreDonePayload done;
+  done.request_id = 42;
+  done.error = df::serve::ScoreError::kTimeout;
+  done.message = "deadline expired";
+  done.micro_batches = 7;
+  done.coalesced = true;
+  done.chunks = 3;
+  const wire::ScoreDonePayload back = wire::ScoreDonePayload::decode(done.encode());
+  EXPECT_EQ(back.request_id, done.request_id);
+  EXPECT_EQ(back.error, done.error);
+  EXPECT_EQ(back.message, done.message);
+  EXPECT_EQ(back.micro_batches, done.micro_batches);
+  EXPECT_EQ(back.coalesced, done.coalesced);
+  EXPECT_EQ(back.chunks, done.chunks);
+}
+
+TEST(WirePayload, PingPongRoundtrip) {
+  wire::PingPayload ping;
+  ping.nonce = 0x1234567890ABCDEFull;
+  EXPECT_EQ(wire::PingPayload::decode(ping.encode()).nonce, ping.nonce);
+
+  wire::PongPayload pong;
+  pong.nonce = 99;
+  pong.draining = true;
+  pong.inflight_requests = 5;
+  pong.requests = 1000;
+  pong.poses = 32000;
+  pong.p50_ms = 1.024f;
+  pong.p99_ms = 16.384f;
+  const wire::PongPayload back = wire::PongPayload::decode(pong.encode());
+  EXPECT_EQ(back.nonce, pong.nonce);
+  EXPECT_EQ(back.draining, pong.draining);
+  EXPECT_EQ(back.inflight_requests, pong.inflight_requests);
+  EXPECT_EQ(back.requests, pong.requests);
+  EXPECT_EQ(back.poses, pong.poses);
+  EXPECT_EQ(back.p50_ms, pong.p50_ms);
+  EXPECT_EQ(back.p99_ms, pong.p99_ms);
+}
+
+TEST(WirePayload, MoleculeRoundtripPreservesEveryField) {
+  const chem::Molecule m = tiny_molecule();
+  df::serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  df::serve::PoseInput pose;
+  pose.ligand = m;
+  pose.site_center = {0.5f, 1.5f, -2.5f};
+  req.poses.push_back(pose);
+
+  const wire::ScoreRequestPayload payload =
+      wire::ScoreRequestPayload::decode(wire::pack_request(req, 1).encode());
+  ASSERT_EQ(payload.poses.size(), 1u);
+  const chem::Molecule& back = payload.poses[0].ligand;
+  ASSERT_EQ(back.num_atoms(), m.num_atoms());
+  ASSERT_EQ(back.num_bonds(), m.num_bonds());
+  for (size_t i = 0; i < m.num_atoms(); ++i) {
+    const chem::Atom& x = m.atoms()[i];
+    const chem::Atom& y = back.atoms()[i];
+    EXPECT_EQ(x.element, y.element);
+    EXPECT_EQ(x.pos.x, y.pos.x);
+    EXPECT_EQ(x.pos.y, y.pos.y);
+    EXPECT_EQ(x.pos.z, y.pos.z);
+    EXPECT_EQ(x.formal_charge, y.formal_charge);
+    EXPECT_EQ(x.aromatic, y.aromatic);
+    EXPECT_EQ(x.implicit_h, y.implicit_h);
+  }
+  for (size_t i = 0; i < m.num_bonds(); ++i) {
+    EXPECT_EQ(m.bonds()[i].a, back.bonds()[i].a);
+    EXPECT_EQ(m.bonds()[i].b, back.bonds()[i].b);
+    EXPECT_EQ(m.bonds()[i].order, back.bonds()[i].order);
+  }
+  // Adjacency must be rebuilt, not just stored: degree comes from add_bond.
+  EXPECT_EQ(back.degree(1), 2);
+}
+
+TEST(WirePayload, PackRequestDedupesSharedPockets) {
+  const std::vector<chem::Atom> site_a = tiny_molecule().atoms();
+  const std::vector<chem::Atom> site_b = {{chem::Element::S, {9, 9, 9}, 0, false, 0}};
+  df::serve::ScoreRequest req;
+  req.scorer = "sgcnn";
+  for (int i = 0; i < 3; ++i) {
+    df::serve::PoseInput pose;
+    pose.ligand = tiny_molecule();
+    pose.pocket = &site_a;
+    req.poses.push_back(pose);
+  }
+  df::serve::PoseInput other;
+  other.ligand = tiny_molecule();
+  other.pocket = &site_b;
+  req.poses.push_back(other);
+  df::serve::PoseInput orphan;
+  orphan.ligand = tiny_molecule();
+  orphan.pocket = nullptr;
+  req.poses.push_back(orphan);
+
+  const wire::ScoreRequestPayload payload = wire::pack_request(req, 7);
+  EXPECT_EQ(payload.pockets.size(), 2u) << "shared pocket must ship once";
+  EXPECT_EQ(payload.poses[0].pocket, payload.poses[1].pocket);
+  EXPECT_EQ(payload.poses[0].pocket, payload.poses[2].pocket);
+  EXPECT_NE(payload.poses[3].pocket, payload.poses[0].pocket);
+  EXPECT_EQ(payload.poses[4].pocket, wire::kNoPocket);
+
+  // unpack borrows: pose pockets must point into the payload's pockets.
+  const df::serve::ScoreRequest back = wire::unpack_request(payload);
+  ASSERT_EQ(back.poses.size(), 5u);
+  EXPECT_EQ(back.poses[0].pocket, &payload.pockets[payload.poses[0].pocket]);
+  EXPECT_EQ(back.poses[4].pocket, nullptr);
+  EXPECT_EQ(back.scorer, req.scorer);
+}
+
+TEST(WirePayload, MalformedPayloadsThrowTyped) {
+  // Underflow: a Hello cut short mid-string.
+  wire::HelloPayload hello;
+  hello.node_id = "some-node-name";
+  const std::string bytes = hello.encode();
+  EXPECT_THROW(wire::HelloPayload::decode(std::string_view(bytes).substr(0, 6)),
+               wire::WireDecodeError);
+  // Trailing bytes after a complete payload.
+  EXPECT_THROW(wire::HelloPayload::decode(bytes + "junk"), wire::WireDecodeError);
+  // Ping payload too small.
+  EXPECT_THROW(wire::PingPayload::decode("abc"), wire::WireDecodeError);
+
+  // Element code out of range inside a molecule.
+  df::serve::ScoreRequest req;
+  req.scorer = "s";
+  df::serve::PoseInput pose;
+  pose.ligand = tiny_molecule();
+  req.poses.push_back(pose);
+  std::string encoded = wire::pack_request(req, 1).encode();
+  // Find the first atom's element byte: u64 id + u32 deadline + str scorer
+  // (4 + 1) + str client (4) + u32 pockets + u32 atom count, then element.
+  const size_t element_at = 8 + 4 + (4 + 1) + 4 + 4 + 4;
+  encoded[element_at] = static_cast<char>(0x7F);
+  EXPECT_THROW(wire::ScoreRequestPayload::decode(encoded), wire::WireDecodeError);
+
+  // Done frame with an error code past the enum.
+  wire::ScoreDonePayload done;
+  done.request_id = 1;
+  std::string done_bytes = done.encode();
+  done_bytes[8] = 0x50;  // error byte follows the u64 request id
+  EXPECT_THROW(wire::ScoreDonePayload::decode(done_bytes), wire::WireDecodeError);
+}
