@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -26,7 +27,9 @@
 
 #include "bench_common.h"
 #include "chem/conformer.h"
+#include "compile/model_compiler.h"
 #include "core/gemm.h"
+#include "models/checkpoint.h"
 #include "serve/service.h"
 
 using namespace df;
@@ -199,6 +202,88 @@ EpilogueResult run_epilogue_bench() {
   return r;
 }
 
+// ---- cold start: h5 checkpoint vs compiled artifact ----------------------
+
+struct ColdStartResult {
+  double h5_restore_ms = 0.0;        // factory + load_checkpoint
+  double h5_first_batch_ms = 0.0;    // … + first scored batch
+  double artifact_restore_ms = 0.0;  // load_compiled + workspace reserve
+  double artifact_first_batch_ms = 0.0;
+};
+
+/// Time-to-first-scored-batch for a fresh cnn3d replica, both restore
+/// paths. The h5 path pays checkpoint parsing, per-call GEMM packing on the
+/// first forward, conv-plan construction and arena growth; the compiled
+/// artifact ships pre-packed panels, pre-folded layers and the arena
+/// high-water budgets, so its first batch is already the steady state. The
+/// artifact mapping is opened once outside the timer (registration cost,
+/// amortized over every replica a service mints).
+ColdStartResult run_cold_start_bench(const Workload& w) {
+  chem::VoxelConfig voxel;
+  voxel.grid_dim = kGridDim;
+  auto make_model = [] {
+    core::Rng mrng(9);
+    return std::make_unique<models::Cnn3d>(service_cnn_config(), mrng);
+  };
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string h5 = (tmp / "BENCH_coldstart.h5lt").string();
+  const std::string dfca = (tmp / "BENCH_coldstart.dfca").string();
+
+  std::vector<const serve::PoseInput*> batch;
+  for (int i = 0; i < kPosesPerBatch; ++i) {
+    batch.push_back(&w.client_poses[0][static_cast<size_t>(i)]);
+  }
+
+  // Donor run: persist both restore formats; the warmed donor's arena
+  // high-water marks become the artifact's workspace budgets.
+  {
+    auto donor_model = make_model();
+    models::save_checkpoint(*donor_model, h5);
+    serve::RegressorScorer donor("cnn3d", std::move(donor_model), voxel, {});
+    for (int i = 0; i < 2; ++i) donor.score(batch);
+    const auto budgets = donor.workspace_capacities();
+    auto compiled = make_model();
+    compile::save_compiled(*compiled, dfca, kPosesPerBatch,
+                           {static_cast<int64_t>(budgets.forward_floats),
+                            static_cast<int64_t>(budgets.feat_floats)});
+  }
+
+  serve::ModelRegistry creg;
+  serve::add_compiled(creg, "cnn3d", dfca, voxel);
+
+  ColdStartResult r;
+  double h5_restore = 1e30, h5_first = 1e30, art_restore = 1e30, art_first = 1e30;
+  for (int round = 0; round < 5; ++round) {
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto model = make_model();
+      models::load_checkpoint(*model, h5);
+      serve::RegressorScorer scorer("cnn3d", std::move(model), voxel, {});
+      const double restore = seconds_since(t0);
+      volatile float sink = scorer.score(batch)[0];
+      (void)sink;
+      h5_restore = std::min(h5_restore, restore);
+      h5_first = std::min(h5_first, seconds_since(t0));
+    }
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::unique_ptr<serve::Scorer> scorer = creg.make("cnn3d");
+      const double restore = seconds_since(t0);
+      volatile float sink = scorer->score(batch)[0];
+      (void)sink;
+      art_restore = std::min(art_restore, restore);
+      art_first = std::min(art_first, seconds_since(t0));
+    }
+  }
+  r.h5_restore_ms = h5_restore * 1e3;
+  r.h5_first_batch_ms = h5_first * 1e3;
+  r.artifact_restore_ms = art_restore * 1e3;
+  r.artifact_first_batch_ms = art_first * 1e3;
+  std::filesystem::remove(h5);
+  std::filesystem::remove(dfca);
+  return r;
+}
+
 // ---- service comparison (cross-client batching vs serial) ---------------
 
 /// Pre-service world: every client owns a replica and scores pose by pose.
@@ -286,6 +371,16 @@ int main(int argc, char** argv) {
               "(%.2fx)\n\n",
               epi.fused_ms, epi.unfused_ms, epi.unfused_ms / epi.fused_ms);
 
+  // ---- cold start ----
+  print_header("Replica cold start — h5 checkpoint vs compiled artifact (cnn3d)");
+  const ColdStartResult cold = run_cold_start_bench(w);
+  std::printf("replica restore:            h5 %.2f ms, compiled artifact %.2f ms (%.2fx)\n",
+              cold.h5_restore_ms, cold.artifact_restore_ms,
+              cold.h5_restore_ms / cold.artifact_restore_ms);
+  std::printf("time to first scored batch: h5 %.2f ms, compiled artifact %.2f ms (%.2fx)\n\n",
+              cold.h5_first_batch_ms, cold.artifact_first_batch_ms,
+              cold.h5_first_batch_ms / cold.artifact_first_batch_ms);
+
   // ---- service comparison ----
   print_header("ScoringService — cross-client batching vs per-client serial scoring");
   const double total_poses = static_cast<double>(kClients) * kPosesPerClient;
@@ -334,7 +429,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "{\n"
-                 "  \"schema\": \"bench_service.v3\",\n"
+                 "  \"schema\": \"bench_service.v4\",\n"
                  "  \"workload\": {\"clients\": %d, \"poses_per_client\": %d, "
                  "\"poses_per_request\": %d, \"poses_per_batch\": %d},\n"
                  "  \"hot_path\": {\n",
@@ -349,6 +444,9 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "  },\n"
+                 "  \"cold_start\": {\"h5_restore_ms\": %.3f, \"h5_first_batch_ms\": %.3f, "
+                 "\"artifact_restore_ms\": %.3f, \"artifact_first_batch_ms\": %.3f, "
+                 "\"restore_speedup\": %.3f, \"first_batch_speedup\": %.3f},\n"
                  "  \"epilogue\": {\"fused_ms\": %.4f, \"unfused_ms\": %.4f, "
                  "\"speedup\": %.3f},\n"
                  "  \"serial\": {\"seconds\": %.4f, \"poses_per_second\": %.1f},\n"
@@ -361,6 +459,9 @@ int main(int argc, char** argv) {
                  "  \"speedup_ordered_vs_serial\": %.3f,\n"
                  "  \"cross_client_batching_beats_serial\": %s\n"
                  "}\n",
+                 cold.h5_restore_ms, cold.h5_first_batch_ms, cold.artifact_restore_ms,
+                 cold.artifact_first_batch_ms, cold.h5_restore_ms / cold.artifact_restore_ms,
+                 cold.h5_first_batch_ms / cold.artifact_first_batch_ms,
                  epi.fused_ms, epi.unfused_ms, epi.unfused_ms / epi.fused_ms, serial_s,
                  serial_pps, ordered_s, ordered_pps,
                  static_cast<unsigned long long>(ordered_stats.batches),

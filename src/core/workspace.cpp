@@ -52,6 +52,20 @@ void Workspace::reset() {
   cur_ = 0;
 }
 
+void Workspace::reserve(size_t floats) {
+  if (floats == 0 || capacity() >= floats) return;
+  // One block of the full budget (not just the shortfall): per-block used
+  // never exceeds the donor's measured peak, so any borrow sequence that
+  // fit the donor's capacity fits this single block without straddling.
+  const size_t size = round_up(std::max(floats, kAlignFloats), kAlignFloats);
+  Block b;
+  b.data = std::unique_ptr<float[]>(new float[size]);
+  b.size = size;
+  blocks_.push_back(std::move(b));
+  next_block_floats_ = size * 2;
+  detail::count_tensor_alloc();
+}
+
 size_t Workspace::capacity() const {
   size_t n = 0;
   for (const Block& b : blocks_) n += b.size;

@@ -50,6 +50,14 @@ class Workspace {
   /// pointers become dead: their bytes will be handed out again.
   void reset();
 
+  /// Pre-grow to at least `floats` of total capacity — one block, sized to
+  /// the full budget, so a replica restored from a compiled artifact (whose
+  /// high-water marks were measured ahead of time) never allocates again in
+  /// steady state. A single block also avoids the boundary waste a borrow
+  /// straddling two blocks would leave behind. No-op when already large
+  /// enough; counts as one alloc_count() tick when it grows.
+  void reserve(size_t floats);
+
   /// Total floats across all blocks / floats currently handed out.
   size_t capacity() const;
   size_t in_use() const;

@@ -5,6 +5,11 @@
 #include <filesystem>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace df::io {
 
 namespace {
@@ -25,6 +30,30 @@ std::array<uint32_t, 256> make_crc_table() {
 template <typename T>
 void append_pod(std::string& buf, const T& v) {
   buf.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+// Flush `path` (a file or a directory) to stable storage. An atomic-rename
+// commit is only durable once BOTH the renamed file's bytes and the parent
+// directory entry are synced — rename alone survives a crash of the process
+// but not of the machine. Best-effort no-op on platforms without fsync.
+void fsync_path(const std::string& path, bool required) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (required)
+      throw H5LiteError(H5LiteError::Kind::Open, "h5lite: cannot open for fsync: " + path);
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  // Some filesystems refuse fsync on directories (EINVAL); that is the
+  // platform's durability ceiling, not a failed save.
+  if (rc != 0 && required)
+    throw H5LiteError(H5LiteError::Kind::Open, "h5lite: fsync failed: " + path);
+#else
+  (void)path;
+  (void)required;
+#endif
 }
 
 /// Bounds-checked cursor over an in-memory file image.
@@ -124,15 +153,30 @@ void H5LiteFile::save(const std::string& path) const {
 void H5LiteFile::save_atomic(const std::string& path) const {
   const std::string tmp = path + ".tmp";
   save(tmp);
+  // Sync the temp file's bytes BEFORE the rename: renaming first could
+  // publish a directory entry pointing at data still in the page cache,
+  // which a power loss then tears — the exact failure atomicity promises to
+  // prevent.
+  fsync_path(tmp, /*required=*/true);
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     throw H5LiteError(H5LiteError::Kind::Open,
                       "h5lite: atomic rename failed: " + path + " (" + ec.message() + ")");
   }
+  // And sync the parent directory so the rename itself is durable.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  fsync_path(parent.empty() ? "." : parent.string(), /*required=*/false);
 }
 
 H5LiteFile H5LiteFile::load(const std::string& path) {
+  // A `path + ".tmp"` left behind by a save killed before its rename is
+  // garbage by definition (the committed file, if any, is at `path`).
+  // Sweep it best-effort so retried saves never trip over stale temps.
+  {
+    std::error_code ec;
+    std::filesystem::remove(path + ".tmp", ec);
+  }
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw H5LiteError(H5LiteError::Kind::Open, "h5lite: cannot open for read: " + path);
   const std::streamsize file_size = f.tellg();

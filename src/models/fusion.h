@@ -60,6 +60,9 @@ class LateFusion : public Regressor {
   }
   std::string name() const override { return "Late Fusion"; }
 
+  Cnn3d& cnn_head() { return *cnn_; }
+  Sgcnn& sg_head() { return *sg_; }
+
  private:
   std::shared_ptr<Cnn3d> cnn_;
   std::shared_ptr<Sgcnn> sg_;
@@ -86,6 +89,12 @@ class FusionModel : public Regressor {
   const FusionConfig& config() const { return cfg_; }
   Cnn3d& cnn_head() { return *cnn_; }
   Sgcnn& sg_head() { return *sg_; }
+
+  /// Structure surface for the model compiler. The ms blocks are null when
+  /// model_specific_layers is off.
+  nn::Sequential& fusion_trunk() { return fusion_; }
+  nn::Sequential* ms_cnn() { return ms_cnn_.get(); }
+  nn::Sequential* ms_sg() { return ms_sg_.get(); }
 
   /// Switch between frozen-head (Mid) and joint-backprop (Coherent)
   /// training. Used to warm up the fusion trunk before letting gradients

@@ -285,9 +285,33 @@ Tensor Conv3d::forward_act(const Tensor& x, core::EpilogueAct act, float leaky_s
       }
     }
     float* ob = o + b * cout_ * N;
-    core::sgemm(false, false, cout_, N, K, w, K, cols.data(), N, ob, N, /*accumulate=*/false, &ep);
+    if (!training_ && pa_.panels != nullptr) {
+      core::sgemm_prepacked(pa_, N, cols.data(), N, ob, N, /*accumulate=*/false, &ep);
+    } else {
+      core::sgemm(false, false, cout_, N, K, w, K, cols.data(), N, ob, N, /*accumulate=*/false,
+                  &ep);
+    }
   });
   return out;
+}
+
+void Conv3d::prepack() {
+  const int64_t K = cin_ * k_ * k_ * k_;
+  packed_own_.resize(static_cast<size_t>(core::packed_a_floats(cout_, K)));
+  core::pack_a_full(false, cout_, K, w_.value.data(), K, packed_own_.data());
+  pa_ = {cout_, K, packed_own_.data(), w_.value.data()};
+}
+
+void Conv3d::attach_prepacked(const float* panels) {
+  const int64_t K = cin_ * k_ * k_ * k_;
+  packed_own_.clear();
+  pa_ = {cout_, K, panels, w_.value.data()};
+}
+
+void Conv3d::warm_plan(int64_t D, int64_t H, int64_t W) {
+  if (plan_.D == D && plan_.H == H && plan_.W == W) return;
+  build_plan(D, H, W, out_size(D, k_, stride_, pad_), out_size(H, k_, stride_, pad_),
+             out_size(W, k_, stride_, pad_));
 }
 
 Tensor Conv3d::backward(const Tensor& grad_out) {

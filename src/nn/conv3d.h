@@ -35,6 +35,28 @@ class Conv3d : public Module {
 
   int64_t in_channels() const { return cin_; }
   int64_t out_channels() const { return cout_; }
+  int64_t kernel() const { return k_; }
+  int64_t stride() const { return stride_; }
+  int64_t padding() const { return pad_; }
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+  // -- ahead-of-time weight packing (model compiler) ----------------------
+  // The weight is the A operand of every per-sample GEMM; packing it once
+  // removes pack_a from the steady-state path. Inference-only, same
+  // contract as Dense: re-prepack after any weight mutation.
+
+  /// Pack w into an owned buffer and route eval forwards through it.
+  void prepack();
+  /// Route eval forwards through an external image of
+  /// core::packed_a_floats(cout, cin*k^3) floats. Caller keeps it alive.
+  void attach_prepacked(const float* panels);
+  void clear_prepacked() { pa_ = {}; packed_own_.clear(); }
+  bool prepacked() const { return pa_.panels != nullptr; }
+
+  /// Build the vol2col copy plan for a (D, H, W) input ahead of the first
+  /// forward, so a compiled replica's first score pays no plan construction.
+  void warm_plan(int64_t D, int64_t H, int64_t W);
 
  private:
   // Replayable vol2col plan for one input channel: the (source, column)
@@ -65,6 +87,8 @@ class Conv3d : public Module {
   Parameter b_;  // (cout)
   Tensor cached_input_;
   ColsPlan plan_;
+  std::vector<float> packed_own_;
+  core::PrepackedA pa_;
 };
 
 class MaxPool3d : public Module {

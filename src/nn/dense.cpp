@@ -27,9 +27,25 @@ Tensor Dense::forward_act(const Tensor& x, core::EpilogueAct act, float leaky_sl
   ep.bias_col = has_bias_ ? b_.value.data() : nullptr;
   ep.leaky_slope = leaky_slope;
   const bool fused = has_bias_ || act != core::EpilogueAct::kNone;
-  core::sgemm(false, false, batch, out_, in_, x.data(), in_, w_.value.data(), out_, y.data(),
-              out_, /*accumulate=*/false, fused ? &ep : nullptr);
+  if (!training_ && pb_.image != nullptr) {
+    core::sgemm_prepacked(batch, x.data(), in_, pb_, y.data(), out_, /*accumulate=*/false,
+                          fused ? &ep : nullptr);
+  } else {
+    core::sgemm(false, false, batch, out_, in_, x.data(), in_, w_.value.data(), out_, y.data(),
+                out_, /*accumulate=*/false, fused ? &ep : nullptr);
+  }
   return y;
+}
+
+void Dense::prepack() {
+  packed_own_.resize(static_cast<size_t>(core::packed_b_floats(in_, out_)));
+  core::pack_b_full(false, in_, out_, w_.value.data(), out_, packed_own_.data());
+  pb_ = {in_, out_, packed_own_.data()};
+}
+
+void Dense::attach_prepacked(const float* image) {
+  packed_own_.clear();
+  pb_ = {in_, out_, image};
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {

@@ -3,6 +3,8 @@
 // activation) rides the GEMM's fused epilogue instead of a separate pass.
 #pragma once
 
+#include <vector>
+
 #include "core/gemm.h"
 #include "core/rng.h"
 #include "nn/module.h"
@@ -26,8 +28,23 @@ class Dense : public Module {
 
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
+  bool has_bias() const { return has_bias_; }
   Parameter& weight() { return w_; }
   Parameter& bias() { return b_; }
+
+  // -- ahead-of-time weight packing (model compiler) ----------------------
+  // The weight is the GEMM's B operand and never changes between eval
+  // calls, so the compiler packs it once into the panel image sgemm would
+  // build per call. Inference-only: forward_act takes the prepacked path
+  // only when !training(), and any weight mutation must re-prepack.
+
+  /// Pack w into an owned buffer and route eval forwards through it.
+  void prepack();
+  /// Route eval forwards through an external (e.g. mmap'd artifact) image
+  /// of core::packed_b_floats(in, out) floats. Caller keeps it alive.
+  void attach_prepacked(const float* image);
+  void clear_prepacked() { pb_ = {}; packed_own_.clear(); }
+  bool prepacked() const { return pb_.image != nullptr; }
 
  private:
   int64_t in_, out_;
@@ -35,6 +52,8 @@ class Dense : public Module {
   Parameter w_;  // (in, out)
   Parameter b_;  // (out)
   Tensor cached_input_;
+  std::vector<float> packed_own_;
+  core::PrepackedB pb_;
 };
 
 }  // namespace df::nn

@@ -16,6 +16,16 @@ class BatchNorm1d : public Module {
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
+  // Folding surface for the model compiler: the eval transform is the
+  // per-feature affine x -> gamma*(x-mean)*invstd + beta, fully determined
+  // by these five values.
+  int64_t features() const { return f_; }
+  float eps() const { return eps_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
  private:
   int64_t f_;
   float momentum_, eps_;
@@ -33,6 +43,14 @@ class BatchNorm3d : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+
+  // Folding surface for the model compiler (per-channel affine at eval).
+  int64_t channels() const { return c_; }
+  float eps() const { return eps_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
 
  private:
   int64_t c_;

@@ -30,6 +30,8 @@ class Residual : public Module {
   void collect_parameters(std::vector<Parameter*>& out) override {
     inner_->collect_parameters(out);
   }
+  /// The wrapped block — the model compiler recurses through it.
+  Module& inner() { return *inner_; }
   void set_training(bool t) override {
     Module::set_training(t);
     inner_->set_training(t);

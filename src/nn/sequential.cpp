@@ -6,7 +6,48 @@
 
 namespace df::nn {
 
+std::unique_ptr<Module> Sequential::remove(size_t i) {
+  std::unique_ptr<Module> m = std::move(layers_.at(i));
+  layers_.erase(layers_.begin() + static_cast<ptrdiff_t>(i));
+  program_.clear();
+  return m;
+}
+
+void Sequential::compile_eval() {
+  program_.clear();
+  program_.reserve(layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    EvalStep step;
+    // Same fusion rule as the forward() scan below, resolved once: a
+    // Dense/Conv3d followed by a pointwise activation becomes one fused
+    // GEMM step, so the compiled dispatch is bitwise identical to the
+    // scanning dispatch.
+    if (i + 1 < layers_.size() &&
+        epilogue_act_of(layers_[i + 1].get(), &step.act, &step.slope)) {
+      if ((step.dense = dynamic_cast<Dense*>(layers_[i].get())) != nullptr ||
+          (step.conv = dynamic_cast<Conv3d*>(layers_[i].get())) != nullptr) {
+        program_.push_back(step);
+        ++i;
+        continue;
+      }
+      step.act = core::EpilogueAct::kNone;
+      step.slope = 0.01f;
+    }
+    step.plain = layers_[i].get();
+    program_.push_back(step);
+  }
+}
+
 Tensor Sequential::forward(const Tensor& x) {
+  if (!training_ && !program_.empty()) {
+    Tensor h = x;
+    for (const EvalStep& s : program_) {
+      if (s.dense != nullptr) h = s.dense->forward_act(h, s.act, s.slope);
+      else if (s.conv != nullptr) h = s.conv->forward_act(h, s.act, s.slope);
+      else h = s.plain->forward(h);
+    }
+    return h;
+  }
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     // Inference-path layer fusion: a Dense/Conv3d directly followed by a

@@ -6,9 +6,13 @@
 #include <memory>
 #include <vector>
 
+#include "core/gemm.h"
 #include "nn/module.h"
 
 namespace df::nn {
+
+class Dense;
+class Conv3d;
 
 class Sequential : public Module {
  public:
@@ -16,13 +20,18 @@ class Sequential : public Module {
 
   Sequential& add(std::unique_ptr<Module> m) {
     layers_.push_back(std::move(m));
+    program_.clear();
     return *this;
   }
   template <typename M, typename... Args>
   Sequential& emplace(Args&&... args) {
     layers_.push_back(std::make_unique<M>(std::forward<Args>(args)...));
+    program_.clear();
     return *this;
   }
+  /// Detach and return layer i (model compiler: folded BatchNorms and
+  /// eval-inert Dropouts leave the chain). Invalidates the eval program.
+  std::unique_ptr<Module> remove(size_t i);
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
@@ -32,8 +41,26 @@ class Sequential : public Module {
   size_t size() const { return layers_.size(); }
   Module& layer(size_t i) { return *layers_.at(i); }
 
+  /// Precompute the eval dispatch (which layers fuse with which epilogue),
+  /// replacing forward()'s per-call dynamic_cast scan. Inference-only: the
+  /// program is bypassed while training and dropped on any layer mutation.
+  void compile_eval();
+  bool eval_compiled() const { return !program_.empty() || layers_.empty(); }
+
  private:
+  // One step of the compiled eval dispatch: exactly one of dense/conv is
+  // set for a fused GEMM step (act/slope baked in), otherwise `plain` runs
+  // through the virtual forward.
+  struct EvalStep {
+    Module* plain = nullptr;
+    Dense* dense = nullptr;
+    Conv3d* conv = nullptr;
+    core::EpilogueAct act = core::EpilogueAct::kNone;
+    float slope = 0.01f;
+  };
+
   std::vector<std::unique_ptr<Module>> layers_;
+  std::vector<EvalStep> program_;
 };
 
 }  // namespace df::nn

@@ -21,7 +21,19 @@ class LatencyHistogram {
   static constexpr int kBuckets = 44;
 
   void record_seconds(double s) {
-    record_micros(s <= 0 ? 0 : static_cast<uint64_t>(s * 1e6));
+    // Clamp BEFORE the cast: float-to-integer conversion of NaN, infinity,
+    // or any value past 2^64-1 µs is undefined behaviour, and a wedged
+    // upstream clock can hand us exactly those. NaN (s != s) and negatives
+    // land in bucket 0; anything at or past the largest representable
+    // duration saturates into the last bucket via record_micros's clamp.
+    constexpr double kMaxMicros = 1.8e19;  // < 2^64, safely convertible
+    if (!(s > 0)) {
+      record_micros(0);
+    } else if (s * 1e6 >= kMaxMicros) {
+      record_micros(UINT64_MAX);
+    } else {
+      record_micros(static_cast<uint64_t>(s * 1e6));
+    }
   }
 
   void record_micros(uint64_t us) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "compile/model_compiler.h"
 #include "models/baselines.h"
 #include "models/cnn3d.h"
 #include "models/fusion.h"
@@ -67,6 +68,22 @@ void add_regressor(ModelRegistry& registry, const std::string& name,
                       featurize_threads] {
     return std::make_unique<RegressorScorer>(name, make_model(), voxel, graph,
                                              featurize_threads);
+  });
+}
+
+void add_compiled(ModelRegistry& registry, const std::string& name,
+                  const std::string& artifact_path, const chem::VoxelConfig& voxel,
+                  const chem::GraphFeaturizerConfig& graph, int featurize_threads) {
+  // Open once, eagerly: registration fails fast on a missing/damaged
+  // artifact, and all replicas share the one validated mapping.
+  std::shared_ptr<io::ArtifactReader> image = io::ArtifactReader::open(artifact_path);
+  registry.add(name, [name, image, voxel, graph, featurize_threads] {
+    compile::CompiledModel cm = compile::load_compiled(image);
+    auto scorer = std::make_unique<RegressorScorer>(name, std::move(cm.model), voxel, graph,
+                                                    featurize_threads);
+    scorer->reserve_workspaces({static_cast<size_t>(cm.budget.forward_floats),
+                                static_cast<size_t>(cm.budget.feat_floats)});
+    return scorer;
   });
 }
 

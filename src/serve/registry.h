@@ -65,6 +65,19 @@ void add_regressor(ModelRegistry& registry, const std::string& name,
                    models::RegressorFactory make_model, const chem::VoxelConfig& voxel,
                    const chem::GraphFeaturizerConfig& graph = {}, int featurize_threads = 0);
 
+/// Register a scorer served from a compiled-model artifact
+/// (compile::save_compiled). The artifact is opened and validated once,
+/// eagerly — a missing or damaged file fails registration, not the first
+/// request — and the mapping is shared by every replica the factory mints:
+/// each replica rebuilds its own (private) layer caches but reads weights
+/// and packed GEMM panels straight from the common mmap. Replicas pre-grow
+/// their workspace arenas to the budgets recorded in the artifact, so the
+/// cold-start path skips h5 parsing, weight packing, conv-plan construction
+/// AND steady-state arena growth.
+void add_compiled(ModelRegistry& registry, const std::string& name,
+                  const std::string& artifact_path, const chem::VoxelConfig& voxel,
+                  const chem::GraphFeaturizerConfig& graph = {}, int featurize_threads = 0);
+
 /// A registry with every backend family pre-registered under its canonical
 /// name: "vina_pk", "mmgbsa", plus untrained-but-deterministic reference
 /// nets "sgcnn", "cnn3d", "late_fusion", "pafnucy", "kdeep" (fixed seeds;

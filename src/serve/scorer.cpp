@@ -47,6 +47,18 @@ RegressorScorer::RegressorScorer(std::string name, std::unique_ptr<models::Regre
 
 RegressorScorer::~RegressorScorer() = default;
 
+RegressorScorer::WorkspaceBudgets RegressorScorer::workspace_capacities() const {
+  WorkspaceBudgets b;
+  b.forward_floats = forward_ws_.capacity();
+  for (const auto& ws : feat_ws_) b.feat_floats = std::max(b.feat_floats, ws->capacity());
+  return b;
+}
+
+void RegressorScorer::reserve_workspaces(const WorkspaceBudgets& budgets) {
+  forward_ws_.reserve(budgets.forward_floats);
+  for (auto& ws : feat_ws_) ws->reserve(budgets.feat_floats);
+}
+
 std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& poses) {
   ReplicaGuard guard(busy_);
   const auto t0 = std::chrono::steady_clock::now();

@@ -108,6 +108,19 @@ class RegressorScorer : public Scorer {
   };
   const PhaseStats& phase_stats() const { return stats_; }
 
+  /// Steady-state arena high-water marks. Measured on a warmed donor
+  /// replica, they become the workspace budgets a compiled artifact carries
+  /// (compile::save_compiled); feat_floats is the widest featurize lane.
+  struct WorkspaceBudgets {
+    size_t forward_floats = 0;
+    size_t feat_floats = 0;
+  };
+  WorkspaceBudgets workspace_capacities() const;
+  /// Pre-grow the arenas to the given budgets so the replica's first score()
+  /// call (and every one after) performs zero tensor heap allocations —
+  /// the compiled-artifact cold-start path.
+  void reserve_workspaces(const WorkspaceBudgets& budgets);
+
  private:
   std::string name_;
   std::unique_ptr<models::Regressor> model_;

@@ -72,6 +72,41 @@ TEST(H5Lite, EmptyFileRoundTrips) {
   std::filesystem::remove(path);
 }
 
+TEST(H5Lite, SaveAtomicLeavesNoTempFile) {
+  H5LiteFile f;
+  f.put_floats("w", {2}, {1.0f, 2.0f});
+  const std::string path = temp_path("df_h5lite_atomic.h5lt");
+  f.save_atomic(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FLOAT_EQ(H5LiteFile::load(path).get("w").floats()[1], 2.0f);
+  std::filesystem::remove(path);
+}
+
+TEST(H5Lite, StaleTempFromKilledSaveIsSweptAndIgnored) {
+  // A process killed between save(tmp) and the rename leaves `path.tmp`
+  // behind. It must never shadow or corrupt the committed file, and the
+  // next load sweeps it so retried save_atomic calls start clean.
+  H5LiteFile f;
+  f.put_floats("w", {2}, {1.0f, 2.0f});
+  const std::string path = temp_path("df_h5lite_stale.h5lt");
+  f.save_atomic(path);
+  std::ofstream(path + ".tmp") << "torn write from a killed saver";
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+
+  const H5LiteFile g = H5LiteFile::load(path);  // reads the committed file…
+  EXPECT_FLOAT_EQ(g.get("w").floats()[0], 1.0f);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // …and sweeps the temp
+
+  // A retried atomic save on the same path also succeeds after a stale temp
+  // reappears (rename replaces it).
+  std::ofstream(path + ".tmp") << "torn again";
+  f.save_atomic(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FLOAT_EQ(H5LiteFile::load(path).get("w").floats()[1], 2.0f);
+  std::filesystem::remove(path);
+}
+
 TEST(Csv, WritesHeaderAndRows) {
   const std::string path = temp_path("df_test.csv");
   {

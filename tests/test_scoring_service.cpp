@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <filesystem>
 #include <future>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -721,6 +722,38 @@ TEST(ServiceStatsPins, LatencyHistogramCountsEveryResolvedRequest) {
   EXPECT_EQ(stats.latency.count(), 4u);
   EXPECT_GT(stats.latency.p50_ms(), 0.0);
   EXPECT_GE(stats.latency.p99_ms(), stats.latency.p50_ms());
+}
+
+TEST(ServiceStatsPins, LatencyHistogramSurvivesPathologicalDurations) {
+  // float-to-integer conversion of NaN/inf/past-2^64-µs doubles is UB; a
+  // wedged upstream clock can produce all of them. record_seconds must
+  // clamp first: non-positives and NaN land in bucket 0, oversized
+  // durations saturate into the last bucket, and every sample is counted.
+  serve::LatencyHistogram h;
+  h.record_seconds(std::numeric_limits<double>::quiet_NaN());
+  h.record_seconds(std::numeric_limits<double>::infinity());
+  h.record_seconds(-std::numeric_limits<double>::infinity());
+  h.record_seconds(std::numeric_limits<double>::max());
+  h.record_seconds(1e30);   // * 1e6 overflows uint64_t without the clamp
+  h.record_seconds(1e13);   // just at the clamp threshold
+  h.record_seconds(-1.0);
+  h.record_seconds(0.0);
+  h.record_seconds(5e-7);   // sub-microsecond: bucket 0
+  EXPECT_EQ(h.count(), 9u);
+  // NaN, -inf, -1, 0, 5e-7 → bucket 0; inf, max, 1e30, 1e13 → last bucket.
+  EXPECT_EQ(h.bucket_count(0), 5u);
+  EXPECT_EQ(h.bucket_count(serve::LatencyHistogram::kBuckets - 1), 4u);
+  // Percentiles stay finite and ordered even on this degenerate input.
+  EXPECT_GE(h.p99_ms(), h.p50_ms());
+  EXPECT_EQ(h.p99_ms(), serve::LatencyHistogram::bucket_upper_ms(
+                            serve::LatencyHistogram::kBuckets - 1));
+
+  // Ordinary samples still land where the power-of-two bucketing says:
+  // 1 ms = 1000 µs → bit_width 10, upper bound 1.024 ms.
+  serve::LatencyHistogram ok;
+  ok.record_seconds(1e-3);
+  EXPECT_EQ(ok.bucket_count(10), 1u);
+  EXPECT_EQ(ok.p50_ms(), serve::LatencyHistogram::bucket_upper_ms(10));
 }
 
 // ---- shutdown races (S3: the TSan targets) ------------------------------
