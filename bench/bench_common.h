@@ -95,6 +95,38 @@ inline models::FusionConfig bench_fusion_config(models::FusionKind kind) {
 
 // ---- machine-readable output ----
 
+/// Escape a string for embedding inside a JSON string literal: backslash,
+/// double quote, and the control range (U+0000..U+001F; the named short
+/// escapes where JSON has them, \u00XX otherwise). Every runtime string a
+/// bench interpolates into its --json output must pass through here —
+/// a backend name or path containing `"` or `\` otherwise corrupts the
+/// whole document.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\b': out += "\\b"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\f': out += "\\f"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 /// Parse the shared `--json[=PATH]` convention (docs/PERF.md): returns
 /// `default_path` for bare `--json`, the given path for `--json=PATH`, and
 /// empty when the flag is absent.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/gemm.h"
+#include "core/gemm_s8.h"
 #include "models/cnn3d.h"
 #include "models/fusion.h"
 #include "models/sgcnn.h"
@@ -201,16 +202,8 @@ int count_batchnorms(nn::Sequential& seq) {
 
 // ---- canonical structure walks --------------------------------------------
 //
-// Everything the artifact stores positionally ("param/<i>", "pack/...<i>")
-// depends on save and load walking the model in the same order. These walks
-// are that order: fixed per family, independent of config flags, recursive
-// left-to-right through Sequentials and Residual inners.
-
-struct StructureWalk {
-  std::vector<nn::Sequential*> seqs;  // top-level Sequentials, canonical order
-  std::vector<nn::Dense*> dense;      // GEMM layers, canonical order
-  std::vector<nn::Conv3d*> conv;
-};
+// StructureWalk itself lives in the header (the quantization pass shares
+// it); the collectors stay here.
 
 void walk_seq_gemm(nn::Sequential& seq, StructureWalk& w) {
   for (size_t i = 0; i < seq.size(); ++i) {
@@ -489,6 +482,8 @@ class CompiledRegressor : public models::Regressor {
     inner_->set_training(false);
   }
   std::string name() const override { return inner_->name(); }
+  /// The wrapped model — walk_structure/family_of look through the facade.
+  models::Regressor& inner() { return *inner_; }
 
  private:
   std::shared_ptr<io::ArtifactReader> image_;
@@ -497,7 +492,15 @@ class CompiledRegressor : public models::Regressor {
 
 }  // namespace
 
+StructureWalk walk_structure(models::Regressor& model) {
+  if (auto* cr = dynamic_cast<CompiledRegressor*>(&model)) return walk_structure(cr->inner());
+  StructureWalk w;
+  collect(model, w);
+  return w;
+}
+
 ModelFamily family_of(models::Regressor& model) {
+  if (auto* cr = dynamic_cast<CompiledRegressor*>(&model)) return family_of(cr->inner());
   if (dynamic_cast<models::FusionModel*>(&model) != nullptr) return ModelFamily::kFusion;
   if (dynamic_cast<models::LateFusion*>(&model) != nullptr) return ModelFamily::kLateFusion;
   if (dynamic_cast<models::Cnn3d*>(&model) != nullptr) return ModelFamily::kCnn3d;
@@ -591,6 +594,47 @@ void save_compiled(models::Regressor& model, const std::string& path, int64_t po
     out.add_floats("pack/conv/" + std::to_string(i), {len}, buf.data());
   }
 
+  // Quantized plan sections (artifact v2). Unlike the fp32 panel images,
+  // these are copied verbatim from the layers' attached state — the int8
+  // images embed calibration results that cannot be regenerated from the
+  // weights alone, and the verbatim copy is what makes a restored replica
+  // bitwise-reproduce the donor's int8 scores (int32 accumulation is
+  // exact, so identical images imply identical outputs).
+  bool any_quant = false;
+  std::vector<int64_t> dmask(w.dense.size(), 0), cmask(w.conv.size(), 0);
+  for (size_t i = 0; i < w.dense.size(); ++i) {
+    if (w.dense[i]->quantized_state() != nullptr) dmask[i] = 1, any_quant = true;
+  }
+  for (size_t i = 0; i < w.conv.size(); ++i) {
+    if (w.conv[i]->quantized_state() != nullptr) cmask[i] = 1, any_quant = true;
+  }
+  if (any_quant) {
+    out.add_ints("quant/dense_mask", {static_cast<int64_t>(dmask.size())}, dmask.data());
+    out.add_ints("quant/conv_mask", {static_cast<int64_t>(cmask.size())}, cmask.data());
+    for (size_t i = 0; i < w.dense.size(); ++i) {
+      if (dmask[i] == 0) continue;
+      const nn::Dense* d = w.dense[i];
+      const nn::QuantizedDense* q = d->quantized_state();
+      const std::string base = "quant/dense/" + std::to_string(i) + "/";
+      const int64_t plen = core::packed_b_bytes_s8(d->in_features(), d->out_features());
+      out.add_int8s(base + "panels", {plen}, q->panels);
+      out.add_floats(base + "scales", {d->out_features()}, q->scales);
+      out.add_int32s(base + "comp", {d->out_features()}, q->comp);
+      out.add_floats(base + "act", {1}, &q->act_scale);
+    }
+    for (size_t i = 0; i < w.conv.size(); ++i) {
+      if (cmask[i] == 0) continue;
+      const nn::Conv3d* c = w.conv[i];
+      const nn::QuantizedConv* q = c->quantized_state();
+      const std::string base = "quant/conv/" + std::to_string(i) + "/";
+      const int64_t K = c->in_channels() * c->kernel() * c->kernel() * c->kernel();
+      const int64_t wlen = core::quantized_a_bytes_s8(c->out_channels(), K);
+      out.add_int8s(base + "w", {wlen}, reinterpret_cast<const int8_t*>(q->wu8));
+      out.add_floats(base + "scales", {c->out_channels()}, q->scales);
+      out.add_floats(base + "act", {1}, &q->act_scale);
+    }
+  }
+
   out.save(path);
 }
 
@@ -648,6 +692,38 @@ CompiledModel load_compiled(std::shared_ptr<io::ArtifactReader> image) {
     const int64_t K = c->in_channels() * c->kernel() * c->kernel() * c->kernel();
     check_len(a, name, core::packed_a_floats(c->out_channels(), K));
     c->attach_prepacked(a.floats(name));
+  }
+
+  // Quantized plans: borrowed views straight into the mapping, like the
+  // fp32 panels. Layers with a mask bit run int8 from the first request.
+  if (a.has("quant/dense_mask")) {
+    check_len(a, "quant/dense_mask", static_cast<int64_t>(w.dense.size()));
+    check_len(a, "quant/conv_mask", static_cast<int64_t>(w.conv.size()));
+    const int64_t* dmask = a.ints("quant/dense_mask");
+    const int64_t* cmask = a.ints("quant/conv_mask");
+    for (size_t i = 0; i < w.dense.size(); ++i) {
+      if (dmask[i] == 0) continue;
+      nn::Dense* d = w.dense[i];
+      const std::string base = "quant/dense/" + std::to_string(i) + "/";
+      check_len(a, base + "panels", core::packed_b_bytes_s8(d->in_features(), d->out_features()));
+      check_len(a, base + "scales", d->out_features());
+      check_len(a, base + "comp", d->out_features());
+      check_len(a, base + "act", 1);
+      d->attach_quantized_views(a.floats(base + "act")[0], a.int8s(base + "panels"),
+                                a.floats(base + "scales"), a.int32s(base + "comp"));
+    }
+    for (size_t i = 0; i < w.conv.size(); ++i) {
+      if (cmask[i] == 0) continue;
+      nn::Conv3d* c = w.conv[i];
+      const std::string base = "quant/conv/" + std::to_string(i) + "/";
+      const int64_t K = c->in_channels() * c->kernel() * c->kernel() * c->kernel();
+      check_len(a, base + "w", core::quantized_a_bytes_s8(c->out_channels(), K));
+      check_len(a, base + "scales", c->out_channels());
+      check_len(a, base + "act", 1);
+      c->attach_quantized_views(a.floats(base + "act")[0],
+                                reinterpret_cast<const uint8_t*>(a.int8s(base + "w")),
+                                a.floats(base + "scales"));
+    }
   }
 
   warm_conv_plans(*model);

@@ -38,9 +38,16 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "io/model_artifact.h"
 #include "models/regressor.h"
+
+namespace df::nn {
+class Sequential;
+class Dense;
+class Conv3d;
+}  // namespace df::nn
 
 namespace df::compile {
 
@@ -55,6 +62,21 @@ enum class ModelFamily : int64_t {
 /// Identify a Regressor's family; throws std::invalid_argument for model
 /// types the compiler does not understand.
 ModelFamily family_of(models::Regressor& model);
+
+/// The canonical structure walk: fixed per family, independent of config
+/// flags, recursive left-to-right through Sequentials and Residual inners.
+/// Everything the artifact stores positionally ("param/<i>", "pack/...<i>",
+/// "quant/...<i>") depends on save and load walking the model in this
+/// order, and the quantization pass (src/quant/) uses the same order so its
+/// per-layer state lands on the same indices.
+struct StructureWalk {
+  std::vector<nn::Sequential*> seqs;  // top-level Sequentials, canonical order
+  std::vector<nn::Dense*> dense;      // GEMM layers, canonical order
+  std::vector<nn::Conv3d*> conv;
+};
+
+/// Walk `model`; throws std::invalid_argument for unsupported model types.
+StructureWalk walk_structure(models::Regressor& model);
 
 struct CompileOptions {
   bool fold_batch_norm = true;

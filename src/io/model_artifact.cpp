@@ -67,6 +67,30 @@ void ArtifactWriter::add_scalar(const std::string& name, int64_t v) {
   add_ints(name, {1}, &v);
 }
 
+void ArtifactWriter::add_int8s(const std::string& name, std::vector<int64_t> dims,
+                               const int8_t* data) {
+  Pending p;
+  p.dtype = 2;
+  p.dims = std::move(dims);
+  int64_t n = 1;
+  for (int64_t d : p.dims) n *= d;
+  p.bytes.resize(static_cast<size_t>(n));
+  std::memcpy(p.bytes.data(), data, p.bytes.size());
+  sections_[name] = std::move(p);
+}
+
+void ArtifactWriter::add_int32s(const std::string& name, std::vector<int64_t> dims,
+                                const int32_t* data) {
+  Pending p;
+  p.dtype = 3;
+  p.dims = std::move(dims);
+  int64_t n = 1;
+  for (int64_t d : p.dims) n *= d;
+  p.bytes.resize(static_cast<size_t>(n) * sizeof(int32_t));
+  std::memcpy(p.bytes.data(), data, p.bytes.size());
+  sections_[name] = std::move(p);
+}
+
 void ArtifactWriter::save(const std::string& path) const {
   // Two passes: first size the directory (its length shifts every blob
   // offset), then emit directory + aligned blobs.
@@ -222,7 +246,7 @@ std::shared_ptr<ArtifactReader> ArtifactReader::open(const std::string& path) {
     ArtifactSection s;
     s.dtype = static_cast<uint8_t>(d[pos]);
     ++pos;
-    if (s.dtype > 1)
+    if (s.dtype > 3)
       throw H5LiteError(H5LiteError::Kind::Format, "artifact: bad dtype in " + path);
     const uint32_t rank = read_u32();
     uint64_t numel = 1;
@@ -240,7 +264,10 @@ std::shared_ptr<ArtifactReader> ArtifactReader::open(const std::string& path) {
     }
     s.byte_offset = read_u64();
     s.byte_len = read_u64();
-    const uint64_t elem = s.dtype == 0 ? sizeof(float) : sizeof(int64_t);
+    const uint64_t elem = s.dtype == 0   ? sizeof(float)
+                          : s.dtype == 1 ? sizeof(int64_t)
+                          : s.dtype == 2 ? sizeof(int8_t)
+                                         : sizeof(int32_t);
     if (s.byte_len != numel * elem || s.byte_offset % kBlobAlign != 0 ||
         s.byte_offset < kHeaderBytes || s.byte_offset > payload_end ||
         s.byte_len > payload_end - s.byte_offset) {
@@ -277,6 +304,20 @@ const int64_t* ArtifactReader::ints(const std::string& name) const {
   if (s.dtype != 1)
     throw H5LiteError(H5LiteError::Kind::Format, "artifact: " + name + " is not int64");
   return reinterpret_cast<const int64_t*>(data_ + s.byte_offset);
+}
+
+const int8_t* ArtifactReader::int8s(const std::string& name) const {
+  const ArtifactSection& s = section(name);
+  if (s.dtype != 2)
+    throw H5LiteError(H5LiteError::Kind::Format, "artifact: " + name + " is not int8");
+  return reinterpret_cast<const int8_t*>(data_ + s.byte_offset);
+}
+
+const int32_t* ArtifactReader::int32s(const std::string& name) const {
+  const ArtifactSection& s = section(name);
+  if (s.dtype != 3)
+    throw H5LiteError(H5LiteError::Kind::Format, "artifact: " + name + " is not int32");
+  return reinterpret_cast<const int32_t*>(data_ + s.byte_offset);
 }
 
 int64_t ArtifactReader::scalar(const std::string& name) const {

@@ -9,7 +9,8 @@
 //   offset 16  : payload —
 //                  u32 section_count
 //                  section_count directory entries:
-//                    u32 name_len | name bytes | u8 dtype (0=f32, 1=i64)
+//                    u32 name_len | name bytes | u8 dtype (0=f32, 1=i64,
+//                                                           2=i8, 3=i32)
 //                    u32 rank | i64 dims[rank]
 //                    u64 byte_offset (absolute, 64-byte aligned)
 //                    u64 byte_len
@@ -41,10 +42,11 @@ namespace df::io {
 /// Bump on any incompatible layout change. A reader only accepts its own
 /// version: compiled artifacts are caches derived from checkpoints, so the
 /// recovery path for a mismatch is recompile, never in-place migration.
-constexpr uint32_t kArtifactVersion = 1;
+/// v2: int8/int32 section dtypes for quantized compiled plans (src/quant/).
+constexpr uint32_t kArtifactVersion = 2;
 
 struct ArtifactSection {
-  uint8_t dtype = 0;  // 0 = float32, 1 = int64
+  uint8_t dtype = 0;  // 0 = float32, 1 = int64, 2 = int8 (raw bytes), 3 = int32
   std::vector<int64_t> dims;
   uint64_t byte_offset = 0;  // absolute file offset, 64-byte aligned
   uint64_t byte_len = 0;
@@ -64,6 +66,10 @@ class ArtifactWriter {
   void add_floats(const std::string& name, std::vector<int64_t> dims, const float* data);
   void add_ints(const std::string& name, std::vector<int64_t> dims, const int64_t* data);
   void add_scalar(const std::string& name, int64_t v);
+  /// Quantized-plan sections: packed int8 panel/row images and int32
+  /// epilogue compensation vectors.
+  void add_int8s(const std::string& name, std::vector<int64_t> dims, const int8_t* data);
+  void add_int32s(const std::string& name, std::vector<int64_t> dims, const int32_t* data);
 
   void save(const std::string& path) const;
 
@@ -94,6 +100,8 @@ class ArtifactReader {
   /// Typed blob access; throws H5LiteError{Format} on a dtype mismatch.
   const float* floats(const std::string& name) const;
   const int64_t* ints(const std::string& name) const;
+  const int8_t* int8s(const std::string& name) const;
+  const int32_t* int32s(const std::string& name) const;
   int64_t scalar(const std::string& name) const;
 
   const std::map<std::string, ArtifactSection>& sections() const { return sections_; }

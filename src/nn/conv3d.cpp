@@ -209,6 +209,7 @@ Tensor Conv3d::forward_act(const Tensor& x, core::EpilogueAct act, float leaky_s
                                 x.shape_str());
   }
   if (training_) cached_input_ = x;
+  if (!training_ && observer_ != nullptr) observer_->observe(x.data(), x.numel());
   const int64_t B = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
   const int64_t Do = out_size(D, k_, stride_, pad_);
   const int64_t Ho = out_size(H, k_, stride_, pad_);
@@ -285,7 +286,27 @@ Tensor Conv3d::forward_act(const Tensor& x, core::EpilogueAct act, float leaky_s
       }
     }
     float* ob = o + b * cout_ * N;
-    if (!training_ && pa_.panels != nullptr) {
+    if (!training_ && quant_ != nullptr) {
+      // Int8 path: quantize this sample's column matrix to packed s8 panels
+      // (the GEMM's B operand) against the prequantized u8 weight image.
+      // The compensation vector depends on the quantized columns, so it is
+      // produced here per call, unlike Dense's static weight-side comp.
+      const QuantizedConv& q = *quant_;
+      static thread_local std::vector<int8_t> colsq;
+      static thread_local std::vector<int32_t> comp;
+      colsq.resize(static_cast<size_t>(core::packed_b_bytes_s8(K, N)));
+      comp.resize(static_cast<size_t>(N));
+      core::pack_quantize_b_s8(K, N, cols.data(), N, /*inv_scale_col=*/nullptr,
+                               1.0f / q.act_scale, colsq.data(), comp.data());
+      core::QuantEpilogue qep;
+      qep.act = act;
+      qep.leaky_slope = leaky_slope;
+      qep.scale_row = q.scales;
+      qep.bias_row = b_.value.data();
+      qep.comp_col = comp.data();
+      const int64_t k4 = (K + 3) & ~int64_t{3};
+      core::gemm_u8s8f32(cout_, N, K, q.wu8, k4, colsq.data(), ob, N, qep);
+    } else if (!training_ && pa_.panels != nullptr) {
       core::sgemm_prepacked(pa_, N, cols.data(), N, ob, N, /*accumulate=*/false, &ep);
     } else {
       core::sgemm(false, false, cout_, N, K, w, K, cols.data(), N, ob, N, /*accumulate=*/false,
@@ -306,6 +327,21 @@ void Conv3d::attach_prepacked(const float* panels) {
   const int64_t K = cin_ * k_ * k_ * k_;
   packed_own_.clear();
   pa_ = {cout_, K, panels, w_.value.data()};
+}
+
+void Conv3d::attach_quantized(QuantizedConv q) {
+  auto owned = std::make_unique<QuantizedConv>(std::move(q));
+  if (owned->wu8 == nullptr) owned->wu8 = owned->own_wu8.data();
+  if (owned->scales == nullptr) owned->scales = owned->own_scales.data();
+  quant_ = std::move(owned);
+}
+
+void Conv3d::attach_quantized_views(float act_scale, const uint8_t* wu8, const float* scales) {
+  auto q = std::make_unique<QuantizedConv>();
+  q->act_scale = act_scale;
+  q->wu8 = wu8;
+  q->scales = scales;
+  quant_ = std::move(q);
 }
 
 void Conv3d::warm_plan(int64_t D, int64_t H, int64_t W) {

@@ -8,11 +8,28 @@
 // equivalence reference for tests and the speedup benchmark.
 #pragma once
 
+#include <memory>
+
 #include "core/gemm.h"
+#include "core/gemm_s8.h"
 #include "core/rng.h"
 #include "nn/module.h"
+#include "nn/observer.h"
 
 namespace df::nn {
+
+/// Int8 execution state for a Conv3d layer (src/quant/ attaches it). The
+/// weight is the u8 A operand of the per-sample int8 GEMM: a row-major
+/// (cout, round_up(cin*k^3, 4)) image of offset-128 bytes. Per-output-channel
+/// combined dequant scales; the compensation vector is computed per call
+/// from the quantized column matrix (it depends on the activations).
+struct QuantizedConv {
+  float act_scale = 1.0f;        // input quant step: q = round(x / act_scale)
+  const uint8_t* wu8 = nullptr;  // (cout, round_up(cin*k^3, 4)) row-major
+  const float* scales = nullptr; // length cout
+  std::vector<uint8_t> own_wu8;
+  std::vector<float> own_scales;
+};
 
 class Conv3d : public Module {
  public:
@@ -54,6 +71,26 @@ class Conv3d : public Module {
   void clear_prepacked() { pa_ = {}; packed_own_.clear(); }
   bool prepacked() const { return pa_.panels != nullptr; }
 
+  // -- int8 quantized execution (src/quant/) ------------------------------
+  // Eval forwards quantize each sample's column matrix to int8 panels and
+  // run the int8 GEMM against the prequantized u8 weight image. Takes
+  // priority over the fp32 prepacked path; training stays fp32.
+
+  /// Attach owned quantized state (moved in). Null view pointers are
+  /// re-pointed at the owned vectors.
+  void attach_quantized(QuantizedConv q);
+  /// Attach borrowed views (e.g. into an mmap'd artifact). Caller keeps
+  /// them alive for the layer's lifetime.
+  void attach_quantized_views(float act_scale, const uint8_t* wu8, const float* scales);
+  void clear_quantized() { quant_.reset(); }
+  bool quantized() const { return quant_ != nullptr; }
+  /// Serialization access (model compiler); nullptr when not quantized.
+  const QuantizedConv* quantized_state() const { return quant_.get(); }
+
+  /// Calibration hook: when set, eval forwards report their input to the
+  /// observer before computing. Not used in training mode.
+  void set_observer(ActivationObserver* obs) { observer_ = obs; }
+
   /// Build the vol2col copy plan for a (D, H, W) input ahead of the first
   /// forward, so a compiled replica's first score pays no plan construction.
   void warm_plan(int64_t D, int64_t H, int64_t W);
@@ -89,6 +126,8 @@ class Conv3d : public Module {
   ColsPlan plan_;
   std::vector<float> packed_own_;
   core::PrepackedA pa_;
+  std::unique_ptr<QuantizedConv> quant_;
+  ActivationObserver* observer_ = nullptr;
 };
 
 class MaxPool3d : public Module {

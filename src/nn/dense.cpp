@@ -1,5 +1,6 @@
 #include "nn/dense.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -21,7 +22,41 @@ Tensor Dense::forward_act(const Tensor& x, core::EpilogueAct act, float leaky_sl
   }
   if (training_) cached_input_ = x;
   const int64_t batch = x.dim(0);
+  if (!training_ && observer_ != nullptr) observer_->observe(x.data(), x.numel());
   Tensor y = Tensor::uninit({batch, out_});
+  if (!training_ && quant_ != nullptr) {
+    // Dynamic per-row activation quantization: each batch row (one pose)
+    // gets its own runtime quant step from its own |x| range. Pooled graph
+    // activations scale with ligand size, so a single calibrated step
+    // either clips large poses or starves small ones of levels; a per-row
+    // step is exact for whatever range the row actually has. Serial and
+    // data-dependent only on this row's bytes — thread-count invariant.
+    const QuantizedDense& q = *quant_;
+    const int64_t k4 = (in_ + 3) & ~int64_t{3};
+    thread_local std::vector<uint8_t> xq;
+    thread_local std::vector<float> row_scale, row_inv;
+    xq.resize(static_cast<size_t>(core::quantized_a_bytes_s8(batch, in_)));
+    row_scale.resize(static_cast<size_t>(batch));
+    row_inv.resize(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* row = x.data() + i * in_;
+      float amax = 0.0f;
+      for (int64_t p = 0; p < in_; ++p) amax = std::max(amax, std::fabs(row[p]));
+      const float s = amax > 0.0f ? amax / 127.0f : 1.0f;
+      row_scale[static_cast<size_t>(i)] = s;
+      row_inv[static_cast<size_t>(i)] = 1.0f / s;
+    }
+    core::quantize_a_u8(batch, in_, x.data(), in_, row_inv.data(), 1.0f, xq.data());
+    core::QuantEpilogue qep;
+    qep.act = act;
+    qep.leaky_slope = leaky_slope;
+    qep.scale_col = q.scales;
+    qep.scale_row = row_scale.data();
+    qep.bias_col = has_bias_ ? b_.value.data() : nullptr;
+    qep.comp_col = q.comp;
+    core::gemm_u8s8f32(batch, out_, in_, xq.data(), k4, q.panels, y.data(), out_, qep);
+    return y;
+  }
   core::Epilogue ep;
   ep.act = act;
   ep.bias_col = has_bias_ ? b_.value.data() : nullptr;
@@ -46,6 +81,24 @@ void Dense::prepack() {
 void Dense::attach_prepacked(const float* image) {
   packed_own_.clear();
   pb_ = {in_, out_, image};
+}
+
+void Dense::attach_quantized(QuantizedDense q) {
+  auto owned = std::make_unique<QuantizedDense>(std::move(q));
+  if (owned->panels == nullptr) owned->panels = owned->own_panels.data();
+  if (owned->scales == nullptr) owned->scales = owned->own_scales.data();
+  if (owned->comp == nullptr) owned->comp = owned->own_comp.data();
+  quant_ = std::move(owned);
+}
+
+void Dense::attach_quantized_views(float act_scale, const int8_t* panels, const float* scales,
+                                   const int32_t* comp) {
+  auto q = std::make_unique<QuantizedDense>();
+  q->act_scale = act_scale;
+  q->panels = panels;
+  q->scales = scales;
+  q->comp = comp;
+  quant_ = std::move(q);
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {

@@ -3,13 +3,35 @@
 // activation) rides the GEMM's fused epilogue instead of a separate pass.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/gemm.h"
+#include "core/gemm_s8.h"
 #include "core/rng.h"
 #include "nn/module.h"
+#include "nn/observer.h"
 
 namespace df::nn {
+
+/// Int8 execution state for a Dense layer (src/quant/ attaches it): the
+/// weight as a core::pack_quantize_b_s8 panel image plus the per-output
+/// weight dequant scales and the u8-offset compensation vector. The
+/// activation side is quantized dynamically — each eval batch row gets a
+/// runtime step from its own |x| max (scale_row in the epilogue) — so
+/// act_scale here is the calibrated static range, recorded for diagnostics
+/// and artifact stability, not read on the hot path. Either owned
+/// (in-memory quantization) or borrowed views into an mmap'd artifact
+/// (owner keeps them alive).
+struct QuantizedDense {
+  float act_scale = 1.0f;          // calibrated |x|/127 step (diagnostic)
+  const int8_t* panels = nullptr;  // core::packed_b_bytes_s8(in, out) bytes
+  const float* scales = nullptr;   // length out
+  const int32_t* comp = nullptr;   // length out: 128 * colsum(quantized W)
+  std::vector<int8_t> own_panels;
+  std::vector<float> own_scales;
+  std::vector<int32_t> own_comp;
+};
 
 class Dense : public Module {
  public:
@@ -46,6 +68,28 @@ class Dense : public Module {
   void clear_prepacked() { pb_ = {}; packed_own_.clear(); }
   bool prepacked() const { return pb_.image != nullptr; }
 
+  // -- int8 quantized execution (src/quant/) ------------------------------
+  // When quantized state is attached, eval forwards quantize the input to
+  // u8 per call and run the int8 GEMM with a fused requantize+bias+act
+  // epilogue. Takes priority over the fp32 prepacked path; training
+  // forwards always stay fp32.
+
+  /// Attach owned quantized state (moved in). Null view pointers are
+  /// re-pointed at the owned vectors.
+  void attach_quantized(QuantizedDense q);
+  /// Attach borrowed views (e.g. into an mmap'd artifact). Caller keeps
+  /// them alive for the layer's lifetime.
+  void attach_quantized_views(float act_scale, const int8_t* panels, const float* scales,
+                              const int32_t* comp);
+  void clear_quantized() { quant_.reset(); }
+  bool quantized() const { return quant_ != nullptr; }
+  /// Serialization access (model compiler); nullptr when not quantized.
+  const QuantizedDense* quantized_state() const { return quant_.get(); }
+
+  /// Calibration hook: when set, eval forwards report their input to the
+  /// observer before computing. Not used in training mode.
+  void set_observer(ActivationObserver* obs) { observer_ = obs; }
+
  private:
   int64_t in_, out_;
   bool has_bias_;
@@ -54,6 +98,8 @@ class Dense : public Module {
   Tensor cached_input_;
   std::vector<float> packed_own_;
   core::PrepackedB pb_;
+  std::unique_ptr<QuantizedDense> quant_;
+  ActivationObserver* observer_ = nullptr;
 };
 
 }  // namespace df::nn

@@ -1,0 +1,20 @@
+// Activation observation hook for post-training quantization (src/quant/).
+// A calibration pass attaches one observer per GEMM layer; the layer calls
+// observe() with its eval input tensor before computing, so the calibrator
+// sees exactly the values the quantized kernel will later have to represent.
+// Observation happens at batch level, outside the layers' parallel regions
+// — observers need no locking under the replica contract (models/regressor.h).
+#pragma once
+
+#include <cstdint>
+
+namespace df::nn {
+
+class ActivationObserver {
+ public:
+  virtual ~ActivationObserver() = default;
+  /// Called once per eval forward with the layer's flat input values.
+  virtual void observe(const float* x, int64_t n) = 0;
+};
+
+}  // namespace df::nn

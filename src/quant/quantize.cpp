@@ -1,0 +1,134 @@
+#include "quant/quantize.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/gemm_s8.h"
+#include "nn/conv3d.h"
+#include "nn/dense.h"
+
+namespace df::quant {
+
+namespace {
+
+float act_scale_of(const RangeObserver& obs) {
+  const float cm = obs.clipped_max();
+  return cm > 0.0f ? cm / 127.0f : 1.0f;
+}
+
+// Per-output symmetric weight scales for an (n_out) family of weight
+// vectors; `wmax` holds max |W| per output. A zero row quantizes to all
+// zeros under any scale; 1.0 keeps the arithmetic well-defined.
+void weight_scales(const std::vector<float>& wmax, std::vector<float>& scale,
+                   std::vector<float>& inv) {
+  const size_t n = wmax.size();
+  scale.resize(n);
+  inv.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    const float s = wmax[j] > 0.0f ? wmax[j] / 127.0f : 1.0f;
+    scale[j] = s;
+    inv[j] = 1.0f / s;
+  }
+}
+
+void quantize_dense_layer(nn::Dense& d, const RangeObserver& obs) {
+  const int64_t in = d.in_features(), out = d.out_features();
+  const float* W = d.weight().value.data();  // (in, out)
+  std::vector<float> wmax(static_cast<size_t>(out), 0.0f);
+  for (int64_t i = 0; i < in; ++i) {
+    const float* row = W + i * out;
+    for (int64_t j = 0; j < out; ++j) {
+      const float a = std::fabs(row[j]);
+      if (a > wmax[static_cast<size_t>(j)]) wmax[static_cast<size_t>(j)] = a;
+    }
+  }
+  std::vector<float> wscale, winv;
+  weight_scales(wmax, wscale, winv);
+
+  nn::QuantizedDense q;
+  // The layer quantizes its activations dynamically (per batch row), so the
+  // dequant scales carry the weight factor only; the calibrated range is
+  // recorded for diagnostics and artifact stability.
+  q.act_scale = act_scale_of(obs);
+  q.own_panels.resize(static_cast<size_t>(core::packed_b_bytes_s8(in, out)));
+  q.own_comp.resize(static_cast<size_t>(out));
+  core::pack_quantize_b_s8(in, out, W, out, winv.data(), 0.0f, q.own_panels.data(),
+                           q.own_comp.data());
+  q.own_scales = wscale;
+  d.attach_quantized(std::move(q));
+}
+
+void quantize_conv_layer(nn::Conv3d& c, const RangeObserver& obs) {
+  const int64_t cout = c.out_channels();
+  const int64_t K = c.in_channels() * c.kernel() * c.kernel() * c.kernel();
+  const float* W = c.weight().value.data();  // (cout, K) row-major
+  std::vector<float> wmax(static_cast<size_t>(cout), 0.0f);
+  for (int64_t co = 0; co < cout; ++co) {
+    const float* row = W + co * K;
+    float m = 0.0f;
+    for (int64_t p = 0; p < K; ++p) {
+      const float a = std::fabs(row[p]);
+      if (a > m) m = a;
+    }
+    wmax[static_cast<size_t>(co)] = m;
+  }
+  std::vector<float> wscale, winv;
+  weight_scales(wmax, wscale, winv);
+
+  nn::QuantizedConv q;
+  q.act_scale = act_scale_of(obs);
+  q.own_wu8.resize(static_cast<size_t>(core::quantized_a_bytes_s8(cout, K)));
+  core::quantize_a_u8(cout, K, W, K, winv.data(), 0.0f, q.own_wu8.data());
+  q.own_scales.resize(static_cast<size_t>(cout));
+  for (int64_t co = 0; co < cout; ++co) {
+    q.own_scales[static_cast<size_t>(co)] = q.act_scale * wscale[static_cast<size_t>(co)];
+  }
+  c.attach_quantized(std::move(q));
+}
+
+}  // namespace
+
+QuantizeReport quantize_model(models::Regressor& model,
+                              const std::vector<const data::Sample*>& calib,
+                              const QuantizeOptions& opts) {
+  model.set_training(false);
+  compile::StructureWalk w = compile::walk_structure(model);
+
+  // Calibration must observe the fp32 forward: clear any previous
+  // quantized state so a re-quantize does not calibrate against itself.
+  for (nn::Dense* d : w.dense) d->clear_quantized();
+  for (nn::Conv3d* c : w.conv) c->clear_quantized();
+
+  Calibrator cal(opts.calib);
+  cal.attach(model);
+  if (!calib.empty()) {
+    (void)model.predict_batch(calib);
+    cal.begin_histogram();
+    (void)model.predict_batch(calib);
+  }
+  cal.detach();
+
+  QuantizeReport rep;
+  rep.calibration_samples = static_cast<int64_t>(calib.size());
+  for (size_t i = 0; i < w.dense.size(); ++i) {
+    nn::Dense* d = w.dense[i];
+    if (!opts.quantize_dense || (opts.keep_heads_fp32 && d->out_features() == 1)) {
+      ++rep.kept_fp32;
+      continue;
+    }
+    quantize_dense_layer(*d, cal.dense_observer(i));
+    ++rep.quantized_dense;
+  }
+  for (size_t i = 0; i < w.conv.size(); ++i) {
+    if (!opts.quantize_conv) {
+      ++rep.kept_fp32;
+      continue;
+    }
+    quantize_conv_layer(*w.conv[i], cal.conv_observer(i));
+    ++rep.quantized_conv;
+  }
+  return rep;
+}
+
+}  // namespace df::quant

@@ -1,0 +1,62 @@
+// Post-training int8 quantization pass (the tentpole of the quant
+// subsystem). quantize_model calibrates activation ranges by replaying a
+// calibration set through the eval forward (quant/calibrator.h), derives
+// per-output-channel symmetric weight scales, and attaches owned int8
+// execution state (core/gemm_s8.h images) to every eligible Dense/Conv3d —
+// after which the layers' eval forwards run the int8 GEMM automatically.
+//
+// Activation quantization is hybrid:
+//   * Conv3d uses the static calibrated step — voxel-derived inputs are
+//     range-stable across poses, and the weight operand is prequantized;
+//   * Dense quantizes dynamically, one runtime step per batch row —
+//     pooled graph activations scale with ligand size, so a static step
+//     would clip large poses or starve small ones of levels. The
+//     calibrated dense ranges are still recorded (diagnostics, artifact
+//     stability), just not read on the hot path.
+//
+// What stays fp32, by design:
+//   * final regression heads (Dense with out_features() == 1): one GEMM
+//     row of work, and the last place to spend accuracy budget;
+//   * the SG-CNN graph convolutions (GatedGraphConv / Gather) — their
+//     operand shapes depend on the per-request graph, so there is no
+//     weight image to prequantize (same reason they are never prepacked);
+//   * everything in training mode — quantization is serving-only.
+//
+// Call after compile::ModelCompiler::compile (BatchNorm must be folded so
+// the observed ranges match the weights actually used for inference).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/regressor.h"
+#include "quant/calibrator.h"
+
+namespace df::quant {
+
+struct QuantizeOptions {
+  bool quantize_dense = true;
+  bool quantize_conv = true;
+  /// Keep Dense layers with out_features() == 1 (regression heads) fp32.
+  bool keep_heads_fp32 = true;
+  CalibConfig calib;
+};
+
+struct QuantizeReport {
+  int quantized_dense = 0;
+  int quantized_conv = 0;
+  int kept_fp32 = 0;  // eligible GEMM layers deliberately left fp32
+  int64_t calibration_samples = 0;
+};
+
+/// Quantize `model` in place. `calib` is the calibration set, evaluated
+/// twice through predict_batch (max-abs pass, then histogram pass). An
+/// empty calibration set leaves every activation scale at the 1.0 default
+/// — legal but inaccurate; pass real samples. Any previously attached
+/// quantized state is replaced. Deterministic: same model, samples and
+/// config produce bitwise-identical scales and images at any thread count.
+QuantizeReport quantize_model(models::Regressor& model,
+                              const std::vector<const data::Sample*>& calib,
+                              const QuantizeOptions& opts = {});
+
+}  // namespace df::quant

@@ -4,12 +4,50 @@
 #include <utility>
 
 #include "compile/model_compiler.h"
+#include "data/dataset.h"
+#include "data/pdbbind.h"
 #include "models/baselines.h"
 #include "models/cnn3d.h"
 #include "models/fusion.h"
 #include "models/sgcnn.h"
+#include "quant/quantize.h"
 
 namespace df::serve {
+
+namespace {
+
+// Calibration corpus for the *_int8 backends: a small fixed-seed synthetic
+// PDBbind slice featurized with the backend's own voxel/graph configs. A
+// pure function of its inputs, so every process, replica and thread count
+// calibrates against byte-identical samples — which, with the deterministic
+// quantization pass, makes int8 replicas bitwise-identical.
+constexpr uint64_t kCalibSeed = 7103;
+
+std::shared_ptr<const std::vector<data::Sample>> make_calibration_samples(
+    const chem::VoxelConfig& voxel, const chem::GraphFeaturizerConfig& graph) {
+  data::PdbbindConfig cfg;
+  cfg.num_complexes = 24;
+  cfg.core_size = 4;
+  cfg.settle_runs = 1;
+  cfg.settle_steps = 8;
+  core::Rng rng(kCalibSeed);
+  const std::vector<data::ComplexRecord> recs = data::SyntheticPdbbind(cfg).generate(rng);
+  data::DatasetConfig dc;
+  dc.voxel = voxel;
+  dc.graph = graph;
+  std::vector<int> idx(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) idx[i] = static_cast<int>(i);
+  data::ComplexDataset ds(&recs, std::move(idx), dc);
+  const std::vector<int64_t> sel = quant::select_calibration_indices(
+      kCalibSeed, static_cast<int64_t>(ds.size()), /*sample_size=*/16);
+  auto out = std::make_shared<std::vector<data::Sample>>();
+  out->reserve(sel.size());
+  core::Rng srng(1);  // unused: eval datasets never augment
+  for (int64_t i : sel) out->push_back(ds.get(static_cast<size_t>(i), srng));
+  return out;
+}
+
+}  // namespace
 
 ModelRegistry::ModelRegistry(ModelRegistry&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
@@ -87,6 +125,38 @@ void add_compiled(ModelRegistry& registry, const std::string& name,
   });
 }
 
+void add_quantized_regressor(ModelRegistry& registry, const std::string& name,
+                             models::RegressorFactory make_model,
+                             const chem::VoxelConfig& voxel,
+                             const chem::GraphFeaturizerConfig& graph, int featurize_threads) {
+  // Calibration featurization is paid once, by the first replica; the
+  // samples are immutable afterwards and shared by every later mint.
+  struct CalibCache {
+    std::mutex mu;
+    std::shared_ptr<const std::vector<data::Sample>> samples;
+  };
+  auto cache = std::make_shared<CalibCache>();
+  registry.add(name, [name, make_model = std::move(make_model), voxel, graph, featurize_threads,
+                      cache] {
+    std::shared_ptr<const std::vector<data::Sample>> samples;
+    {
+      std::lock_guard<std::mutex> lock(cache->mu);
+      if (cache->samples == nullptr) cache->samples = make_calibration_samples(voxel, graph);
+      samples = cache->samples;
+    }
+    std::unique_ptr<models::Regressor> model = make_model();
+    compile::ModelCompiler().compile(*model);
+    std::vector<const data::Sample*> ptrs;
+    ptrs.reserve(samples->size());
+    for (const data::Sample& s : *samples) ptrs.push_back(&s);
+    quant::QuantizeOptions qo;
+    qo.calib.seed = kCalibSeed;
+    quant::quantize_model(*model, ptrs, qo);
+    return std::make_unique<RegressorScorer>(name, std::move(model), voxel, graph,
+                                             featurize_threads);
+  });
+}
+
 ModelRegistry default_registry(const chem::VoxelConfig& voxel,
                                const chem::GraphFeaturizerConfig& graph) {
   ModelRegistry reg;
@@ -126,6 +196,25 @@ ModelRegistry default_registry(const chem::VoxelConfig& voxel,
   add_regressor(reg, "kdeep", [voxel] {
     core::Rng rng(105);
     return models::make_kdeep(voxel.channels(), voxel.grid_dim, rng);
+  }, voxel, graph);
+
+  // Int8 siblings. "sgcnn_int8"/"cnn3d_int8" share their fp32 sibling's
+  // weight seed, so fp32-vs-int8 drift is measurable within one registry.
+  add_quantized_regressor(reg, "sgcnn_int8", [] {
+    core::Rng rng(101);
+    return std::make_unique<models::Sgcnn>(models::SgcnnConfig{}, rng);
+  }, voxel, graph);
+  add_quantized_regressor(reg, "cnn3d_int8", [cnn_cfg] {
+    core::Rng rng(102);
+    return std::make_unique<models::Cnn3d>(cnn_cfg(), rng);
+  }, voxel, graph);
+  add_quantized_regressor(reg, "fusion_int8", [cnn_cfg] {
+    core::Rng rng(106);
+    models::FusionConfig fc;
+    fc.kind = models::FusionKind::Mid;
+    auto cnn = std::make_shared<models::Cnn3d>(cnn_cfg(), rng);
+    auto sg = std::make_shared<models::Sgcnn>(models::SgcnnConfig{}, rng);
+    return std::make_unique<models::FusionModel>(fc, std::move(cnn), std::move(sg), rng);
   }, voxel, graph);
   return reg;
 }

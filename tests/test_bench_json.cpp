@@ -1,0 +1,45 @@
+// Unit pins for the bench JSON emission helpers (bench/bench_common.h).
+// Every runtime string a bench interpolates into --json output goes
+// through json_escape; a backend name with a quote or backslash used to
+// corrupt the whole document (PR 8 fixed the emission path).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace df {
+namespace {
+
+TEST(BenchJson, EscapePassesCleanStringsThrough) {
+  EXPECT_EQ(bench::json_escape(""), "");
+  EXPECT_EQ(bench::json_escape("fusion_int8"), "fusion_int8");
+  EXPECT_EQ(bench::json_escape("poses/s @ batch=32 [p50]"), "poses/s @ batch=32 [p50]");
+}
+
+TEST(BenchJson, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(bench::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(bench::json_escape("C:\\tmp\\x"), "C:\\\\tmp\\\\x");
+  // A backslash before a quote must not swallow the quote escape.
+  EXPECT_EQ(bench::json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(BenchJson, EscapesControlCharacters) {
+  EXPECT_EQ(bench::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(bench::json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(bench::json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(bench::json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(bench::json_escape("a\fb"), "a\\fb");
+  // Control characters without a named short escape become \u00XX.
+  EXPECT_EQ(bench::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(bench::json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(bench::json_escape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(BenchJson, LeavesNonAsciiBytesAlone) {
+  // UTF-8 multibyte sequences pass through untouched (JSON is UTF-8).
+  EXPECT_EQ(bench::json_escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+}  // namespace
+}  // namespace df

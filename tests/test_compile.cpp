@@ -397,6 +397,34 @@ TEST(CompiledArtifact, VersionMismatchAndCorruptionRejectedTyped) {
   std::filesystem::remove(path);
 }
 
+TEST(CompiledArtifact, PreviousArtifactVersionRejectedWholeFile) {
+  const std::string path = tmp_path("df_artifact_prev_version.dfca");
+  const std::vector<float> f = {1.0f, 2.0f};
+  {
+    io::ArtifactWriter w;
+    w.add_floats("w", {2}, f.data());
+    w.save(path);
+  }
+
+  // Patch the version field (offset 4, u32 LE) from the current version to
+  // the previous one — the exact file a pre-int8 build would have written.
+  // v1 artifacts predate the int8/int32 section dtypes, so the v2 reader
+  // must reject them whole-file (Format, with the recompile hint) rather
+  // than hand out the sections it could still interpret: compiled artifacts
+  // are caches, and the recovery path is recompile, never migration.
+  ASSERT_GE(io::kArtifactVersion, 2u);
+  corrupt_byte(path, 4,
+               static_cast<char>(io::kArtifactVersion ^ (io::kArtifactVersion - 1)));
+  try {
+    io::ArtifactReader::open(path);
+    FAIL() << "previous artifact version not rejected";
+  } catch (const io::H5LiteError& e) {
+    EXPECT_EQ(e.kind(), io::H5LiteError::Kind::Format);
+    EXPECT_NE(std::string(e.what()).find("recompile"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(CompiledArtifact, DamagedArtifactNeverPartiallyLoadsAModel) {
   const std::string path = tmp_path("df_artifact_partial.dfca");
   auto model = family_factories()[0].second();  // cnn3d
