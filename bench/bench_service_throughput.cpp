@@ -17,6 +17,7 @@
 //   bench_service_throughput --json[=PATH]  — also write BENCH_service.json
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -27,8 +28,10 @@
 
 #include "bench_common.h"
 #include "chem/conformer.h"
+#include "chem/graph_featurizer.h"
 #include "compile/model_compiler.h"
 #include "core/gemm.h"
+#include "dock/mmgbsa.h"
 #include "models/checkpoint.h"
 #include "serve/registry.h"
 #include "serve/service.h"
@@ -226,6 +229,105 @@ EpilogueResult run_epilogue_bench() {
   return r;
 }
 
+// ---- featurize neighbor engine: cell list vs brute force -----------------
+
+struct NeighborResult {
+  int pocket_atoms = 0;
+  double graph_cell_ms = 0.0;   // GraphFeaturizer::featurize, ms/pose
+  double graph_brute_ms = 0.0;
+  double mmgbsa_cell_ms = 0.0;  // full mmgbsa_score, ms/pose
+  double mmgbsa_brute_ms = 0.0;
+};
+
+/// Protein-like receptor neighborhood: heavy atoms uniform in a ball at
+/// constant volume density (~0.055 atoms/A^3), so the ball radius grows as
+/// cbrt(N) and larger systems extend well past the interaction cutoffs —
+/// the regime a cell list exists for. Element mix mirrors make_pocket.
+std::vector<chem::Atom> make_cloud_pocket(int n, core::Rng& rng) {
+  const float radius =
+      std::cbrt(3.0f * static_cast<float>(n) / (4.0f * 3.14159265f * 0.055f));
+  std::vector<chem::Atom> pocket;
+  pocket.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core::Vec3 dir{rng.normal(0.0f, 1.0f), rng.normal(0.0f, 1.0f), rng.normal(0.0f, 1.0f)};
+    const float len = std::max(1e-6f, dir.norm());
+    const float r = radius * std::cbrt(rng.uniform());
+    chem::Atom a;
+    a.pos = core::Vec3{dir.x / len * r, dir.y / len * r, dir.z / len * r};
+    const float u = rng.uniform();
+    if (u < 0.10f) {
+      a.element = rng.bernoulli(0.5) ? chem::Element::N : chem::Element::O;
+      a.formal_charge = a.element == chem::Element::N ? 1 : -1;
+    } else if (u < 0.60f) {
+      a.element = chem::Element::C;
+    } else {
+      const float v = rng.uniform();
+      a.element = v < 0.4f ? chem::Element::O : (v < 0.8f ? chem::Element::N : chem::Element::S);
+      a.implicit_h = rng.bernoulli(0.5) ? 1 : 0;
+    }
+    pocket.push_back(a);
+  }
+  return pocket;
+}
+
+/// Featurize-phase cost of the two neighbor-search paths at growing
+/// receptor sizes (constant density — extent grows as cbrt(N)). Both paths
+/// produce bitwise-identical outputs (tests/test_cell_list.cpp), so this
+/// block is pure perf: the brute pairwise scans touch all N atoms per
+/// probe, the cell-list engine only the local neighborhood. The graph row
+/// uncaps the pocket crop (max_pocket_atoms = N) so its edge scans scale
+/// with receptor size like the MM-GBSA terms do; the serving default keeps
+/// the 64-atom crop, where both paths cost the same few microseconds.
+std::vector<NeighborResult> run_neighbor_bench() {
+  std::vector<NeighborResult> out;
+  core::Rng rng(23);
+  chem::Molecule lig = chem::generate_molecule({}, rng);
+  chem::embed_conformer(lig, rng);
+  lig.translate(core::Vec3{} - lig.centroid());
+  for (int n : {48, 256, 1024, 4096, 16384}) {
+    const std::vector<chem::Atom> pocket = make_cloud_pocket(n, rng);
+    NeighborResult r;
+    r.pocket_atoms = n;
+
+    const int graph_reps = 4096 / n + 1;
+    for (bool cells : {true, false}) {
+      chem::GraphFeaturizerConfig gc;
+      gc.use_cell_list = cells;
+      gc.cell_list_min_atoms = 0;  // force the engine at every size
+      gc.max_pocket_atoms = n;     // uncapped crop: edge scans scale with N
+      const chem::GraphFeaturizer feat(gc);
+      volatile float sink = feat.featurize(lig, pocket).node_features.at(0, 0);  // warm scratch
+      double best = 1e30;
+      for (int round = 0; round < 3; ++round) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < graph_reps; ++i) sink = feat.featurize(lig, pocket).node_features.at(0, 0);
+        best = std::min(best, seconds_since(t0));
+      }
+      (void)sink;
+      (cells ? r.graph_cell_ms : r.graph_brute_ms) = best / graph_reps * 1e3;
+    }
+
+    const int mm_reps = std::max(1, 256 / n);
+    for (bool cells : {true, false}) {
+      dock::MmGbsaConfig mc;
+      mc.use_cell_list = cells;
+      mc.cell_list_min_atoms = 0;  // force the engine at every size
+      mc.gb_cutoff = 7.0f;  // finite GB cutoff so the polar term scales too
+      volatile float sink = dock::mmgbsa_score(lig, pocket, mc);  // warm scratch
+      double best = 1e30;
+      for (int round = 0; round < 3; ++round) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < mm_reps; ++i) sink = dock::mmgbsa_score(lig, pocket, mc);
+        best = std::min(best, seconds_since(t0));
+      }
+      (void)sink;
+      (cells ? r.mmgbsa_cell_ms : r.mmgbsa_brute_ms) = best / mm_reps * 1e3;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
 // ---- cold start: h5 checkpoint vs compiled artifact ----------------------
 
 struct ColdStartResult {
@@ -406,6 +508,19 @@ int main(int argc, char** argv) {
               "(%.2fx)\n\n",
               epi.fused_ms, epi.unfused_ms, epi.unfused_ms / epi.fused_ms);
 
+  // ---- featurize neighbor engine ----
+  print_header("Featurize neighbor engine — cell list vs brute-force pairwise scan");
+  const std::vector<NeighborResult> nb = run_neighbor_bench();
+  std::printf("%-12s %14s %14s %9s %14s %14s %9s\n", "pocket atoms", "graph cell ms",
+              "graph brute ms", "speedup", "mmgbsa cell ms", "mmgbsa brute ms", "speedup");
+  print_rule(92);
+  for (const NeighborResult& r : nb) {
+    std::printf("%-12d %14.4f %14.4f %8.2fx %14.3f %15.3f %8.2fx\n", r.pocket_atoms,
+                r.graph_cell_ms, r.graph_brute_ms, r.graph_brute_ms / r.graph_cell_ms,
+                r.mmgbsa_cell_ms, r.mmgbsa_brute_ms, r.mmgbsa_brute_ms / r.mmgbsa_cell_ms);
+  }
+  std::printf("\n");
+
   // ---- cold start ----
   print_header("Replica cold start — h5 checkpoint vs compiled artifact (cnn3d)");
   const ColdStartResult cold = run_cold_start_bench(w);
@@ -464,11 +579,13 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "{\n"
-                 "  \"schema\": \"bench_service.v5\",\n"
+                 "  \"schema\": \"bench_service.v6\",\n"
                  "  \"workload\": {\"clients\": %d, \"poses_per_client\": %d, "
-                 "\"poses_per_request\": %d, \"poses_per_batch\": %d},\n"
+                 "\"poses_per_request\": %d, \"poses_per_batch\": %d, "
+                 "\"feature_set_version\": %d},\n"
                  "  \"hot_path\": {\n",
-                 kClients, kPosesPerClient, kPosesPerRequest, kPosesPerBatch);
+                 kClients, kPosesPerClient, kPosesPerRequest, kPosesPerBatch,
+                 chem::GraphFeaturizerConfig{}.feature_set_version);
     for (size_t i = 0; i < hot.size(); ++i) {
       const HotPathResult& r = hot[i];
       std::fprintf(out,
@@ -483,6 +600,18 @@ int main(int argc, char** argv) {
                  "  \"int8_speedup\": {\"cnn3d\": %.3f, \"sgcnn\": %.3f, \"fusion\": %.3f},\n",
                  pps_of("cnn3d_int8") / pps_of("cnn3d"), pps_of("sgcnn_int8") / pps_of("sgcnn"),
                  pps_of("fusion_int8") / pps_of("fusion"));
+    std::fprintf(out, "  \"featurize_neighbor_engine\": {\n");
+    for (size_t i = 0; i < nb.size(); ++i) {
+      const NeighborResult& r = nb[i];
+      std::fprintf(out,
+                   "    \"pocket_%d\": {\"graph_cell_ms\": %.4f, \"graph_brute_ms\": %.4f, "
+                   "\"graph_speedup\": %.3f, \"mmgbsa_cell_ms\": %.4f, "
+                   "\"mmgbsa_brute_ms\": %.4f, \"mmgbsa_speedup\": %.3f}%s\n",
+                   r.pocket_atoms, r.graph_cell_ms, r.graph_brute_ms,
+                   r.graph_brute_ms / r.graph_cell_ms, r.mmgbsa_cell_ms, r.mmgbsa_brute_ms,
+                   r.mmgbsa_brute_ms / r.mmgbsa_cell_ms, i + 1 < nb.size() ? "," : "");
+    }
+    std::fprintf(out, "  },\n");
     std::fprintf(out,
                  "  \"cold_start\": {\"h5_restore_ms\": %.3f, \"h5_first_batch_ms\": %.3f, "
                  "\"artifact_restore_ms\": %.3f, \"artifact_first_batch_ms\": %.3f, "

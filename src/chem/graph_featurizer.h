@@ -5,10 +5,16 @@
 // within the longer spatial threshold, primarily across the interface.
 // The two thresholds are the paper's Table-1/2 "Neighbor Threshold"
 // hyper-parameters.
+//
+// All pairwise work (pocket crop, pseudo-bonds, non-covalent edges) routes
+// through the chem::CellList neighbor engine by default; the brute-force
+// scan is kept behind `use_cell_list = false` and the two paths are
+// bitwise identical (tests/test_cell_list.cpp pins this).
 #pragma once
 
 #include <vector>
 
+#include "chem/hbond.h"
 #include "chem/molecule.h"
 #include "graph/graph.h"
 
@@ -19,11 +25,33 @@ struct GraphFeaturizerConfig {
   float noncovalent_threshold = 5.22f; // Angstrom (Table 2 final value)
   /// Cap pocket atoms included in the graph, nearest to the ligand first.
   int max_pocket_atoms = 64;
+  /// Feature-set contract version. 1 = today's features, bitwise-pinned so
+  /// existing models keep scoring identically. 2 adds (a) pocket node
+  /// degrees derived from the pseudo-bond graph (v1 hard-codes 0) and
+  /// (b) per-edge geometry channels on the non-covalent edge set
+  /// (SpatialGraph::noncovalent_features): [distance / threshold,
+  /// interface H-bond flag] under the chem/hbond.h heavy-atom criteria.
+  int feature_set_version = 1;
+  /// Route pairwise scans through chem::CellList (O(N) in pocket size).
+  /// Both settings produce bitwise-identical graphs; false keeps the
+  /// brute-force reference for tests and benches.
+  bool use_cell_list = true;
+  /// Engage the cell route only when the combined (ligand + cropped
+  /// pocket) atom count reaches this size; below it the brute scan's
+  /// contiguous sweep is faster (measured crossover between 256 and 1024
+  /// atoms — bench_service_throughput neighbor block). Bitwise identical
+  /// either way; 0 forces the engine. The serving default (64-atom crop)
+  /// stays on the brute path.
+  int cell_list_min_atoms = 512;
+  /// v2 H-bond channel geometry.
+  HBondConfig hbond;
 };
 
 /// Node feature layout: one-hot element (kNumElements) followed by
 /// [degree/4, aromatic, charge, hydrophobic, donor, acceptor, is_ligand].
 inline constexpr int kGraphNodeFeatures = kNumElements + 7;
+/// v2 per-edge channels on the non-covalent set: [dist/threshold, hbond].
+inline constexpr int kGraphEdgeFeaturesV2 = 2;
 
 class GraphFeaturizer {
  public:

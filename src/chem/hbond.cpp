@@ -1,0 +1,71 @@
+#include "chem/hbond.h"
+
+#include <algorithm>
+
+#include "chem/cell_list.h"
+
+namespace df::chem {
+
+namespace {
+
+bool can_donate(const Atom& a) {
+  return element_info(a.element).hbond_donor_heavy && a.implicit_h > 0;
+}
+
+bool can_accept(const Atom& a) { return element_info(a.element).hbond_acceptor; }
+
+/// Ligand-donor angle test: some covalent neighbor B of donor `d` must sit
+/// wide of the acceptor (cos(B–D–A) <= max_cos). A donor with no recorded
+/// neighbors (a bare ion) is accepted on distance alone.
+bool donor_angle_ok(const Molecule& ligand, int32_t d, const core::Vec3& acceptor,
+                    float max_cos) {
+  const std::vector<int32_t>& nbrs = ligand.neighbors(d);
+  if (nbrs.empty()) return true;
+  const core::Vec3 dp = ligand.atoms()[static_cast<size_t>(d)].pos;
+  const core::Vec3 da = acceptor - dp;
+  const float na = da.norm();
+  if (na <= 1e-6f) return false;
+  for (int32_t b : nbrs) {
+    const core::Vec3 db = ligand.atoms()[static_cast<size_t>(b)].pos - dp;
+    const float nb = db.norm();
+    if (nb <= 1e-6f) continue;
+    if (da.dot(db) / (na * nb) <= max_cos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<HBond> find_hbonds(const Molecule& ligand, const std::vector<Atom>& pocket,
+                               const HBondConfig& cfg) {
+  std::vector<HBond> out;
+  if (ligand.num_atoms() == 0 || pocket.empty()) return out;
+
+  static thread_local CellList cells;
+  static thread_local std::vector<core::Vec3> ppos;
+  static thread_local std::vector<int32_t> cand;
+  ppos.resize(pocket.size());
+  for (size_t i = 0; i < pocket.size(); ++i) ppos[i] = pocket[i].pos;
+  cells.build(ppos.data(), static_cast<int32_t>(pocket.size()), cfg.max_dist);
+
+  const int32_t nl = static_cast<int32_t>(ligand.num_atoms());
+  for (int32_t i = 0; i < nl; ++i) {
+    const Atom& la = ligand.atoms()[static_cast<size_t>(i)];
+    const bool l_donor = can_donate(la);
+    const bool l_acceptor = can_accept(la);
+    if (!l_donor && !l_acceptor) continue;
+    cells.gather(la.pos, cand);
+    for (int32_t j : cand) {
+      const Atom& pa = pocket[static_cast<size_t>(j)];
+      const float d = la.pos.dist(pa.pos);
+      if (d > cfg.max_dist) continue;
+      const bool lig_to_pocket = l_donor && can_accept(pa) &&
+                                 donor_angle_ok(ligand, i, pa.pos, cfg.max_cos_angle);
+      const bool pocket_to_lig = l_acceptor && can_donate(pa);
+      if (lig_to_pocket || pocket_to_lig) out.push_back({i, j, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace df::chem

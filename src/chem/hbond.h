@@ -1,0 +1,47 @@
+// Explicit hydrogen-bond donor–acceptor detection across the protein–ligand
+// interface — the geometric channel the feature_set_version v2 features add
+// to both the voxel grid and the spatial-graph edges (ROADMAP item 4,
+// cpptraj Action_HydrogenBond-style heavy-atom criteria).
+//
+// Heavy-atom-only geometry (the repo's PDBQT-like data model carries no
+// explicit hydrogens): a pair (D, A) is an H-bond when
+//   * D can donate (element hbond_donor_heavy, implicit_h > 0) and A can
+//     accept (hbond_acceptor),
+//   * dist(D, A) <= max_dist, and
+//   * for ligand donors, some covalent neighbor B of D satisfies
+//     cos(angle B–D–A) <= max_cos_angle (i.e. the B–D···A angle is wide
+//     enough that the implicit H can point at the acceptor). Pocket atoms
+//     carry no bond graph, so pocket donors are accepted on distance alone.
+//
+// Both directions (ligand donor → pocket acceptor, pocket donor → ligand
+// acceptor) are tested; a pair that qualifies either way is reported once.
+// Enumeration order is canonical (ligand atoms ascending, pocket partners
+// ascending), so downstream feature deposits are deterministic at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chem/molecule.h"
+
+namespace df::chem {
+
+struct HBondConfig {
+  float max_dist = 3.5f;        // donor–acceptor heavy-atom distance, Angstrom
+  float max_cos_angle = -0.5f;  // cos(B–D–A) <= this, i.e. angle >= 120 deg
+};
+
+struct HBond {
+  int32_t ligand_atom = 0;
+  int32_t pocket_atom = 0;
+  float dist = 0.0f;
+};
+
+/// All interface H-bonds between `ligand` and `pocket` under the heavy-atom
+/// criteria above, in (ligand_atom asc, pocket_atom asc) order. Uses a
+/// cell list over the pocket, so cost is O(N) in pocket size.
+std::vector<HBond> find_hbonds(const Molecule& ligand, const std::vector<Atom>& pocket,
+                               const HBondConfig& cfg = {});
+
+}  // namespace df::chem

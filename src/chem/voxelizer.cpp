@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 #include <vector>
 
 #include "core/simd_math.h"
@@ -12,7 +13,7 @@
 namespace df::chem {
 
 namespace {
-int channel_for_atom(const Atom& a, int block) {
+int channel_for_atom(const Atom& a, int block, int cpb) {
   int c;
   switch (a.element) {
     case Element::C: c = 0; break;
@@ -20,7 +21,7 @@ int channel_for_atom(const Atom& a, int block) {
     case Element::O: c = 2; break;
     default: c = 3; break;
   }
-  return block * kVoxelChannelsPerBlock + c;
+  return block * cpb + c;
 }
 
 // One (channel, weight) deposit for one atom with all per-atom geometry
@@ -101,7 +102,21 @@ Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pock
   static thread_local std::vector<SplatOp> ops;
   ops.clear();
   ops.reserve((ligand.atoms().size() + pocket.size()) * 2);
-  auto expand = [&](const Atom& a, int block) {
+
+  // v2: per-atom interface H-bond partner counts feed the extra channel.
+  // Counted once up front; v1 skips this entirely, so its op list — and
+  // the grid it produces — is byte-for-byte the historical one.
+  const int cpb = cfg_.channels_per_block();
+  static thread_local std::vector<float> lig_hb, poc_hb;
+  if (cfg_.feature_set_version >= 2) {
+    lig_hb.assign(ligand.atoms().size(), 0.0f);
+    poc_hb.assign(pocket.size(), 0.0f);
+    for (const HBond& hb : find_hbonds(ligand, pocket, cfg_.hbond)) {
+      lig_hb[static_cast<size_t>(hb.ligand_atom)] += 1.0f;
+      poc_hb[static_cast<size_t>(hb.pocket_atom)] += 1.0f;
+    }
+  }
+  auto expand = [&](const Atom& a, int block, float hb_count) {
     const ElementInfo& info = element_info(a.element);
     const float sigma = info.vdw_radius * cfg_.sigma_scale;
     const float cutoff = sigma * cfg_.cutoff_sigmas;
@@ -126,15 +141,21 @@ Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pock
       op.weight = weight;
       ops.push_back(op);
     };
-    push(channel_for_atom(a, block), 1.0f);
-    const int pharm = block * kVoxelChannelsPerBlock;
+    push(channel_for_atom(a, block, cpb), 1.0f);
+    const int pharm = block * cpb;
     if (info.hydrophobic) push(pharm + 4, 1.0f);
     if (info.hbond_donor_heavy && a.implicit_h > 0) push(pharm + 5, 1.0f);
     if (info.hbond_acceptor) push(pharm + 6, 1.0f);
     if (a.formal_charge != 0) push(pharm + 7, static_cast<float>(std::abs(a.formal_charge)));
+    if (hb_count > 0.0f) push(pharm + kVoxelHBondChannel, hb_count);
   };
-  for (const Atom& a : ligand.atoms()) expand(a, /*block=*/0);
-  for (const Atom& a : pocket) expand(a, /*block=*/1);
+  const bool v2 = cfg_.feature_set_version >= 2;
+  for (size_t i = 0; i < ligand.atoms().size(); ++i) {
+    expand(ligand.atoms()[i], /*block=*/0, v2 ? lig_hb[i] : 0.0f);
+  }
+  for (size_t i = 0; i < pocket.size(); ++i) {
+    expand(pocket[i], /*block=*/1, v2 ? poc_hb[i] : 0.0f);
+  }
 
   // Bucket ops by z-slice (CSR layout) so each slice walks only the ops
   // that actually touch it instead of scanning the full list. The fill
@@ -181,11 +202,16 @@ Tensor Voxelizer::voxelize_pocket(const std::vector<Atom>& pocket,
 
 Tensor Voxelizer::voxelize_ligand_onto(const Molecule& ligand, const Tensor& pocket_grid,
                                        const core::Vec3& center) const {
+  if (cfg_.feature_set_version >= 2) {
+    throw std::logic_error(
+        "voxelize_ligand_onto: v2 H-bond channel couples ligand and pocket; "
+        "pocket-grid amortization is v1-only — call voxelize() per pose");
+  }
   Tensor grid = voxelize(ligand, {}, center);
   // Channel blocks are disjoint: ligand splats live in block 0, pocket in
   // block 1, so grafting the cached pocket block reproduces the joint
   // voxelization bit for bit.
-  const int64_t block = static_cast<int64_t>(kVoxelChannelsPerBlock) * cfg_.grid_dim *
+  const int64_t block = static_cast<int64_t>(cfg_.channels_per_block()) * cfg_.grid_dim *
                         cfg_.grid_dim * cfg_.grid_dim;
   std::memcpy(grid.data() + block, pocket_grid.data() + block,
               static_cast<size_t>(block) * sizeof(float));

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "chem/hbond.h"
 #include "chem/molecule.h"
 #include "core/rng.h"
 #include "core/tensor.h"
@@ -19,14 +20,27 @@ using core::Tensor;
 ///   0 carbon, 1 nitrogen, 2 oxygen, 3 other-heavy,
 ///   4 hydrophobic, 5 H-bond donor, 6 H-bond acceptor, 7 charged.
 inline constexpr int kVoxelChannelsPerBlock = 8;
+/// feature_set_version >= 2 appends one more channel per block: Gaussian
+/// density weighted by the atom's interface H-bond partner count under the
+/// chem/hbond.h geometric criteria (distance + heavy-atom angle).
+inline constexpr int kVoxelHBondChannel = 8;
 
 struct VoxelConfig {
   int grid_dim = 16;        // voxels per axis
   float resolution = 1.25f; // Angstrom per voxel => 20 A box by default
   float sigma_scale = 0.5f; // Gaussian sigma = vdw_radius * sigma_scale
   float cutoff_sigmas = 2.0f;
+  /// Feature-set contract version. 1 = today's 8-channel blocks,
+  /// bitwise-pinned so existing models keep scoring identically. 2 appends
+  /// the interface H-bond channel to each block (see kVoxelHBondChannel).
+  int feature_set_version = 1;
+  /// v2 H-bond channel geometry.
+  HBondConfig hbond;
 
-  int channels() const { return 2 * kVoxelChannelsPerBlock; }
+  int channels_per_block() const {
+    return kVoxelChannelsPerBlock + (feature_set_version >= 2 ? 1 : 0);
+  }
+  int channels() const { return 2 * channels_per_block(); }
   float box_extent() const { return static_cast<float>(grid_dim) * resolution; }
 };
 
@@ -42,7 +56,9 @@ class Voxelizer {
                   const core::Vec3& center) const;
 
   /// Pocket-only grid (ligand block channels left zero) for reuse across
-  /// the many poses docked into one pocket.
+  /// the many poses docked into one pocket. v1 only: the v2 H-bond channel
+  /// couples ligand and pocket, so a ligand-free pocket grid is not
+  /// reusable (its H-bond channel would be identically zero).
   Tensor voxelize_pocket(const std::vector<Atom>& pocket, const core::Vec3& center) const;
 
   /// Splat only the ligand, then copy `pocket_grid`'s protein-block
@@ -50,7 +66,9 @@ class Voxelizer {
   /// result is bitwise identical to voxelize(ligand, pocket, center) with
   /// the pocket `pocket_grid` was built from — at a fraction of the splat
   /// work. The serving scorer uses this to amortize pocket splatting over a
-  /// micro-batch (serve/scorer.h).
+  /// micro-batch (serve/scorer.h). Throws std::logic_error at
+  /// feature_set_version >= 2, where the blocks are no longer independent
+  /// (the H-bond channel depends on the ligand–pocket pair).
   Tensor voxelize_ligand_onto(const Molecule& ligand, const Tensor& pocket_grid,
                               const core::Vec3& center) const;
 

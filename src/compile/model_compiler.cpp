@@ -540,7 +540,10 @@ CompileReport ModelCompiler::compile(models::Regressor& model) const {
 }
 
 void save_compiled(models::Regressor& model, const std::string& path, int64_t poses_per_batch,
-                   WorkspaceBudget budget) {
+                   WorkspaceBudget budget, int64_t feature_set_version) {
+  if (feature_set_version < 1) {
+    throw std::invalid_argument("save_compiled: feature_set_version must be >= 1");
+  }
   const ModelFamily fam = family_of(model);
   ModelCompiler().compile(model);
 
@@ -562,6 +565,7 @@ void save_compiled(models::Regressor& model, const std::string& path, int64_t po
   out.add_scalar("poses_per_batch", poses_per_batch);
   out.add_scalar("ws/forward", budget.forward_floats);
   out.add_scalar("ws/feat", budget.feat_floats);
+  out.add_scalar("meta/feature_set_version", feature_set_version);
   write_config(out, model, fam);
 
   const std::vector<nn::Parameter*> params = walk_parameters(model);
@@ -647,6 +651,10 @@ CompiledModel load_compiled(std::shared_ptr<io::ArtifactReader> image) {
   out.family = static_cast<ModelFamily>(fam_raw);
   out.poses_per_batch = a.scalar("poses_per_batch");
   out.budget = {a.scalar("ws/forward"), a.scalar("ws/feat")};
+  // Pre-versioning artifacts carry no section: they were trained against
+  // the historical (v1) feature set.
+  out.feature_set_version =
+      a.has("meta/feature_set_version") ? a.scalar("meta/feature_set_version") : 1;
 
   std::unique_ptr<models::Regressor> model = rebuild(a, out.family);
 

@@ -120,8 +120,13 @@ struct WorkspaceBudget {
 /// Compile `model` (in place) and serialize its compiled form. Throws
 /// std::invalid_argument if any BatchNorm survives folding — the artifact
 /// has no carrier for running statistics, by design.
+/// `feature_set_version` records the featurization contract the model was
+/// trained against (chem/graph_featurizer.h); serving validates it against
+/// the replica's featurizer configs (serve/registry.h) so a model never
+/// silently scores features it has never seen.
 void save_compiled(models::Regressor& model, const std::string& path,
-                   int64_t poses_per_batch = 0, WorkspaceBudget budget = {});
+                   int64_t poses_per_batch = 0, WorkspaceBudget budget = {},
+                   int64_t feature_set_version = 1);
 
 /// A model restored from a compiled artifact. `model` is eval-only (its
 /// training entry points throw) and keeps the underlying file mapping alive
@@ -132,6 +137,9 @@ struct CompiledModel {
   ModelFamily family = ModelFamily::kCnn3d;
   int64_t poses_per_batch = 0;
   WorkspaceBudget budget;
+  /// Featurization contract the model expects; artifacts written before the
+  /// section existed load as 1 (the historical feature set).
+  int64_t feature_set_version = 1;
 };
 
 /// Restore from an already-open artifact (replicas share one mapping).

@@ -35,6 +35,11 @@ struct SpatialGraph {
   Tensor node_features;    // (num_nodes, feature_dim)
   EdgeList covalent;       // bond-graph edges
   EdgeList noncovalent;    // interface / spatial edges
+  /// Per-directed-edge geometry channels for `noncovalent`, row i describing
+  /// edge i: [distance / threshold, interface H-bond flag]. Populated only
+  /// at feature_set_version >= 2 (chem/graph_featurizer.h); empty for v1,
+  /// so v1 graphs — and every model consuming them — stay bitwise pinned.
+  Tensor noncovalent_features;  // (noncovalent.size(), kGraphEdgeFeaturesV2) or empty
   int32_t num_ligand_nodes = 0;  // ligand atoms come first; gather sums them
 
   int64_t num_nodes() const { return node_features.empty() ? 0 : node_features.dim(0); }

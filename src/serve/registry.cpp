@@ -115,6 +115,21 @@ void add_compiled(ModelRegistry& registry, const std::string& name,
   // Open once, eagerly: registration fails fast on a missing/damaged
   // artifact, and all replicas share the one validated mapping.
   std::shared_ptr<io::ArtifactReader> image = io::ArtifactReader::open(artifact_path);
+  // The artifact records the featurization contract the model was trained
+  // against; a replica featurizing with a different version would silently
+  // feed the net features it has never seen. Fail at registration, not at
+  // first score.
+  const int64_t artifact_fsv = image->has("meta/feature_set_version")
+                                   ? image->scalar("meta/feature_set_version")
+                                   : 1;
+  if (artifact_fsv != voxel.feature_set_version ||
+      artifact_fsv != graph.feature_set_version) {
+    throw std::invalid_argument(
+        "add_compiled('" + name + "'): artifact feature_set_version " +
+        std::to_string(artifact_fsv) + " does not match serving configs (voxel " +
+        std::to_string(voxel.feature_set_version) + ", graph " +
+        std::to_string(graph.feature_set_version) + ")");
+  }
   registry.add(name, [name, image, voxel, graph, featurize_threads] {
     compile::CompiledModel cm = compile::load_compiled(image);
     auto scorer = std::make_unique<RegressorScorer>(name, std::move(cm.model), voxel, graph,

@@ -38,6 +38,12 @@ RegressorScorer::RegressorScorer(std::string name, std::unique_ptr<models::Regre
                                  const chem::VoxelConfig& voxel,
                                  const chem::GraphFeaturizerConfig& graph, int featurize_threads)
     : name_(std::move(name)), model_(std::move(model)), voxelizer_(voxel), featurizer_(graph) {
+  if (voxel.feature_set_version != graph.feature_set_version) {
+    throw std::invalid_argument(
+        "RegressorScorer '" + name_ + "': voxel feature_set_version (" +
+        std::to_string(voxel.feature_set_version) + ") != graph feature_set_version (" +
+        std::to_string(graph.feature_set_version) + ") — a model is trained against one contract");
+  }
   model_->set_training(false);
   const size_t lanes = featurize_threads > 1 ? static_cast<size_t>(featurize_threads) : 1;
   feat_ws_.reserve(lanes);
@@ -75,12 +81,15 @@ std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& p
   // into one shared pocket, whose voxel block is pose-independent. Build
   // each distinct (pocket, center) grid once, then per pose splat only the
   // ligand and graft the cached block — bitwise identical to the joint
-  // voxelization (disjoint channel blocks).
+  // voxelization (disjoint channel blocks). v2's H-bond channel couples
+  // ligand and pocket, so the amortization is invalid there: each pose
+  // falls back to a full joint voxelize below.
+  const bool amortize_pocket = voxelizer_.config().feature_set_version < 2;
   std::vector<const core::Tensor*> pocket_grid(n, nullptr);
   std::vector<std::pair<const std::vector<chem::Atom>*, core::Vec3>> grid_keys;
   std::vector<core::Tensor> grids;
   grids.reserve(n);  // pointers into `grids` are handed out below
-  {
+  if (amortize_pocket) {
     core::Workspace::Bind bind(forward_ws_);
     for (size_t i = 0; i < n; ++i) {
       const PoseInput& p = *poses[i];
@@ -109,7 +118,9 @@ std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& p
     for (size_t i = begin; i < end; ++i) {
       const PoseInput& p = *poses[i];
       const std::vector<chem::Atom>& pocket = pocket_of(p, name_);
-      batch[i].voxel = voxelizer_.voxelize_ligand_onto(p.ligand, *pocket_grid[i], p.site_center);
+      batch[i].voxel = amortize_pocket
+                           ? voxelizer_.voxelize_ligand_onto(p.ligand, *pocket_grid[i], p.site_center)
+                           : voxelizer_.voxelize(p.ligand, pocket, p.site_center);
       batch[i].graph = featurizer_.featurize(p.ligand, pocket);
     }
   };
