@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -45,8 +46,39 @@ constexpr int kClients = 4;
 constexpr int kPosesPerClient = 32;
 constexpr int kPosesPerRequest = 8;   // clients stream small requests
 constexpr int kPosesPerBatch = 32;    // service micro-batch target
-constexpr int kRounds = 2;            // best-of timing
+constexpr int kRounds = 2;            // best-of timing (service comparison)
 constexpr int kHotPathReps = 12;      // score() calls per timing round
+constexpr int kHotPathRounds = 5;     // rounds per hot-path sample set
+
+/// Round-to-round spread of a repeated timing sample. The median is the
+/// headline (robust to a one-off scheduler hiccup, unlike best-of which
+/// reports the luckiest round); min/max bound the spread and the
+/// coefficient of variation says whether the number is trustworthy at all
+/// (CoV above a few percent means rerun on a quieter machine).
+struct SampleStats {
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double cov = 0.0;  // stddev / mean
+};
+
+SampleStats sample_stats(std::vector<double> samples) {
+  SampleStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = n % 2 == 1 ? samples[n / 2] : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double mean = 0.0;
+  for (double v : samples) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : samples) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  s.cov = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+  return s;
+}
 
 /// Table-3-shaped 3D-CNN (the paper's production scorer scale at our bench
 /// grid): the batched dense head and amortized per-call costs are where
@@ -140,7 +172,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 struct HotPathResult {
   std::string family;
-  double poses_per_second = 0.0;
+  SampleStats pps;                      // poses/sec across kHotPathRounds rounds
   double featurize_ms_per_batch = 0.0;  // 0 for non-Regressor backends
   double forward_ms_per_batch = 0.0;
 };
@@ -159,23 +191,156 @@ HotPathResult run_hot_path(const serve::ModelRegistry& reg, const std::string& f
   auto* regressor = dynamic_cast<serve::RegressorScorer*>(scorer.get());
   const auto stats0 = regressor != nullptr ? regressor->phase_stats()
                                            : serve::RegressorScorer::PhaseStats{};
-  double best = 1e30;
-  for (int round = 0; round < 3; ++round) {
+  std::vector<double> samples;
+  for (int round = 0; round < kHotPathRounds; ++round) {
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < kHotPathReps; ++i) {
       volatile float sink = scorer->score(batch)[0];
       (void)sink;
     }
-    best = std::min(best, seconds_since(t0));
+    samples.push_back(kHotPathReps * kPosesPerBatch / seconds_since(t0));
   }
-  r.poses_per_second = 3.0 * kHotPathReps * kPosesPerBatch /
-                       (3.0 * best);  // best round, poses/sec
+  r.pps = sample_stats(std::move(samples));
   if (regressor != nullptr) {
     const auto stats1 = regressor->phase_stats();
     const double batches = static_cast<double>(stats1.batches - stats0.batches);
     r.featurize_ms_per_batch =
         (stats1.featurize_seconds - stats0.featurize_seconds) / batches * 1e3;
     r.forward_ms_per_batch = (stats1.forward_seconds - stats0.forward_seconds) / batches * 1e3;
+  }
+  return r;
+}
+
+// ---- pipelined scoring + pocket cache -----------------------------------
+
+std::vector<chem::Atom> make_cloud_pocket(int n, core::Rng& rng);  // defined below
+
+struct PipelinedResult {
+  std::string family;
+  int fsv = 1;
+  int pocket_atoms = 0;
+  SampleStats seq;   // poses/s, sequential score(), no cache (the PR 9 path)
+  SampleStats pipe;  // poses/s, depth-2 pipeline + cross-request pocket cache
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// cnn3d + fusion registered against a specific feature-set version (the
+/// conv input width follows the voxel channel count).
+serve::ModelRegistry make_fsv_registry(int fsv) {
+  serve::ModelRegistry reg;
+  chem::VoxelConfig voxel;
+  voxel.grid_dim = kGridDim;
+  voxel.feature_set_version = fsv;
+  chem::GraphFeaturizerConfig graph;
+  graph.feature_set_version = fsv;
+  const int ch = voxel.channels();
+  serve::add_regressor(reg, "cnn3d", [ch] {
+    core::Rng mrng(9);
+    models::Cnn3dConfig cfg = service_cnn_config();
+    cfg.in_channels = ch;
+    return std::make_unique<models::Cnn3d>(cfg, mrng);
+  }, voxel, graph);
+  serve::add_regressor(reg, "fusion", [ch] {
+    core::Rng mrng(11);
+    models::Cnn3dConfig cc = bench_cnn3d_config();
+    cc.in_channels = ch;
+    auto cnn = std::make_shared<models::Cnn3d>(cc, mrng);
+    auto sg = std::make_shared<models::Sgcnn>(bench_sgcnn_config(), mrng);
+    return std::make_unique<models::FusionModel>(
+        bench_fusion_config(models::FusionKind::Mid), std::move(cnn), std::move(sg), mrng);
+  }, voxel, graph);
+  return reg;
+}
+
+/// Sequential score() (exactly what every batch paid before this PR) vs
+/// the depth-2 stage pipeline with a shared pocket cache, same replica
+/// shape, same poses — bitwise-identical outputs, different wall clock.
+/// The two wins separate cleanly: the cache removes repeated pocket
+/// featurization (per batch at v1, per *pose* at v2, where the H-bond
+/// channel had disabled pocket-grid amortization entirely), while the
+/// overlap of featurize(N+1) with forward(N) only pays when a spare core
+/// can run the stage thread — on a single-core host it measures ~1.0x by
+/// construction.
+///
+/// The receptor is a protein-density cloud at binding-site scale rather
+/// than the 48-atom workload pocket: real pocket crops are thousands of
+/// heavy atoms (the paper voxelizes the receptor region around the site),
+/// and that is the regime whose repeated splat/crop/cell-list work the
+/// cache exists to remove. Ligands are shared with the main workload.
+PipelinedResult run_pipelined(const std::string& family, int fsv,
+                              const std::vector<chem::Atom>& pocket, const Workload& w) {
+  PipelinedResult r;
+  r.family = family;
+  r.fsv = fsv;
+  r.pocket_atoms = static_cast<int>(pocket.size());
+  const serve::ModelRegistry reg = make_fsv_registry(fsv);
+  std::vector<serve::PoseInput> poses;
+  std::vector<const serve::PoseInput*> batch;
+  poses.reserve(static_cast<size_t>(kPosesPerBatch));
+  for (int i = 0; i < kPosesPerBatch; ++i) {
+    serve::PoseInput p;
+    p.ligand = w.client_poses[0][static_cast<size_t>(i)].ligand;
+    p.pocket = &pocket;
+    poses.push_back(std::move(p));
+  }
+  for (const serve::PoseInput& p : poses) batch.push_back(&p);
+
+  std::vector<float> seq_scores;
+  {
+    std::unique_ptr<serve::Scorer> scorer = reg.make(family);
+    for (int i = 0; i < 2; ++i) seq_scores = scorer->score(batch);
+    std::vector<double> samples;
+    for (int round = 0; round < kHotPathRounds; ++round) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kHotPathReps; ++i) {
+        volatile float sink = scorer->score(batch)[0];
+        (void)sink;
+      }
+      samples.push_back(kHotPathReps * kPosesPerBatch / seconds_since(t0));
+    }
+    r.seq = sample_stats(std::move(samples));
+  }
+
+  {
+    std::unique_ptr<serve::Scorer> scorer = reg.make(family);
+    auto* regressor = dynamic_cast<serve::RegressorScorer*>(scorer.get());
+    auto cache = std::make_shared<serve::PocketCache>(4);
+    regressor->set_pocket_cache(cache);
+    regressor->set_pipeline_depth(2);
+    serve::ScorerPipeline* pipe = regressor->pipeline();
+    for (int i = 0; i < 2; ++i) {  // warm both ring slots + the cache entry
+      pipe->submit(batch);
+      pipe->submit(batch);
+      pipe->collect();
+      const std::vector<float> got = pipe->collect();
+      // The headline claim is "bitwise-identical outputs" — enforce it here
+      // (same deterministic factory, same poses), like bench_training does.
+      if (std::memcmp(got.data(), seq_scores.data(), got.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr, "pipelined %s v%d diverged from sequential scores\n",
+                     family.c_str(), fsv);
+        std::exit(1);
+      }
+    }
+    std::vector<double> samples;
+    for (int round = 0; round < kHotPathRounds; ++round) {
+      const auto t0 = std::chrono::steady_clock::now();
+      int submitted = 0, collected = 0;
+      while (collected < kHotPathReps) {
+        if (submitted < kHotPathReps && pipe->in_flight() < 2) {
+          pipe->submit(batch);
+          ++submitted;
+        } else {
+          volatile float sink = pipe->collect()[0];
+          (void)sink;
+          ++collected;
+        }
+      }
+      samples.push_back(kHotPathReps * kPosesPerBatch / seconds_since(t0));
+    }
+    r.pipe = sample_stats(std::move(samples));
+    r.cache_hits = cache->stats().hits;
+    r.cache_misses = cache->stats().misses;
   }
   return r;
 }
@@ -487,16 +652,19 @@ int main(int argc, char** argv) {
                              "cnn3d_int8", "sgcnn_int8", "fusion_int8"}) {
     hot.push_back(run_hot_path(reg, family, w));
   }
-  std::printf("%-12s %6s %12s %16s %15s\n", "family", "dtype", "poses/s", "featurize ms/b",
-              "forward ms/b");
-  print_rule(68);
+  std::printf("%-12s %6s %10s %9s %9s %6s %14s %13s\n", "family", "dtype", "poses/s", "min",
+              "max", "cov%", "featurize ms/b", "forward ms/b");
+  print_rule(88);
   for (const HotPathResult& r : hot) {
-    std::printf("%-12s %6s %12.1f %16.3f %15.3f\n", r.family.c_str(), dtype_of(r.family),
-                r.poses_per_second, r.featurize_ms_per_batch, r.forward_ms_per_batch);
+    std::printf("%-12s %6s %10.1f %9.1f %9.1f %5.1f%% %14.3f %13.3f\n", r.family.c_str(),
+                dtype_of(r.family), r.pps.median, r.pps.min, r.pps.max, r.pps.cov * 100.0,
+                r.featurize_ms_per_batch, r.forward_ms_per_batch);
   }
+  std::printf("(poses/s = median of %d rounds x %d batches; min/max/CoV bound the spread)\n",
+              kHotPathRounds, kHotPathReps);
   const auto pps_of = [&hot](const std::string& family) {
     for (const HotPathResult& r : hot) {
-      if (r.family == family) return r.poses_per_second;
+      if (r.family == family) return r.pps.median;
     }
     return 0.0;
   };
@@ -507,6 +675,33 @@ int main(int argc, char** argv) {
   std::printf("\nfused GEMM epilogue (2048x48x38, bias+SELU): %.3f ms vs unfused %.3f ms "
               "(%.2fx)\n\n",
               epi.fused_ms, epi.unfused_ms, epi.unfused_ms / epi.fused_ms);
+
+  // ---- pipelined scoring + pocket cache ----
+  print_header("Pipelined scoring + cross-request pocket cache (bitwise-identical outputs)");
+  core::Rng pocket_rng(31);
+  const std::vector<chem::Atom> site_pocket = make_cloud_pocket(2048, pocket_rng);
+  std::vector<PipelinedResult> piped;
+  for (int fsv : {1, 2}) {
+    for (const char* family : {"cnn3d", "fusion"}) {
+      piped.push_back(run_pipelined(family, fsv, site_pocket, w));
+    }
+  }
+  std::printf("%-10s %4s %7s %13s %6s %18s %6s %9s %12s\n", "family", "fsv", "atoms",
+              "seq poses/s", "cov%", "pipe+cache poses/s", "cov%", "speedup", "cache h/m");
+  print_rule(96);
+  for (const PipelinedResult& r : piped) {
+    std::printf("%-10s %4d %7d %13.1f %5.1f%% %18.1f %5.1f%% %8.2fx %8llu/%llu\n",
+                r.family.c_str(), r.fsv, r.pocket_atoms, r.seq.median, r.seq.cov * 100.0,
+                r.pipe.median, r.pipe.cov * 100.0, r.pipe.median / r.seq.median,
+                static_cast<unsigned long long>(r.cache_hits),
+                static_cast<unsigned long long>(r.cache_misses));
+  }
+  std::printf(
+      "(binding-site-scale protein-density receptor; seq = plain score(), per-batch\n"
+      " pocket work at v1, per-pose joint voxelize at v2; pipe = depth-2 stage pipeline\n"
+      " + pocket cache. The cache win is core-count-independent; the featurize/forward\n"
+      " overlap needs a spare core for the stage thread — on a single-core host it\n"
+      " contributes ~nothing by construction.)\n\n");
 
   // ---- featurize neighbor engine ----
   print_header("Featurize neighbor engine — cell list vs brute-force pairwise scan");
@@ -579,20 +774,22 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "{\n"
-                 "  \"schema\": \"bench_service.v6\",\n"
+                 "  \"schema\": \"bench_service.v7\",\n"
                  "  \"workload\": {\"clients\": %d, \"poses_per_client\": %d, "
                  "\"poses_per_request\": %d, \"poses_per_batch\": %d, "
-                 "\"feature_set_version\": %d},\n"
+                 "\"feature_set_version\": %d, \"hot_path_rounds\": %d},\n"
                  "  \"hot_path\": {\n",
                  kClients, kPosesPerClient, kPosesPerRequest, kPosesPerBatch,
-                 chem::GraphFeaturizerConfig{}.feature_set_version);
+                 chem::GraphFeaturizerConfig{}.feature_set_version, kHotPathRounds);
     for (size_t i = 0; i < hot.size(); ++i) {
       const HotPathResult& r = hot[i];
       std::fprintf(out,
                    "    \"%s\": {\"dtype\": \"%s\", \"poses_per_second\": %.1f, "
+                   "\"poses_per_second_min\": %.1f, \"poses_per_second_max\": %.1f, "
+                   "\"poses_per_second_cov\": %.4f, "
                    "\"featurize_ms_per_batch\": %.3f, \"forward_ms_per_batch\": %.3f}%s\n",
-                   json_escape(r.family).c_str(), dtype_of(r.family), r.poses_per_second,
-                   r.featurize_ms_per_batch, r.forward_ms_per_batch,
+                   json_escape(r.family).c_str(), dtype_of(r.family), r.pps.median, r.pps.min,
+                   r.pps.max, r.pps.cov, r.featurize_ms_per_batch, r.forward_ms_per_batch,
                    i + 1 < hot.size() ? "," : "");
     }
     std::fprintf(out,
@@ -600,6 +797,21 @@ int main(int argc, char** argv) {
                  "  \"int8_speedup\": {\"cnn3d\": %.3f, \"sgcnn\": %.3f, \"fusion\": %.3f},\n",
                  pps_of("cnn3d_int8") / pps_of("cnn3d"), pps_of("sgcnn_int8") / pps_of("sgcnn"),
                  pps_of("fusion_int8") / pps_of("fusion"));
+    std::fprintf(out, "  \"pipelined_serving\": {\n");
+    for (size_t i = 0; i < piped.size(); ++i) {
+      const PipelinedResult& r = piped[i];
+      std::fprintf(out,
+                   "    \"%s_v%d\": {\"pocket_atoms\": %d, \"sequential_pps\": %.1f, "
+                   "\"sequential_cov\": %.4f, "
+                   "\"pipelined_cached_pps\": %.1f, \"pipelined_cached_cov\": %.4f, "
+                   "\"speedup\": %.3f, \"cache_hits\": %llu, \"cache_misses\": %llu}%s\n",
+                   json_escape(r.family).c_str(), r.fsv, r.pocket_atoms, r.seq.median, r.seq.cov,
+                   r.pipe.median, r.pipe.cov, r.pipe.median / r.seq.median,
+                   static_cast<unsigned long long>(r.cache_hits),
+                   static_cast<unsigned long long>(r.cache_misses),
+                   i + 1 < piped.size() ? "," : "");
+    }
+    std::fprintf(out, "  },\n");
     std::fprintf(out, "  \"featurize_neighbor_engine\": {\n");
     for (size_t i = 0; i < nb.size(); ++i) {
       const NeighborResult& r = nb[i];

@@ -19,6 +19,11 @@
 //   --workers=N         service workers (default 2)
 //   --poses-per-batch=N service micro-batch (default 32)
 //   --ordered=0|1       ordered-stream mode (default 1)
+//   --pipeline-depth=N  stage-pipelined scoring, N batches in flight per
+//                       worker (default 0 = sequential; bitwise identical)
+//   --pocket-cache=N    cross-request pocket cache, N LRU targets
+//                       (default 0 = disabled; bitwise identical)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -53,6 +58,8 @@ struct Flags {
   int workers = 2;
   int poses_per_batch = 32;
   bool ordered = true;
+  int pipeline_depth = 0;
+  int pocket_cache = 0;
 };
 
 bool parse_flag(const std::string& arg, const std::string& name, std::string* out) {
@@ -79,6 +86,8 @@ bool parse_flags(int argc, char** argv, Flags* f) {
     else if (parse_flag(arg, "workers", &v)) f->workers = std::stoi(v);
     else if (parse_flag(arg, "poses-per-batch", &v)) f->poses_per_batch = std::stoi(v);
     else if (parse_flag(arg, "ordered", &v)) f->ordered = std::stoi(v) != 0;
+    else if (parse_flag(arg, "pipeline-depth", &v)) f->pipeline_depth = std::stoi(v);
+    else if (parse_flag(arg, "pocket-cache", &v)) f->pocket_cache = std::stoi(v);
     else {
       std::fprintf(stderr, "score_server_node: unknown flag %s\n", arg.c_str());
       return false;
@@ -119,6 +128,8 @@ int main(int argc, char** argv) {
   sc.workers = flags.workers;
   sc.poses_per_batch = flags.poses_per_batch;
   sc.ordered_stream = flags.ordered;
+  sc.pipeline_depth = std::max(0, flags.pipeline_depth);
+  sc.pocket_cache_targets = static_cast<size_t>(std::max(0, flags.pocket_cache));
   df::serve::ScoringService service(registry, sc);
   service.warmup(flags.scorer);  // the paper's startup phase, before serving
 

@@ -27,6 +27,12 @@ void fill_node_features(core::Tensor& feats, int64_t row, const Atom& a, int deg
 
 graph::SpatialGraph GraphFeaturizer::featurize(const Molecule& ligand,
                                                const std::vector<Atom>& pocket) const {
+  return featurize(ligand, pocket, nullptr);
+}
+
+graph::SpatialGraph GraphFeaturizer::featurize(const Molecule& ligand,
+                                               const std::vector<Atom>& pocket,
+                                               const CellList* crop_cells_in) const {
   graph::SpatialGraph g;
   const int64_t nl = static_cast<int64_t>(ligand.num_atoms());
   const int64_t np = std::min<int64_t>(static_cast<int64_t>(pocket.size()), cfg_.max_pocket_atoms);
@@ -41,7 +47,12 @@ graph::SpatialGraph GraphFeaturizer::featurize(const Molecule& ligand,
   // pocket, the pair scans only the cropped graph.
   const bool crop_cells_on =
       cfg_.use_cell_list && static_cast<int>(pocket.size()) >= cfg_.cell_list_min_atoms;
-  if (crop_cells_on && !pocket.empty()) {
+  if (crop_cells_in != nullptr && !pocket.empty()) {
+    // Pre-built list from the pocket cache: skip the O(pocket) build and
+    // query it directly. knearest ≡ the (distance, index) sort at any
+    // size, so taking the cell route unconditionally here stays bitwise.
+    crop_cells_in->knearest(lc, static_cast<int32_t>(np), pocket_order);
+  } else if (crop_cells_on && !pocket.empty()) {
     static thread_local CellList crop_cells;
     static thread_local std::vector<core::Vec3> ppos;
     ppos.resize(pocket.size());

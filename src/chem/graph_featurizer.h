@@ -53,11 +53,26 @@ inline constexpr int kGraphNodeFeatures = kNumElements + 7;
 /// v2 per-edge channels on the non-covalent set: [dist/threshold, hbond].
 inline constexpr int kGraphEdgeFeaturesV2 = 2;
 
+class CellList;
+
 class GraphFeaturizer {
  public:
   explicit GraphFeaturizer(GraphFeaturizerConfig cfg = {}) : cfg_(cfg) {}
 
   graph::SpatialGraph featurize(const Molecule& ligand, const std::vector<Atom>& pocket) const;
+
+  /// Same graph, but the pocket-crop k-nearest query runs against
+  /// `crop_cells` — a CellList pre-built over exactly `pocket`'s positions
+  /// with cell size `noncovalent_threshold` (the cross-request pocket cache
+  /// holds one per receptor, serve/pocket_cache.h). CellList::knearest is
+  /// bitwise-pinned against the (distance, index) sort at any size
+  /// (tests/test_cell_list.cpp), so the result is identical to the 2-arg
+  /// overload; the ligand-dependent query still runs per pose, only the
+  /// O(pocket) build is amortized. Queries are const and thread-safe, so
+  /// one cached list serves concurrent replicas. nullptr falls back to the
+  /// 2-arg behaviour.
+  graph::SpatialGraph featurize(const Molecule& ligand, const std::vector<Atom>& pocket,
+                                const CellList* crop_cells) const;
 
   const GraphFeaturizerConfig& config() const { return cfg_; }
 

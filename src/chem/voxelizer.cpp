@@ -83,86 +83,60 @@ void splat_slice(core::Tensor& grid, const SplatOp& op, int G, float res, float 
   }
 #endif
 }
-}  // namespace
 
-Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pocket,
-                           const core::Vec3& center) const {
-  const int G = cfg_.grid_dim;
-  const float res = cfg_.resolution;
-  const float half = cfg_.box_extent() * 0.5f;
-  // The (1, C, G, G, G) flat layout is identical to (C, G, G, G), so the
-  // splats index it directly — no reshape copy on the way out.
-  Tensor view({1, cfg_.channels(), G, G, G});
+// Expand one atom into its per-channel deposits. Each atom pushes at most
+// one op per channel, so per-channel accumulation order equals atom push
+// order — the invariant every graft/amortization path below leans on.
+void expand_atom(const VoxelConfig& cfg, const Atom& a, int block, float hb_count,
+                 const core::Vec3& center, std::vector<SplatOp>& ops) {
+  const int G = cfg.grid_dim;
+  const float res = cfg.resolution;
+  const float half = cfg.box_extent() * 0.5f;
+  const int cpb = cfg.channels_per_block();
+  const ElementInfo& info = element_info(a.element);
+  const float sigma = info.vdw_radius * cfg.sigma_scale;
+  const float cutoff = sigma * cfg.cutoff_sigmas;
+  SplatOp op;
+  op.rel = a.pos - center;
+  op.cutoff2 = cutoff * cutoff;
+  op.inv2s2 = 1.0f / (2.0f * sigma * sigma);
+  const int r = static_cast<int>(std::ceil(cutoff / res));
+  const int cx = static_cast<int>(std::floor((op.rel.x + half) / res));
+  const int cy = static_cast<int>(std::floor((op.rel.y + half) / res));
+  const int cz = static_cast<int>(std::floor((op.rel.z + half) / res));
+  op.xlo = std::max(0, cx - r);
+  op.xhi = std::min(G - 1, cx + r);
+  op.ylo = std::max(0, cy - r);
+  op.yhi = std::min(G - 1, cy + r);
+  op.zlo = std::max(0, cz - r);
+  op.zhi = std::min(G - 1, cz + r);
+  if (op.xlo > op.xhi || op.ylo > op.yhi || op.zlo > op.zhi) return;  // fully off-grid
 
-  // Expand atoms into per-channel deposits once (geometry included), then
-  // fill the grid one z-slice at a time. Slices write disjoint memory, so
-  // the slice loop fans out over the compute pool when one is installed;
-  // per-cell accumulation order is unchanged, so output is bitwise
-  // identical either way. Op scratch is reused across calls.
-  static thread_local std::vector<SplatOp> ops;
-  ops.clear();
-  ops.reserve((ligand.atoms().size() + pocket.size()) * 2);
-
-  // v2: per-atom interface H-bond partner counts feed the extra channel.
-  // Counted once up front; v1 skips this entirely, so its op list — and
-  // the grid it produces — is byte-for-byte the historical one.
-  const int cpb = cfg_.channels_per_block();
-  static thread_local std::vector<float> lig_hb, poc_hb;
-  if (cfg_.feature_set_version >= 2) {
-    lig_hb.assign(ligand.atoms().size(), 0.0f);
-    poc_hb.assign(pocket.size(), 0.0f);
-    for (const HBond& hb : find_hbonds(ligand, pocket, cfg_.hbond)) {
-      lig_hb[static_cast<size_t>(hb.ligand_atom)] += 1.0f;
-      poc_hb[static_cast<size_t>(hb.pocket_atom)] += 1.0f;
-    }
-  }
-  auto expand = [&](const Atom& a, int block, float hb_count) {
-    const ElementInfo& info = element_info(a.element);
-    const float sigma = info.vdw_radius * cfg_.sigma_scale;
-    const float cutoff = sigma * cfg_.cutoff_sigmas;
-    SplatOp op;
-    op.rel = a.pos - center;
-    op.cutoff2 = cutoff * cutoff;
-    op.inv2s2 = 1.0f / (2.0f * sigma * sigma);
-    const int r = static_cast<int>(std::ceil(cutoff / res));
-    const int cx = static_cast<int>(std::floor((op.rel.x + half) / res));
-    const int cy = static_cast<int>(std::floor((op.rel.y + half) / res));
-    const int cz = static_cast<int>(std::floor((op.rel.z + half) / res));
-    op.xlo = std::max(0, cx - r);
-    op.xhi = std::min(G - 1, cx + r);
-    op.ylo = std::max(0, cy - r);
-    op.yhi = std::min(G - 1, cy + r);
-    op.zlo = std::max(0, cz - r);
-    op.zhi = std::min(G - 1, cz + r);
-    if (op.xlo > op.xhi || op.ylo > op.yhi || op.zlo > op.zhi) return;  // fully off-grid
-
-    auto push = [&](int channel, float weight) {
-      op.channel = channel;
-      op.weight = weight;
-      ops.push_back(op);
-    };
-    push(channel_for_atom(a, block, cpb), 1.0f);
-    const int pharm = block * cpb;
-    if (info.hydrophobic) push(pharm + 4, 1.0f);
-    if (info.hbond_donor_heavy && a.implicit_h > 0) push(pharm + 5, 1.0f);
-    if (info.hbond_acceptor) push(pharm + 6, 1.0f);
-    if (a.formal_charge != 0) push(pharm + 7, static_cast<float>(std::abs(a.formal_charge)));
-    if (hb_count > 0.0f) push(pharm + kVoxelHBondChannel, hb_count);
+  auto push = [&](int channel, float weight) {
+    op.channel = channel;
+    op.weight = weight;
+    ops.push_back(op);
   };
-  const bool v2 = cfg_.feature_set_version >= 2;
-  for (size_t i = 0; i < ligand.atoms().size(); ++i) {
-    expand(ligand.atoms()[i], /*block=*/0, v2 ? lig_hb[i] : 0.0f);
-  }
-  for (size_t i = 0; i < pocket.size(); ++i) {
-    expand(pocket[i], /*block=*/1, v2 ? poc_hb[i] : 0.0f);
-  }
+  push(channel_for_atom(a, block, cpb), 1.0f);
+  const int pharm = block * cpb;
+  if (info.hydrophobic) push(pharm + 4, 1.0f);
+  if (info.hbond_donor_heavy && a.implicit_h > 0) push(pharm + 5, 1.0f);
+  if (info.hbond_acceptor) push(pharm + 6, 1.0f);
+  if (a.formal_charge != 0) push(pharm + 7, static_cast<float>(std::abs(a.formal_charge)));
+  if (hb_count > 0.0f) push(pharm + kVoxelHBondChannel, hb_count);
+}
 
-  // Bucket ops by z-slice (CSR layout) so each slice walks only the ops
-  // that actually touch it instead of scanning the full list. The fill
-  // appends in op order, so every slice still applies its ops in the same
-  // sequence as the old full scan — bitwise-identical accumulation. The
-  // scratch is thread_local: voxelize is hot in serving and must not pay a
-  // heap round trip per pose.
+// Apply `ops` to the grid. Bucket ops by z-slice (CSR layout) so each slice
+// walks only the ops that actually touch it instead of scanning the full
+// list. The fill appends in op order, so every slice still applies its ops
+// in the same sequence as a full scan — bitwise-identical accumulation at
+// any compute-pool width (slices write disjoint memory). The scratch is
+// thread_local: voxelize is hot in serving and must not pay a heap round
+// trip per pose.
+void fill_ops(Tensor& view, const std::vector<SplatOp>& ops, const VoxelConfig& cfg) {
+  const int G = cfg.grid_dim;
+  const float res = cfg.resolution;
+  const float half = cfg.box_extent() * 0.5f;
   static thread_local std::vector<int32_t> slice_start;  // size G+1
   static thread_local std::vector<int32_t> slice_ops;    // op indices, CSR
   slice_start.assign(static_cast<size_t>(G) + 1, 0);
@@ -192,6 +166,41 @@ Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pock
       splat_slice(view, opsp[static_cast<size_t>(sops[i])], G, res, half, z);
     }
   });
+}
+}  // namespace
+
+Tensor Voxelizer::voxelize(const Molecule& ligand, const std::vector<Atom>& pocket,
+                           const core::Vec3& center) const {
+  // The (1, C, G, G, G) flat layout is identical to (C, G, G, G), so the
+  // splats index it directly — no reshape copy on the way out.
+  Tensor view({1, cfg_.channels(), cfg_.grid_dim, cfg_.grid_dim, cfg_.grid_dim});
+
+  // Expand atoms into per-channel deposits once (geometry included), then
+  // fill the grid slice-parallel. Op scratch is reused across calls.
+  static thread_local std::vector<SplatOp> ops;
+  ops.clear();
+  ops.reserve((ligand.atoms().size() + pocket.size()) * 2);
+
+  // v2: per-atom interface H-bond partner counts feed the extra channel.
+  // Counted once up front; v1 skips this entirely, so its op list — and
+  // the grid it produces — is byte-for-byte the historical one.
+  static thread_local std::vector<float> lig_hb, poc_hb;
+  if (cfg_.feature_set_version >= 2) {
+    lig_hb.assign(ligand.atoms().size(), 0.0f);
+    poc_hb.assign(pocket.size(), 0.0f);
+    for (const HBond& hb : find_hbonds(ligand, pocket, cfg_.hbond)) {
+      lig_hb[static_cast<size_t>(hb.ligand_atom)] += 1.0f;
+      poc_hb[static_cast<size_t>(hb.pocket_atom)] += 1.0f;
+    }
+  }
+  const bool v2 = cfg_.feature_set_version >= 2;
+  for (size_t i = 0; i < ligand.atoms().size(); ++i) {
+    expand_atom(cfg_, ligand.atoms()[i], /*block=*/0, v2 ? lig_hb[i] : 0.0f, center, ops);
+  }
+  for (size_t i = 0; i < pocket.size(); ++i) {
+    expand_atom(cfg_, pocket[i], /*block=*/1, v2 ? poc_hb[i] : 0.0f, center, ops);
+  }
+  fill_ops(view, ops, cfg_);
   return view;
 }
 
@@ -215,6 +224,57 @@ Tensor Voxelizer::voxelize_ligand_onto(const Molecule& ligand, const Tensor& poc
                         cfg_.grid_dim * cfg_.grid_dim;
   std::memcpy(grid.data() + block, pocket_grid.data() + block,
               static_cast<size_t>(block) * sizeof(float));
+  return grid;
+}
+
+Tensor Voxelizer::voxelize_ligand_onto(const Molecule& ligand, const std::vector<Atom>& pocket,
+                                       const Tensor& pocket_grid, const core::Vec3& center) const {
+  if (cfg_.feature_set_version < 2) return voxelize_ligand_onto(ligand, pocket_grid, center);
+
+  // v2: the ligand couples to the pocket only through the per-block H-bond
+  // channel, so the graft still works — it just has to re-derive the H-bond
+  // deposits for this ligand. Base pocket channels are ligand-independent
+  // (identical ops in the joint and ligand-free builds), and a ligand-free
+  // pocket grid has no interface H-bonds, so its H-bond channel is zero:
+  // splatting this ligand's pocket-side H-bond deposits on top of the graft
+  // reproduces the joint accumulation. Per-channel op order stays
+  // ascending-atom-index in every piece, matching voxelize() bit for bit.
+  static thread_local std::vector<float> lig_hb, poc_hb;
+  lig_hb.assign(ligand.atoms().size(), 0.0f);
+  poc_hb.assign(pocket.size(), 0.0f);
+  for (const HBond& hb : find_hbonds(ligand, pocket, cfg_.hbond)) {
+    lig_hb[static_cast<size_t>(hb.ligand_atom)] += 1.0f;
+    poc_hb[static_cast<size_t>(hb.pocket_atom)] += 1.0f;
+  }
+
+  const int G = cfg_.grid_dim;
+  Tensor grid({1, cfg_.channels(), G, G, G});
+  static thread_local std::vector<SplatOp> ops;
+  ops.clear();
+  ops.reserve(ligand.atoms().size() * 2);
+  for (size_t i = 0; i < ligand.atoms().size(); ++i) {
+    expand_atom(cfg_, ligand.atoms()[i], /*block=*/0, lig_hb[i], center, ops);
+  }
+  fill_ops(grid, ops, cfg_);
+
+  const int cpb = cfg_.channels_per_block();
+  const int64_t block = static_cast<int64_t>(cpb) * G * G * G;
+  std::memcpy(grid.data() + block, pocket_grid.data() + block,
+              static_cast<size_t>(block) * sizeof(float));
+
+  // Pocket-side H-bond deposits only; the base-channel ops expand_atom also
+  // emits are already present via the graft, so drop them (stable filter —
+  // the surviving ops keep their ascending-atom order).
+  const int hb_channel = cpb + kVoxelHBondChannel;
+  ops.clear();
+  for (size_t i = 0; i < pocket.size(); ++i) {
+    if (poc_hb[i] <= 0.0f) continue;
+    expand_atom(cfg_, pocket[i], /*block=*/1, poc_hb[i], center, ops);
+  }
+  ops.erase(std::remove_if(ops.begin(), ops.end(),
+                           [&](const SplatOp& op) { return op.channel != hb_channel; }),
+            ops.end());
+  fill_ops(grid, ops, cfg_);
   return grid;
 }
 

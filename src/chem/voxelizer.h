@@ -72,6 +72,19 @@ class Voxelizer {
   Tensor voxelize_ligand_onto(const Molecule& ligand, const Tensor& pocket_grid,
                               const core::Vec3& center) const;
 
+  /// Pocket-aware graft, valid at every feature-set version. `pocket` must
+  /// be the atom list `pocket_grid` was built from. At v1 this is exactly
+  /// the 3-arg overload. At v2 it computes the interface H-bonds once,
+  /// splats the ligand with its H-bond partner weights, grafts the cached
+  /// pocket base channels, then splats only the pocket-side H-bond deposits
+  /// (zero in a ligand-free pocket grid) on top — each channel still
+  /// accumulates its atoms in ascending-index order, so the result is
+  /// bitwise identical to voxelize(ligand, pocket, center). The
+  /// cross-request pocket cache (serve/pocket_cache.h) uses this to restore
+  /// pocket-splat amortization that v2 otherwise loses.
+  Tensor voxelize_ligand_onto(const Molecule& ligand, const std::vector<Atom>& pocket,
+                              const Tensor& pocket_grid, const core::Vec3& center) const;
+
   const VoxelConfig& config() const { return cfg_; }
 
  private:

@@ -92,6 +92,9 @@ Workspace* Workspace::current() { return t_current; }
 Workspace::Bind::Bind(Workspace& ws) : prev_(t_current) { t_current = &ws; }
 Workspace::Bind::~Bind() { t_current = prev_; }
 
+Workspace::Unbind::Unbind() : prev_(t_current) { t_current = nullptr; }
+Workspace::Unbind::~Unbind() { t_current = prev_; }
+
 Workspace::Scope::Scope(Workspace& ws) : ws_(ws), cp_(ws.checkpoint()), prev_(t_current) {
   t_current = &ws;
 }

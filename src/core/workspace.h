@@ -91,6 +91,22 @@ class Workspace {
     Workspace* prev_;
   };
 
+  /// RAII: clear the thread's binding so Tensors created inside the region
+  /// own heap storage again. Used when a long-lived object (e.g. a
+  /// cross-request pocket-cache entry, serve/pocket_cache.h) must be built
+  /// from code that may run under an ambient arena binding — arena-borrowed
+  /// bytes die at the next reset(), heap-owned ones do not.
+  class Unbind {
+   public:
+    Unbind();
+    ~Unbind();
+    Unbind(const Unbind&) = delete;
+    Unbind& operator=(const Unbind&) = delete;
+
+   private:
+    Workspace* prev_;
+  };
+
   /// RAII: bind plus checkpoint/restore — the common "scratch region for
   /// this call" shape. Everything allocated inside the scope is released
   /// when it closes.

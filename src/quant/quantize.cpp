@@ -125,6 +125,16 @@ QuantizeReport quantize_model(models::Regressor& model,
       ++rep.kept_fp32;
       continue;
     }
+    // Cost model: a conv's int8 win scales with output channels (GEMM
+    // rows per vol2col column), but the per-sample B-operand quantization
+    // cost does not — too-narrow layers lose net. Leave them fp32.
+    if (opts.min_conv_out_channels_for_int8 > 0 &&
+        w.conv[i]->out_channels() < opts.min_conv_out_channels_for_int8) {
+      ++rep.kept_fp32;
+      ++rep.skipped_conv;
+      rep.skipped_conv_layers.push_back(static_cast<int>(i));
+      continue;
+    }
     quantize_conv_layer(*w.conv[i], cal.conv_observer(i));
     ++rep.quantized_conv;
   }

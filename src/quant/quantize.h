@@ -39,6 +39,14 @@ struct QuantizeOptions {
   bool quantize_conv = true;
   /// Keep Dense layers with out_features() == 1 (regression heads) fp32.
   bool keep_heads_fp32 = true;
+  /// Compile-time cost model: skip Conv3d layers with fewer output
+  /// channels than this — their GEMM is too narrow to amortize the
+  /// per-sample vol2col B-operand quantization pass, so int8 runs them
+  /// *slower* than fp32 (the 0.87x fusion case, docs/PERF.md int8
+  /// section). 24 keeps every Table-3-scale layer (32/64/128 filters)
+  /// quantized while leaving tiny bench/test sub-models fp32
+  /// automatically. 0 disables the model (quantize every conv).
+  int min_conv_out_channels_for_int8 = 24;
   CalibConfig calib;
 };
 
@@ -46,6 +54,10 @@ struct QuantizeReport {
   int quantized_dense = 0;
   int quantized_conv = 0;
   int kept_fp32 = 0;  // eligible GEMM layers deliberately left fp32
+  /// Conv3d layers the cost model skipped (counted in kept_fp32 too);
+  /// indices are positions in the model's structure-walk conv order.
+  int skipped_conv = 0;
+  std::vector<int> skipped_conv_layers;
   int64_t calibration_samples = 0;
 };
 

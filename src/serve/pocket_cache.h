@@ -1,0 +1,92 @@
+// Cross-request pocket cache — per-target amortization of protein-side
+// featurization work.
+//
+// A screening campaign scores thousands of poses against a handful of
+// receptors. The per-batch pocket-grid reuse inside RegressorScorer::score
+// (PR 5) already amortizes the protein voxel splat within one micro-batch,
+// but re-does it every batch — and the v2 feature set (interface H-bond
+// channel) disabled even that, because a ligand-free pocket grid looked
+// unusable. This cache lifts the amortization to the campaign level: an LRU
+// keyed by pocket content holding (a) the protein-only voxel grid, grafted
+// per pose via Voxelizer::voxelize_ligand_onto — the 4-arg overload makes
+// the graft bitwise-valid at v2 too — and (b) the pocket-side CellList the
+// graph featurizer's k-nearest crop queries (GraphFeaturizer::featurize's
+// crop_cells overload).
+//
+// Keys are a 64-bit FNV-1a hash over the full pocket content (every atom
+// field bit-exactly), the grid center, the complete VoxelConfig and the
+// crop cell size; a hit additionally verifies the stored content byte for
+// byte, so a hash collision degrades to a rebuild, never a wrong grid.
+// Changing feature_set_version or any grid knob therefore misses — that IS
+// the invalidation semantics.
+//
+// Entries are returned as shared_ptr<const Entry>: eviction drops the
+// cache's reference, never a reader's, so replicas may keep using an entry
+// that was just evicted. Entry tensors heap-own their storage
+// (Workspace::Unbind during the build) — they must survive arena resets.
+// All queries on a built entry are const and thread-safe; the cache itself
+// is mutex-guarded and shared across service workers.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "chem/cell_list.h"
+#include "chem/graph_featurizer.h"
+#include "chem/molecule.h"
+#include "chem/voxelizer.h"
+#include "core/tensor.h"
+
+namespace df::serve {
+
+class PocketCache {
+ public:
+  struct Entry {
+    // Stored for exact-content verification on hash hit.
+    std::vector<chem::Atom> atoms;
+    core::Vec3 center;
+    chem::VoxelConfig voxel_cfg;
+    float crop_cell_size = 0.0f;
+
+    // The cached work products.
+    core::Tensor grid;          // protein-only voxel grid (heap-owned)
+    chem::CellList crop_cells;  // over atoms' positions; unbuilt when pocket empty
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `max_targets` caps live entries (LRU eviction beyond it); clamped to
+  /// at least 1.
+  explicit PocketCache(size_t max_targets);
+
+  /// Fetch or build the entry for (pocket, center) under the two
+  /// featurizer configs. A build runs inside the cache lock, so concurrent
+  /// first requests for the same receptor build it exactly once.
+  std::shared_ptr<const Entry> lookup(const std::vector<chem::Atom>& pocket,
+                                      const core::Vec3& center,
+                                      const chem::Voxelizer& voxelizer,
+                                      const chem::GraphFeaturizer& featurizer);
+
+  Stats stats() const;
+  size_t size() const;
+  size_t capacity() const { return max_targets_; }
+
+ private:
+  using LruList = std::list<std::pair<uint64_t, std::shared_ptr<const Entry>>>;
+
+  size_t max_targets_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<uint64_t, LruList::iterator> by_key_;
+  Stats stats_;
+};
+
+}  // namespace df::serve

@@ -101,17 +101,21 @@ std::map<std::string, ScorerFactory> ModelRegistry::snapshot() const {
 
 void add_regressor(ModelRegistry& registry, const std::string& name,
                    models::RegressorFactory make_model, const chem::VoxelConfig& voxel,
-                   const chem::GraphFeaturizerConfig& graph, int featurize_threads) {
-  registry.add(name, [name, make_model = std::move(make_model), voxel, graph,
-                      featurize_threads] {
-    return std::make_unique<RegressorScorer>(name, make_model(), voxel, graph,
-                                             featurize_threads);
+                   const chem::GraphFeaturizerConfig& graph, int featurize_threads,
+                   int pipeline_depth) {
+  registry.add(name, [name, make_model = std::move(make_model), voxel, graph, featurize_threads,
+                      pipeline_depth] {
+    auto scorer = std::make_unique<RegressorScorer>(name, make_model(), voxel, graph,
+                                                    featurize_threads);
+    if (pipeline_depth >= 1) scorer->set_pipeline_depth(pipeline_depth);
+    return scorer;
   });
 }
 
 void add_compiled(ModelRegistry& registry, const std::string& name,
                   const std::string& artifact_path, const chem::VoxelConfig& voxel,
-                  const chem::GraphFeaturizerConfig& graph, int featurize_threads) {
+                  const chem::GraphFeaturizerConfig& graph, int featurize_threads,
+                  int pipeline_depth) {
   // Open once, eagerly: registration fails fast on a missing/damaged
   // artifact, and all replicas share the one validated mapping.
   std::shared_ptr<io::ArtifactReader> image = io::ArtifactReader::open(artifact_path);
@@ -130,12 +134,13 @@ void add_compiled(ModelRegistry& registry, const std::string& name,
         std::to_string(voxel.feature_set_version) + ", graph " +
         std::to_string(graph.feature_set_version) + ")");
   }
-  registry.add(name, [name, image, voxel, graph, featurize_threads] {
+  registry.add(name, [name, image, voxel, graph, featurize_threads, pipeline_depth] {
     compile::CompiledModel cm = compile::load_compiled(image);
     auto scorer = std::make_unique<RegressorScorer>(name, std::move(cm.model), voxel, graph,
                                                     featurize_threads);
     scorer->reserve_workspaces({static_cast<size_t>(cm.budget.forward_floats),
                                 static_cast<size_t>(cm.budget.feat_floats)});
+    if (pipeline_depth >= 1) scorer->set_pipeline_depth(pipeline_depth);
     return scorer;
   });
 }
@@ -143,7 +148,8 @@ void add_compiled(ModelRegistry& registry, const std::string& name,
 void add_quantized_regressor(ModelRegistry& registry, const std::string& name,
                              models::RegressorFactory make_model,
                              const chem::VoxelConfig& voxel,
-                             const chem::GraphFeaturizerConfig& graph, int featurize_threads) {
+                             const chem::GraphFeaturizerConfig& graph, int featurize_threads,
+                             int pipeline_depth) {
   // Calibration featurization is paid once, by the first replica; the
   // samples are immutable afterwards and shared by every later mint.
   struct CalibCache {
@@ -152,7 +158,7 @@ void add_quantized_regressor(ModelRegistry& registry, const std::string& name,
   };
   auto cache = std::make_shared<CalibCache>();
   registry.add(name, [name, make_model = std::move(make_model), voxel, graph, featurize_threads,
-                      cache] {
+                      pipeline_depth, cache] {
     std::shared_ptr<const std::vector<data::Sample>> samples;
     {
       std::lock_guard<std::mutex> lock(cache->mu);
@@ -167,8 +173,10 @@ void add_quantized_regressor(ModelRegistry& registry, const std::string& name,
     quant::QuantizeOptions qo;
     qo.calib.seed = kCalibSeed;
     quant::quantize_model(*model, ptrs, qo);
-    return std::make_unique<RegressorScorer>(name, std::move(model), voxel, graph,
-                                             featurize_threads);
+    auto scorer = std::make_unique<RegressorScorer>(name, std::move(model), voxel, graph,
+                                                    featurize_threads);
+    if (pipeline_depth >= 1) scorer->set_pipeline_depth(pipeline_depth);
+    return scorer;
   });
 }
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "core/parallel.h"
 #include "core/threadpool.h"
 #include "dock/scoring.h"
 
@@ -51,7 +55,189 @@ RegressorScorer::RegressorScorer(std::string name, std::unique_ptr<models::Regre
   if (lanes > 1) feat_pool_ = std::make_unique<core::ThreadPool>(lanes);
 }
 
-RegressorScorer::~RegressorScorer() = default;
+// The stage-pipelined executor (ScorerPipeline): a bounded ring of
+// `depth` micro-batch slots, one background stage thread that featurizes
+// submitted slots strictly in submit order, and a caller-driven collect()
+// that forwards the oldest ready slot. Three monotone sequence numbers
+// (submit / stage / collect) define slot ownership; every handoff goes
+// through mu_, which gives the happens-before edges the unlocked slot
+// bodies rely on. Each slot owns its own featurize-lane arenas, so the
+// stage thread never touches the forward arena a concurrent collect() is
+// using, and steady state stays heap-free once every slot has warmed.
+class RegressorScorer::Pipeline : public ScorerPipeline {
+ public:
+  Pipeline(RegressorScorer& owner, int depth)
+      : owner_(owner), depth_(depth), slots_(static_cast<size_t>(depth)) {
+    for (Slot& s : slots_) {
+      s.lane_ws.reserve(owner_.feat_ws_.size());
+      for (size_t i = 0; i < owner_.feat_ws_.size(); ++i) {
+        s.lane_ws.push_back(std::make_unique<core::Workspace>());
+      }
+    }
+    stage_ = std::thread([this] { stage_main(); });
+  }
+
+  ~Pipeline() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    stage_.join();
+  }
+
+  int depth() const override { return depth_; }
+
+  size_t in_flight() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<size_t>(submit_seq_ - collect_seq_);
+  }
+
+  void submit(std::vector<const PoseInput*> poses) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return submit_seq_ - collect_seq_ < static_cast<uint64_t>(depth_); });
+    Slot& s = slots_[static_cast<size_t>(submit_seq_ % slots_.size())];
+    s.poses = std::move(poses);
+    ++submit_seq_;
+    cv_.notify_all();
+  }
+
+  std::vector<float> collect() override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (collect_seq_ == submit_seq_) {
+        throw std::logic_error("ScorerPipeline::collect(): no batch in flight");
+      }
+      cv_.wait(lock, [&] { return collect_seq_ < stage_seq_; });
+    }
+    // The slot is exclusively ours until collect_seq_ advances: the stage
+    // thread only touches slots with index < submit_seq_ not yet staged,
+    // and submit() refuses to reuse the slot while it counts as in flight.
+    Slot& s = slots_[static_cast<size_t>(collect_seq_ % slots_.size())];
+    if (s.error) {
+      std::exception_ptr err = s.error;
+      s.error = nullptr;
+      release_slot(s);
+      std::rethrow_exception(err);
+    }
+
+    ReplicaGuard guard(owner_.busy_);
+    const size_t n = s.poses.size();
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<float> out;
+    {
+      owner_.forward_ws_.reset();
+      core::Workspace::Bind bind(owner_.forward_ws_);
+      std::vector<const data::Sample*> ptrs;
+      ptrs.reserve(s.batch.size());
+      for (const data::Sample& sample : s.batch) ptrs.push_back(&sample);
+      out = owner_.model_->predict_batch(ptrs);
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> slock(owner_.stats_mu_);
+      owner_.stats_.batches += 1;
+      owner_.stats_.poses += n;
+      owner_.stats_.featurize_seconds += s.featurize_seconds;
+      owner_.stats_.forward_seconds += std::chrono::duration<double>(t2 - t1).count();
+    }
+    release_slot(s);
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::vector<const PoseInput*> poses;
+    std::vector<data::Sample> batch;
+    std::vector<core::Tensor> grids;
+    std::vector<std::shared_ptr<const PocketCache::Entry>> cache_refs;
+    // Per-slot lane arenas (index 0 doubles as the grid arena): feature
+    // tensors live here from stage until the forward consumes them.
+    std::vector<std::unique_ptr<core::Workspace>> lane_ws;
+    std::exception_ptr error;
+    double featurize_seconds = 0.0;
+  };
+
+  void release_slot(Slot& s) {
+    // Drop pose pointers and cache pins eagerly — the poses belong to the
+    // caller's request, the cache entries should become evictable. The
+    // batch tensors are arena-borrowed; the slot's next occupant rewinds
+    // the arenas before reuse.
+    s.poses.clear();
+    s.cache_refs.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++collect_seq_;
+    }
+    cv_.notify_all();
+  }
+
+  void stage_main() {
+    // The stage thread is a peer of whoever owns the shared compute pool
+    // (a service worker, a bench thread): it must never submit to it, for
+    // the same reason service workers install this scope (core/parallel.h).
+    core::SerialComputeScope serial;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || stage_seq_ < submit_seq_; });
+      if (stop_) return;
+      Slot& s = slots_[static_cast<size_t>(stage_seq_ % slots_.size())];
+      lock.unlock();
+      const auto f0 = std::chrono::steady_clock::now();
+      try {
+        for (auto& ws : s.lane_ws) ws->reset();
+        owner_.featurize_batch(s.poses, s.batch, s.lane_ws, owner_.feat_pool_.get(),
+                               *s.lane_ws[0], s.grids, s.cache_refs);
+      } catch (...) {
+        s.error = std::current_exception();
+      }
+      s.featurize_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - f0).count();
+      lock.lock();
+      ++stage_seq_;
+      cv_.notify_all();
+    }
+  }
+
+  RegressorScorer& owner_;
+  const int depth_;
+  std::vector<Slot> slots_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t submit_seq_ = 0;   // next slot to fill
+  uint64_t stage_seq_ = 0;    // next slot the stage thread featurizes
+  uint64_t collect_seq_ = 0;  // next slot the forward consumes
+  bool stop_ = false;
+  std::thread stage_;
+};
+
+RegressorScorer::~RegressorScorer() {
+  pipeline_.reset();  // join the stage thread before any member dies
+}
+
+ScorerPipeline* RegressorScorer::pipeline() { return pipeline_.get(); }
+
+void RegressorScorer::set_pipeline_depth(int depth) {
+  if (pipeline_ != nullptr && pipeline_->in_flight() > 0) {
+    throw std::logic_error("RegressorScorer '" + name_ +
+                           "': set_pipeline_depth with batches in flight");
+  }
+  pipeline_.reset();
+  if (depth >= 1) pipeline_ = std::make_unique<Pipeline>(*this, depth);
+}
+
+void RegressorScorer::set_pocket_cache(std::shared_ptr<PocketCache> cache) {
+  if (pipeline_ != nullptr && pipeline_->in_flight() > 0) {
+    throw std::logic_error("RegressorScorer '" + name_ +
+                           "': set_pocket_cache with batches in flight");
+  }
+  pocket_cache_ = std::move(cache);
+}
+
+RegressorScorer::PhaseStats RegressorScorer::phase_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
 
 RegressorScorer::WorkspaceBudgets RegressorScorer::workspace_capacities() const {
   WorkspaceBudgets b;
@@ -65,32 +251,36 @@ void RegressorScorer::reserve_workspaces(const WorkspaceBudgets& budgets) {
   for (auto& ws : feat_ws_) ws->reserve(budgets.feat_floats);
 }
 
-std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& poses) {
-  ReplicaGuard guard(busy_);
-  const auto t0 = std::chrono::steady_clock::now();
-  // Rewind the arenas: last batch's tensors are dead, their blocks get
-  // reused cache-warm. After warmup no call below touches the heap for
-  // tensor data.
-  forward_ws_.reset();
-  for (auto& ws : feat_ws_) ws->reset();
-
+void RegressorScorer::featurize_batch(
+    const std::vector<const PoseInput*>& poses, std::vector<data::Sample>& batch,
+    std::vector<std::unique_ptr<core::Workspace>>& lane_ws, core::ThreadPool* pool,
+    core::Workspace& grid_ws, std::vector<core::Tensor>& grids,
+    std::vector<std::shared_ptr<const PocketCache::Entry>>& cache_refs) {
   const size_t n = poses.size();
-  std::vector<data::Sample> batch(n);
+  batch.clear();
+  batch.resize(n);
+  grids.clear();
+  cache_refs.clear();
 
   // Amortize pocket splatting: the poses of a batch overwhelmingly dock
   // into one shared pocket, whose voxel block is pose-independent. Build
-  // each distinct (pocket, center) grid once, then per pose splat only the
-  // ligand and graft the cached block — bitwise identical to the joint
-  // voxelization (disjoint channel blocks). v2's H-bond channel couples
-  // ligand and pocket, so the amortization is invalid there: each pose
-  // falls back to a full joint voxelize below.
-  const bool amortize_pocket = voxelizer_.config().feature_set_version < 2;
+  // each distinct (pocket, center) grid once — or fetch it from the
+  // cross-request cache, which also hands back the crop CellList — then
+  // per pose splat only the ligand and graft the cached block, bitwise
+  // identical to the joint voxelization. Without a cache, v2's H-bond
+  // channel couples ligand and pocket and each pose falls back to a full
+  // joint voxelize (the PR 9 behaviour); cache entries route through the
+  // pocket-aware graft, which re-derives the coupling per pose and is
+  // valid at every feature-set version.
+  const bool use_cache = pocket_cache_ != nullptr;
+  const bool amortize_pocket = use_cache || voxelizer_.config().feature_set_version < 2;
   std::vector<const core::Tensor*> pocket_grid(n, nullptr);
+  std::vector<const chem::CellList*> crop_cells(n, nullptr);
   std::vector<std::pair<const std::vector<chem::Atom>*, core::Vec3>> grid_keys;
-  std::vector<core::Tensor> grids;
   grids.reserve(n);  // pointers into `grids` are handed out below
   if (amortize_pocket) {
-    core::Workspace::Bind bind(forward_ws_);
+    // Cache lookups build heap-owned entries (Workspace::Unbind inside);
+    // only the per-batch grids bind the grid arena.
     for (size_t i = 0; i < n; ++i) {
       const PoseInput& p = *poses[i];
       const std::vector<chem::Atom>& pocket = pocket_of(p, name_);
@@ -102,33 +292,64 @@ std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& p
       }
       if (g == grid_keys.size()) {
         grid_keys.emplace_back(&pocket, p.site_center);
-        grids.push_back(voxelizer_.voxelize_pocket(pocket, p.site_center));
+        if (use_cache) {
+          cache_refs.push_back(pocket_cache_->lookup(pocket, p.site_center, voxelizer_, featurizer_));
+        } else {
+          core::Workspace::Bind bind(grid_ws);
+          grids.push_back(voxelizer_.voxelize_pocket(pocket, p.site_center));
+        }
       }
-      pocket_grid[i] = &grids[g];
+      if (use_cache) {
+        pocket_grid[i] = &cache_refs[g]->grid;
+        crop_cells[i] = cache_refs[g]->crop_cells.built() ? &cache_refs[g]->crop_cells : nullptr;
+      } else {
+        pocket_grid[i] = &grids[g];
+      }
     }
   }
 
-  const size_t lanes = std::min(feat_ws_.size(), std::max<size_t>(n, 1));
+  const size_t lanes = std::min(lane_ws.size(), std::max<size_t>(n, 1));
   auto featurize_lane = [&](size_t lane) {
     // Bind (not Scope): the samples carved here must outlive the lane —
-    // they feed the forward below and die at the next score()'s reset.
-    core::Workspace::Bind bind(*feat_ws_[lane]);
+    // they feed the forward stage and die at the owner's next reset.
+    core::Workspace::Bind bind(*lane_ws[lane]);
     const size_t begin = n * lane / lanes;
     const size_t end = n * (lane + 1) / lanes;
     for (size_t i = begin; i < end; ++i) {
       const PoseInput& p = *poses[i];
       const std::vector<chem::Atom>& pocket = pocket_of(p, name_);
-      batch[i].voxel = amortize_pocket
-                           ? voxelizer_.voxelize_ligand_onto(p.ligand, *pocket_grid[i], p.site_center)
-                           : voxelizer_.voxelize(p.ligand, pocket, p.site_center);
-      batch[i].graph = featurizer_.featurize(p.ligand, pocket);
+      batch[i].voxel =
+          pocket_grid[i] != nullptr
+              ? voxelizer_.voxelize_ligand_onto(p.ligand, pocket, *pocket_grid[i], p.site_center)
+              : voxelizer_.voxelize(p.ligand, pocket, p.site_center);
+      batch[i].graph = featurizer_.featurize(p.ligand, pocket, crop_cells[i]);
     }
   };
-  if (feat_pool_ != nullptr && lanes > 1) {
-    core::parallel_for(*feat_pool_, lanes, featurize_lane);
+  if (pool != nullptr && lanes > 1) {
+    core::parallel_for(*pool, lanes, featurize_lane);
   } else {
     featurize_lane(0);
   }
+}
+
+std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& poses) {
+  if (pipeline_ != nullptr && pipeline_->in_flight() > 0) {
+    throw std::logic_error("RegressorScorer '" + name_ +
+                           "': score() while pipelined batches are in flight — "
+                           "collect() them first");
+  }
+  ReplicaGuard guard(busy_);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Rewind the arenas: last batch's tensors are dead, their blocks get
+  // reused cache-warm. After warmup no call below touches the heap for
+  // tensor data.
+  forward_ws_.reset();
+  for (auto& ws : feat_ws_) ws->reset();
+
+  std::vector<data::Sample> batch;
+  std::vector<core::Tensor> grids;
+  std::vector<std::shared_ptr<const PocketCache::Entry>> cache_refs;
+  featurize_batch(poses, batch, feat_ws_, feat_pool_.get(), forward_ws_, grids, cache_refs);
   const auto t1 = std::chrono::steady_clock::now();
 
   std::vector<const data::Sample*> ptrs;
@@ -140,10 +361,13 @@ std::vector<float> RegressorScorer::score(const std::vector<const PoseInput*>& p
     out = model_->predict_batch(ptrs);
   }
   const auto t2 = std::chrono::steady_clock::now();
-  stats_.batches += 1;
-  stats_.poses += n;
-  stats_.featurize_seconds += std::chrono::duration<double>(t1 - t0).count();
-  stats_.forward_seconds += std::chrono::duration<double>(t2 - t1).count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.batches += 1;
+    stats_.poses += poses.size();
+    stats_.featurize_seconds += std::chrono::duration<double>(t1 - t0).count();
+    stats_.forward_seconds += std::chrono::duration<double>(t2 - t1).count();
+  }
   return out;
 }
 

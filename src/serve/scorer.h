@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "core/workspace.h"
 #include "dock/mmgbsa.h"
 #include "models/regressor.h"
+#include "serve/pocket_cache.h"
 
 namespace df::core {
 class ThreadPool;
@@ -44,6 +46,31 @@ struct PoseInput {
   core::Vec3 site_center;
 };
 
+/// Stage-pipelined scoring executor: a bounded ring of micro-batch slots
+/// through which featurization runs ahead of the forward pass. submit()
+/// hands a batch to the featurize stage (blocking while depth() batches
+/// are already in flight); collect() forwards and returns the oldest
+/// in-flight batch. Batches come back strictly FIFO, and each batch's
+/// result is bitwise identical to Scorer::score() on the same poses —
+/// stage boundaries are fixed by batch index, never timing, so pipelining
+/// changes when work happens but not what is computed.
+class ScorerPipeline {
+ public:
+  virtual ~ScorerPipeline() = default;
+
+  /// Maximum batches in flight (submitted, not yet collected).
+  virtual int depth() const = 0;
+  /// Batches currently in flight.
+  virtual size_t in_flight() const = 0;
+  /// Enqueue a micro-batch for featurization. Blocks while in_flight()
+  /// == depth(). Single-submitter: one thread drives a pipeline.
+  virtual void submit(std::vector<const PoseInput*> poses) = 0;
+  /// Run the forward pass for the oldest in-flight batch and return its
+  /// scores. Throws std::logic_error when nothing is in flight; rethrows
+  /// the featurize stage's exception (e.g. a null pocket) if one occurred.
+  virtual std::vector<float> collect() = 0;
+};
+
 class Scorer {
  public:
   virtual ~Scorer() = default;
@@ -54,6 +81,19 @@ class Scorer {
   /// one thread at a time (the replica contract); the batch may mix poses
   /// from different clients.
   virtual std::vector<float> score(const std::vector<const PoseInput*>& poses) = 0;
+
+  /// The replica's pipelined executor, or nullptr when the backend runs
+  /// sequential-only (the default). Non-null after set_pipeline_depth(d)
+  /// with d >= 1 on a backend that supports it.
+  virtual ScorerPipeline* pipeline() { return nullptr; }
+  /// Enable stage pipelining with up to `depth` batches in flight; depth
+  /// <= 0 tears the pipeline down (sequential path). Must not be called
+  /// with batches in flight. Backends without a pipelined path ignore it.
+  virtual void set_pipeline_depth(int /*depth*/) {}
+  /// Share a cross-request pocket cache with this replica (may be shared
+  /// by many replicas; PocketCache is thread-safe). Backends that do not
+  /// featurize ignore it.
+  virtual void set_pocket_cache(std::shared_ptr<PocketCache> /*cache*/) {}
 };
 
 /// Throws std::logic_error when two threads enter the same replica
@@ -98,15 +138,26 @@ class RegressorScorer : public Scorer {
   std::string name() const override { return name_; }
   std::vector<float> score(const std::vector<const PoseInput*>& poses) override;
 
-  /// Cumulative wall-time split of score() calls on this replica — the
+  /// Stage-pipelined execution (see ScorerPipeline). The featurize stage
+  /// runs on one background thread per replica; each ring slot owns its
+  /// own lane arenas, so steady state stays at zero tensor heap
+  /// allocations at any depth. While batches are in flight, score() and
+  /// the knob setters throw rather than race the stage thread.
+  ScorerPipeline* pipeline() override;
+  void set_pipeline_depth(int depth) override;
+  void set_pocket_cache(std::shared_ptr<PocketCache> cache) override;
+
+  /// Cumulative wall-time split of scoring on this replica — the
   /// featurize/forward phase breakdown reported by bench_service_throughput.
+  /// Pipelined batches account at collect() time; returned by value because
+  /// the stage thread updates concurrently.
   struct PhaseStats {
     uint64_t batches = 0;
     uint64_t poses = 0;
     double featurize_seconds = 0.0;
     double forward_seconds = 0.0;
   };
-  const PhaseStats& phase_stats() const { return stats_; }
+  PhaseStats phase_stats() const;
 
   /// Steady-state arena high-water marks. Measured on a warmed donor
   /// replica, they become the workspace budgets a compiled artifact carries
@@ -122,6 +173,22 @@ class RegressorScorer : public Scorer {
   void reserve_workspaces(const WorkspaceBudgets& budgets);
 
  private:
+  class Pipeline;
+
+  /// Featurize `poses` into `batch` using the given lane arenas: the shared
+  /// body of the sequential score() path and the pipeline's featurize
+  /// stage. Per-batch pocket grids are carved from `grid_ws`; with a pocket
+  /// cache attached the grids (and the graph crop's CellList) come from
+  /// cache entries instead, pinned alive for the batch via `cache_refs` —
+  /// which also makes pocket-grid amortization valid at feature-set v2
+  /// (the 4-arg voxelize_ligand_onto graft).
+  void featurize_batch(const std::vector<const PoseInput*>& poses,
+                       std::vector<data::Sample>& batch,
+                       std::vector<std::unique_ptr<core::Workspace>>& lane_ws,
+                       core::ThreadPool* pool, core::Workspace& grid_ws,
+                       std::vector<core::Tensor>& grids,
+                       std::vector<std::shared_ptr<const PocketCache::Entry>>& cache_refs);
+
   std::string name_;
   std::unique_ptr<models::Regressor> model_;
   chem::Voxelizer voxelizer_;
@@ -132,7 +199,12 @@ class RegressorScorer : public Scorer {
   std::vector<std::unique_ptr<core::Workspace>> feat_ws_;
   core::Workspace forward_ws_;
   std::unique_ptr<core::ThreadPool> feat_pool_;  // null when serial
+  std::shared_ptr<PocketCache> pocket_cache_;
+  mutable std::mutex stats_mu_;
   PhaseStats stats_;
+  // Last member: its stage thread touches everything above, so it must be
+  // destroyed first.
+  std::unique_ptr<Pipeline> pipeline_;
 };
 
 /// Empirical docking backend: Vina functional form converted to predicted

@@ -16,6 +16,12 @@
 // in-flight count, p50/p99 latency), kDrain stops accepting new score
 // requests and acks once in-flight work finishes (graceful node removal),
 // kShutdown raises shutdown_requested() for the hosting binary to act on.
+//
+// Pipelined scoring is a property of the wrapped service, not the wire:
+// set ServiceConfig::pipeline_depth / pocket_cache_targets on the service
+// this server fronts (examples/score_server_node.cpp exposes them as
+// --pipeline-depth / --pocket-cache). Both are bitwise-neutral, so a
+// pipelined node answers byte-identically to a sequential one.
 #pragma once
 
 #include <condition_variable>

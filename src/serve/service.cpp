@@ -52,6 +52,14 @@ struct ScoringService::Slice {
   std::chrono::steady_clock::time_point enqueued;
 };
 
+/// A micro-batch a worker has submitted to its replica's stage pipeline
+/// and not yet collected. The parts pin their Pending owners (and thus the
+/// pose storage the featurize stage reads) until copy-back.
+struct ScoringService::InFlight {
+  std::vector<Slice> parts;
+  size_t total = 0;
+};
+
 namespace {
 
 std::future<ScoreResponse> ready_response(ScoreResponse r) {
@@ -77,6 +85,10 @@ ScoringService::ScoringService(const ModelRegistry& registry, ServiceConfig cfg)
   }
   cfg_.poses_per_batch = std::max(1, cfg_.poses_per_batch);
   cfg_.queue_capacity = std::max<size_t>(1, cfg_.queue_capacity);
+  cfg_.pipeline_depth = std::max(0, cfg_.pipeline_depth);
+  if (cfg_.pocket_cache_targets > 0) {
+    pocket_cache_ = std::make_shared<PocketCache>(cfg_.pocket_cache_targets);
+  }
   threads_.reserve(static_cast<size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) threads_.emplace_back([this] { worker_loop(); });
 }
@@ -230,6 +242,12 @@ Scorer& ScoringService::replica_for(std::map<std::string, std::unique_ptr<Scorer
     std::lock_guard<std::mutex> build(build_mu_);
     replica = factories_.at(name)();
   }
+  // Service-level knobs layer on top of whatever the registry minted: a
+  // 0 depth leaves a registry-configured pipeline in place rather than
+  // tearing it down, and the shared pocket cache attaches to every
+  // replica that can use one (no-op virtuals otherwise).
+  if (cfg_.pipeline_depth > 0) replica->set_pipeline_depth(cfg_.pipeline_depth);
+  if (pocket_cache_ != nullptr) replica->set_pocket_cache(pocket_cache_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.replicas_built;
@@ -246,10 +264,71 @@ void ScoringService::worker_loop() {
   std::map<std::string, std::unique_ptr<Scorer>> replicas;
   uint64_t seen_warmup = 0;
 
+  // Pipelined dispatch state: micro-batches this worker has submitted to
+  // its replica's pipeline and not yet collected. All entries belong to
+  // `inflight_name`'s replica and come back strictly FIFO, so copy-back
+  // content is identical to sequential dispatch — only its timing moves.
+  std::deque<InFlight> inflight;
+  std::string inflight_name;
+  Scorer* inflight_replica = nullptr;
+
   std::unique_lock<std::mutex> lock(mu_);
+
+  // Collect the oldest in-flight micro-batch: run its forward on the
+  // replica, copy scores back, resolve finished requests. Called with the
+  // lock held; cycles it around the compute.
+  const auto collect_one = [&] {
+    InFlight fl = std::move(inflight.front());
+    inflight.pop_front();
+    lock.unlock();
+    std::vector<float> out;
+    std::string err;
+    try {
+      out = inflight_replica->pipeline()->collect();
+      if (out.size() != fl.total) {
+        err = "scorer '" + inflight_name + "' returned " + std::to_string(out.size()) +
+              " scores for " + std::to_string(fl.total) + " poses";
+      }
+    } catch (const std::exception& e) {
+      err = e.what();
+    } catch (...) {
+      err = "unknown exception from scorer '" + inflight_name + "'";
+    }
+    std::vector<std::shared_ptr<Pending>> done;
+    lock.lock();
+    const auto finished = std::chrono::steady_clock::now();
+    size_t off = 0;
+    for (const Slice& p : fl.parts) {
+      const size_t len = p.end - p.begin;
+      if (err.empty()) {
+        std::copy(out.begin() + static_cast<long>(off), out.begin() + static_cast<long>(off + len),
+                  p.owner->scores.begin() + static_cast<long>(p.begin));
+      } else if (!p.owner->failed) {
+        p.owner->failed = true;
+        p.owner->error = ScoreError::kScorerFailure;
+        p.owner->fail_msg = err;
+      }
+      off += len;
+      p.owner->remaining -= len;
+      if (p.owner->remaining == 0) {
+        stats_.latency.record_seconds(
+            std::chrono::duration<double>(finished - p.owner->accepted).count());
+        done.push_back(p.owner);
+      }
+    }
+    inflight_poses_ -= fl.total;
+    if (queued_poses_ == 0 && inflight_poses_ == 0) drain_cv_.notify_all();
+    lock.unlock();
+    for (const auto& owner : done) fulfill(owner);
+    lock.lock();
+  };
+
   for (;;) {
-    work_cv_.wait(lock,
-                  [&] { return stop_ || !queue_.empty() || seen_warmup != warmup_gen_; });
+    // Never sleep with batches in flight — their forwards are this
+    // worker's responsibility.
+    work_cv_.wait(lock, [&] {
+      return stop_ || !queue_.empty() || seen_warmup != warmup_gen_ || !inflight.empty();
+    });
 
     if (seen_warmup != warmup_gen_) {
       seen_warmup = warmup_gen_;
@@ -308,6 +387,10 @@ void ScoringService::worker_loop() {
     }
 
     if (queue_.empty()) {
+      if (!inflight.empty()) {
+        collect_one();
+        continue;
+      }
       if (stop_) return;
       continue;
     }
@@ -348,9 +431,20 @@ void ScoringService::worker_loop() {
         earliest = std::min(earliest, heads[g] + window);
       }
       if (name.empty()) {
-        work_cv_.wait_until(lock, earliest);
+        if (!inflight.empty()) {
+          collect_one();  // useful work beats idling out the flush window
+        } else {
+          work_cv_.wait_until(lock, earliest);
+        }
         continue;  // re-evaluate: more work may have arrived, or a deadline passed
       }
+    }
+
+    // A pipeline holds batches for one scorer at a time: drain foreign
+    // batches before dispatching to a different replica.
+    if (!inflight.empty() && name != inflight_name) {
+      collect_one();
+      continue;  // the queue may have changed shape while unlocked
     }
 
     // Collect up to `cap` poses for `name`, front-to-back.
@@ -394,22 +488,52 @@ void ScoringService::worker_loop() {
     // Score the micro-batch on this worker's private replica.
     std::vector<float> out;
     std::string err;
+    Scorer* replica = nullptr;
     try {
-      Scorer& replica = replica_for(replicas, name);
+      replica = &replica_for(replicas, name);
+    } catch (const std::exception& e) {
+      err = e.what();
+    } catch (...) {
+      err = "unknown exception from scorer '" + name + "'";
+    }
+
+    if (err.empty() && replica->pipeline() != nullptr) {
+      // Pipelined dispatch: hand the batch to the featurize stage and go
+      // back for more work. The forward runs at collect_one() — at the
+      // latest once the ring is full — so batch N+1's featurization
+      // overlaps batch N's forward.
       std::vector<const PoseInput*> ptrs;
       ptrs.reserve(total);
       for (const Slice& p : parts) {
         for (size_t i = p.begin; i < p.end; ++i) ptrs.push_back(&p.owner->poses[i]);
       }
-      out = replica.score(ptrs);
-      if (out.size() != total) {
-        err = "scorer '" + name + "' returned " + std::to_string(out.size()) + " scores for " +
-              std::to_string(total) + " poses";
+      ScorerPipeline& pipe = *replica->pipeline();
+      pipe.submit(std::move(ptrs));
+      lock.lock();
+      inflight.push_back(InFlight{std::move(parts), total});
+      inflight_name = name;
+      inflight_replica = replica;
+      if (inflight.size() >= static_cast<size_t>(pipe.depth())) collect_one();
+      continue;
+    }
+
+    if (err.empty()) {
+      try {
+        std::vector<const PoseInput*> ptrs;
+        ptrs.reserve(total);
+        for (const Slice& p : parts) {
+          for (size_t i = p.begin; i < p.end; ++i) ptrs.push_back(&p.owner->poses[i]);
+        }
+        out = replica->score(ptrs);
+        if (out.size() != total) {
+          err = "scorer '" + name + "' returned " + std::to_string(out.size()) + " scores for " +
+                std::to_string(total) + " poses";
+        }
+      } catch (const std::exception& e) {
+        err = e.what();
+      } catch (...) {
+        err = "unknown exception from scorer '" + name + "'";
       }
-    } catch (const std::exception& e) {
-      err = e.what();
-    } catch (...) {
-      err = "unknown exception from scorer '" + name + "'";
     }
 
     std::vector<std::shared_ptr<Pending>> done;

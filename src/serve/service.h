@@ -86,6 +86,23 @@ struct ServiceConfig {
   bool block_when_full = true;    // false: fail fast with kQueueFull
   double flush_deadline_ms = 0.2; // max wait to fill a partial batch
   bool ordered_stream = false;    // deterministic batching (see header)
+  // Stage pipelining: > 0 calls set_pipeline_depth(pipeline_depth) on every
+  // replica this service builds, and workers drive submit()/collect()
+  // instead of score() — up to `pipeline_depth` micro-batches in flight per
+  // worker, featurize overlapping the previous batch's forward. Results are
+  // bitwise identical to the sequential path at any depth (batch
+  // composition and per-batch compute are unchanged; only overlap timing
+  // moves), so ordered_stream keeps its determinism guarantee. 0 leaves
+  // replicas as the registry minted them (a registry-level depth still
+  // applies); backends without a pipelined path are unaffected.
+  int pipeline_depth = 0;
+  // Cross-request pocket cache: > 0 creates one serve::PocketCache of this
+  // capacity (distinct receptor targets, LRU) shared by every replica of
+  // the service — pocket voxel grids and graph-crop cell lists are then
+  // computed once per target instead of once per batch. Hits are verified
+  // by exact pocket content, and cached featurization is bitwise identical
+  // to uncached. 0 disables.
+  size_t pocket_cache_targets = 0;
 };
 
 struct ServiceStats {
@@ -139,10 +156,14 @@ class ScoringService {
   /// server advertises in its Hello frame.
   std::vector<std::string> scorer_names() const;
   ServiceStats stats() const;
+  /// The shared cross-request pocket cache, or nullptr when
+  /// pocket_cache_targets == 0 (for hit-rate stats in benches/tests).
+  std::shared_ptr<PocketCache> pocket_cache() const { return pocket_cache_; }
 
  private:
   struct Pending;
   struct Slice;
+  struct InFlight;
 
   void worker_loop();
   static void fulfill(const std::shared_ptr<Pending>& owner);
@@ -151,6 +172,7 @@ class ScoringService {
 
   ServiceConfig cfg_;
   std::map<std::string, ScorerFactory> factories_;  // registry snapshot
+  std::shared_ptr<PocketCache> pocket_cache_;       // null when disabled
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // wakes workers (work / warmup / stop)

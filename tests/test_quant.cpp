@@ -140,6 +140,15 @@ std::vector<const data::Sample*> ptrs_of(const std::vector<data::Sample>& sample
   return out;
 }
 
+/// The tiny 4/8-filter fixtures sit below the int8 cost model's default
+/// conv-width threshold (their convs would be deliberately left fp32).
+/// Tests that exercise quantized conv execution disable the model.
+quant::QuantizeOptions quantize_all() {
+  quant::QuantizeOptions opts;
+  opts.min_conv_out_channels_for_int8 = 0;
+  return opts;
+}
+
 std::vector<float> random_buf(int64_t n, Rng& rng, float lo = -1.0f, float hi = 1.0f) {
   std::vector<float> v(static_cast<size_t>(n));
   for (float& x : v) x = rng.uniform(lo, hi);
@@ -418,7 +427,7 @@ TEST(Calibration, ScalesBitwiseIdenticalAtAnyThreadCountAndRerunStable) {
     fcfg.fusion_nodes = 12;
     auto model = std::make_unique<models::FusionModel>(fcfg, cnn, sg, rng);
     compile::ModelCompiler().compile(*model);
-    const quant::QuantizeReport rep = quant::quantize_model(*model, cptrs);
+    const quant::QuantizeReport rep = quant::quantize_model(*model, cptrs, quantize_all());
     EXPECT_GT(rep.quantized_dense, 0);
     EXPECT_GT(rep.quantized_conv, 0);
     EXPECT_GT(rep.kept_fp32, 0);  // the regression heads
@@ -443,7 +452,7 @@ TEST(Quantize, HeadsStayFp32) {
     SCOPED_TRACE(name);
     auto model = factory();
     compile::ModelCompiler().compile(*model);
-    quant::quantize_model(*model, ptrs_of(calib));
+    quant::quantize_model(*model, ptrs_of(calib), quantize_all());
     compile::StructureWalk w = compile::walk_structure(*model);
     for (nn::Dense* d : w.dense) {
       if (d->out_features() == 1) {
@@ -481,7 +490,7 @@ TEST(Quantize, AccuracyDriftWithinBudget) {
 
     auto int8 = factory();
     compile::ModelCompiler().compile(*int8);
-    quant::quantize_model(*int8, ptrs_of(calib));
+    quant::quantize_model(*int8, ptrs_of(calib), quantize_all());
     const std::vector<float> got = int8->predict_batch(eptrs);
 
     ASSERT_EQ(got.size(), want.size());
@@ -522,7 +531,7 @@ TEST(Quantize, ArtifactRoundTripReproducesScoresBitwise) {
     const std::string artifact = tmp_path("dfq_" + name + ".dfca");
     auto model = factory();
     compile::ModelCompiler().compile(*model);
-    quant::quantize_model(*model, ptrs_of(calib));
+    quant::quantize_model(*model, ptrs_of(calib), quantize_all());
     const std::vector<float> want = model->predict_batch(eptrs);
     const std::vector<float> sig = quant_signature(*model);
     compile::save_compiled(*model, artifact);
@@ -542,6 +551,81 @@ TEST(Quantize, ArtifactRoundTripReproducesScoresBitwise) {
       EXPECT_EQ(got[i], want[i]) << "sample " << i;  // bitwise
     }
     std::filesystem::remove(artifact);
+  }
+}
+
+// ---- compile-time cost model: narrow convs stay fp32 ---------------------
+
+TEST(Quantize, CostModelSkipsNarrowConvs) {
+  const std::vector<data::Sample> calib = make_samples(6, 909);
+  const std::vector<data::Sample> eval = make_samples(8, 5153);
+  const std::vector<const data::Sample*> cptrs = ptrs_of(calib);
+  const std::vector<const data::Sample*> eptrs = ptrs_of(eval);
+
+  // Default threshold: every tiny conv (4/8 output channels) is skipped,
+  // recorded in the report, and left without quantized state; dense
+  // quantization is unaffected.
+  {
+    Rng rng(41);
+    auto model = std::make_unique<models::Cnn3d>(tiny_cnn_cfg(), rng);
+    compile::ModelCompiler().compile(*model);
+    const quant::QuantizeReport rep = quant::quantize_model(*model, cptrs);
+    compile::StructureWalk w = compile::walk_structure(*model);
+    EXPECT_EQ(rep.quantized_conv, 0);
+    EXPECT_EQ(rep.skipped_conv, static_cast<int>(w.conv.size()));
+    ASSERT_EQ(rep.skipped_conv_layers.size(), w.conv.size());
+    for (size_t i = 0; i < w.conv.size(); ++i) {
+      EXPECT_EQ(rep.skipped_conv_layers[i], static_cast<int>(i));
+      EXPECT_EQ(w.conv[i]->quantized_state(), nullptr);
+    }
+    EXPECT_GT(rep.quantized_dense, 0);
+
+    // A skip must behave exactly like quantize_conv=false: the cost model
+    // changes what runs int8, never what the surviving layers compute.
+    Rng rng2(41);
+    auto noconv = std::make_unique<models::Cnn3d>(tiny_cnn_cfg(), rng2);
+    compile::ModelCompiler().compile(*noconv);
+    quant::QuantizeOptions no_conv_opts;
+    no_conv_opts.quantize_conv = false;
+    quant::quantize_model(*noconv, cptrs, no_conv_opts);
+    EXPECT_EQ(model->predict_batch(eptrs), noconv->predict_batch(eptrs));
+  }
+
+  // A threshold between the two widths splits the model: 4-channel convs
+  // skipped, 8-channel convs quantized, indices identify which.
+  {
+    Rng rng(41);
+    auto model = std::make_unique<models::Cnn3d>(tiny_cnn_cfg(), rng);
+    compile::ModelCompiler().compile(*model);
+    quant::QuantizeOptions opts;
+    opts.min_conv_out_channels_for_int8 = 8;
+    const quant::QuantizeReport rep = quant::quantize_model(*model, cptrs, opts);
+    compile::StructureWalk w = compile::walk_structure(*model);
+    EXPECT_GT(rep.quantized_conv, 0);
+    EXPECT_GT(rep.skipped_conv, 0);
+    EXPECT_EQ(rep.quantized_conv + rep.skipped_conv, static_cast<int>(w.conv.size()));
+    std::set<int> skipped(rep.skipped_conv_layers.begin(), rep.skipped_conv_layers.end());
+    for (size_t i = 0; i < w.conv.size(); ++i) {
+      if (w.conv[i]->out_channels() < 8) {
+        EXPECT_TRUE(skipped.count(static_cast<int>(i))) << "conv " << i;
+        EXPECT_EQ(w.conv[i]->quantized_state(), nullptr) << "conv " << i;
+      } else {
+        EXPECT_FALSE(skipped.count(static_cast<int>(i))) << "conv " << i;
+        EXPECT_NE(w.conv[i]->quantized_state(), nullptr) << "conv " << i;
+      }
+    }
+  }
+
+  // Threshold 0 disables the model entirely.
+  {
+    Rng rng(41);
+    auto model = std::make_unique<models::Cnn3d>(tiny_cnn_cfg(), rng);
+    compile::ModelCompiler().compile(*model);
+    const quant::QuantizeReport rep = quant::quantize_model(*model, cptrs, quantize_all());
+    compile::StructureWalk w = compile::walk_structure(*model);
+    EXPECT_EQ(rep.quantized_conv, static_cast<int>(w.conv.size()));
+    EXPECT_EQ(rep.skipped_conv, 0);
+    EXPECT_TRUE(rep.skipped_conv_layers.empty());
   }
 }
 
